@@ -1,0 +1,24 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure through the harness,
+records paper-vs-measured pairs into pytest-benchmark's ``extra_info`` and
+prints the rendered ASCII table (visible with ``-s`` or in the captured
+output of a failing run).
+"""
+
+from __future__ import annotations
+
+from repro.core.result import ResultTable
+from repro.harness import render_table
+
+
+def run_and_report(benchmark, experiment_id: str) -> ResultTable:
+    """Benchmark one experiment generator and report its table."""
+    from repro.harness import run_experiment
+
+    table = benchmark(run_experiment, experiment_id)
+    print()
+    print(render_table(table))
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["rows"] = len(table)
+    return table

@@ -1,0 +1,35 @@
+"""Ablation 4 (DESIGN.md): kernel fusion gains.
+
+Re-dispatch every fused-away op and show TensorRT loses a meaningful part
+of its Figure 7 advantage: fusion is load-bearing, not decorative.
+"""
+
+import pytest
+
+from repro.engine import EngineConfig, InferenceSession
+from repro.frameworks import load_framework
+from repro.hardware import load_device
+from repro.models import load_model
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_fusion(benchmark):
+    def run():
+        pytorch = InferenceSession(load_framework("PyTorch").deploy(
+            load_model("ResNet-50"), load_device("Jetson Nano"))).latency_s
+        tensorrt_deployed = load_framework("TensorRT").deploy(
+            load_model("ResNet-50"), load_device("Jetson Nano"))
+        fused = InferenceSession(tensorrt_deployed).latency_s
+        unfused = InferenceSession(
+            tensorrt_deployed, config=EngineConfig(respect_fusion=False)).latency_s
+        return pytorch, fused, unfused
+
+    pytorch, fused, unfused = benchmark(run)
+    print()
+    print(f"Nano ResNet-50: PyTorch {pytorch * 1e3:.1f} ms, TensorRT fused "
+          f"{fused * 1e3:.1f} ms, TensorRT fusion-ablated {unfused * 1e3:.1f} ms")
+    print(f"TensorRT speedup: {pytorch / fused:.2f}x fused, "
+          f"{pytorch / unfused:.2f}x without fusion")
+    assert unfused > fused
+    # Fusion contributes a visible slice of the TensorRT speedup.
+    assert pytorch / fused > 1.1 * (pytorch / unfused)

@@ -1,0 +1,57 @@
+"""Ablation 3 (DESIGN.md): memory planner with dynamic-graph fallback.
+
+Give the Raspberry Pi infinite memory and show Table V's diamond column
+evaporates: every RPi failure/fallback in the paper is a memory-planner
+phenomenon, not a kernel one.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import OutOfMemoryError
+from repro.core.quantity import GIBI
+from repro.engine import InferenceSession
+from repro.frameworks import load_framework
+from repro.hardware import load_device
+from repro.models import load_model
+
+DIAMOND_MODELS = ("AlexNet", "VGG16", "C3D")
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_memory_planner(benchmark):
+    def run():
+        rpi = load_device("Raspberry Pi 3B")
+        big_rpi = dataclasses.replace(
+            rpi, memory=dataclasses.replace(rpi.memory, capacity_bytes=64 * GIBI))
+        outcomes = {}
+        for model_name in DIAMOND_MODELS:
+            # Real RPi: TensorFlow OOMs, PyTorch pages.
+            try:
+                load_framework("TensorFlow").deploy(load_model(model_name), rpi)
+                tf_outcome = "resident"
+            except OutOfMemoryError:
+                tf_outcome = "oom"
+            pt_real = load_framework("PyTorch").deploy(load_model(model_name), rpi)
+            pt_big = load_framework("PyTorch").deploy(load_model(model_name), big_rpi)
+            outcomes[model_name] = {
+                "tf_real": tf_outcome,
+                "pt_real_mode": pt_real.storage_mode,
+                "pt_big_mode": pt_big.storage_mode,
+                "pt_real_latency": InferenceSession(pt_real).latency_s,
+                "pt_big_latency": InferenceSession(pt_big).latency_s,
+            }
+        return outcomes
+
+    outcomes = benchmark(run)
+    print()
+    for model_name, entry in outcomes.items():
+        print(f"{model_name:8s}: real RPi TF={entry['tf_real']}, "
+              f"PyTorch {entry['pt_real_mode']} {entry['pt_real_latency']:.1f} s; "
+              f"infinite-memory RPi {entry['pt_big_mode']} "
+              f"{entry['pt_big_latency']:.1f} s")
+        assert entry["tf_real"] == "oom"
+        assert entry["pt_real_mode"] == "paged"
+        assert entry["pt_big_mode"] == "resident"
+        assert entry["pt_big_latency"] < entry["pt_real_latency"]

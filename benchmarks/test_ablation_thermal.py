@@ -1,0 +1,35 @@
+"""Ablation 5 (DESIGN.md): lumped-RC thermal model with fan hysteresis.
+
+Remove the TX2's fan and show Figure 14's story inverts: the fan is why the
+highest-power edge board runs the coolest.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware import load_device
+from repro.hardware.thermal import ThermalSimulator
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_fan(benchmark):
+    def run():
+        tx2 = load_device("Jetson TX2")
+        power = tx2.average_power_w()
+        with_fan = ThermalSimulator(tx2.thermal)
+        with_fan.run_to_steady_state(power, dt_s=2.0)
+        no_fan_spec = dataclasses.replace(tx2.thermal, has_fan=False)
+        without_fan = ThermalSimulator(no_fan_spec)
+        without_fan.run_to_steady_state(power, dt_s=2.0)
+        return with_fan, without_fan
+
+    with_fan, without_fan = benchmark.pedantic(run, rounds=3, iterations=1)
+    print()
+    print(f"TX2 under Table III load: {with_fan.temperature_c:.1f} C with fan "
+          f"(events: {[e.kind for e in with_fan.events]}), "
+          f"{without_fan.temperature_c:.1f} C without")
+    assert any(e.kind == "fan_on" for e in with_fan.events)
+    assert not without_fan.events
+    # Fanless, the TX2 would soar far beyond its fan-controlled equilibrium.
+    assert without_fan.temperature_c > with_fan.temperature_c + 30

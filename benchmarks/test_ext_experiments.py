@@ -1,0 +1,82 @@
+"""Bench: the six extension experiments (beyond the paper's figures)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_batch_crossover(benchmark):
+    table = run_and_report(benchmark, "ext-batch")
+    tx2, xeon = table.row("Jetson TX2"), table.row("Xeon E5-2696 v4")
+    assert xeon["batch 1"] > tx2["batch 1"]
+    assert xeon["batch 64"] < tx2["batch 64"]
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_pruning_exploitation(benchmark):
+    table = run_and_report(benchmark, "ext-pruning")
+    assert table.row("TFLite")["90% sparse"] < table.row("TFLite")["0% sparse"]
+    assert table.row("Caffe")["90% sparse"] == pytest.approx(
+        table.row("Caffe")["0% sparse"], rel=1e-6)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_dtype_sensitivity(benchmark):
+    table = run_and_report(benchmark, "ext-dtype")
+    latencies = {row.label: row["latency_ms"] for row in table}
+    assert latencies["fp16"] < latencies["fp32"]
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_rnn_models(benchmark):
+    table = run_and_report(benchmark, "ext-rnn")
+    fractions = [row["peak_fraction"] for row in table if row["peak_fraction"]]
+    assert all(f < 0.1 for f in fractions)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_sustained_throughput(benchmark):
+    table = run_and_report(benchmark, "ext-sustained")
+    assert table.row("Raspberry Pi 3B")["outcome"] == "shutdown"
+    assert table.row("Raspberry Pi 3B (DVFS)")["outcome"] == "throttled"
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_pareto_frontier(benchmark):
+    table = run_and_report(benchmark, "ext-pareto")
+    assert {row["device"] for row in table} >= {"EdgeTPU", "Movidius NCS"}
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_cloud_edge_split(benchmark):
+    table = run_and_report(benchmark, "ext-split")
+    assert set(table.column("decision")) == {"offload all", "stay local", "split"}
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_collaborative_pipeline(benchmark):
+    table = run_and_report(benchmark, "ext-pipeline")
+    fps = table.column("throughput_fps")
+    assert fps[2] > 2 * fps[0] * 0.9  # near-2.4x by three devices
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_serving_deadlines(benchmark):
+    table = run_and_report(benchmark, "ext-serving")
+    assert not table.row("Raspberry Pi 3B")["meets_150ms"]
+    assert table.row("EdgeTPU")["meets_150ms"]
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_batch_serving(benchmark):
+    table = run_and_report(benchmark, "ext-batch-serving")
+    row = table.row("400 req/s")
+    assert row["p99_ms_batch32"] < row["p99_ms_batch1"] / 100
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_power_modes(benchmark):
+    table = run_and_report(benchmark, "ext-power-modes")
+    assert (table.row("Jetson TX2 @ Max-Q")["power_w"]
+            < table.row("Jetson TX2 @ Max-N")["power_w"])

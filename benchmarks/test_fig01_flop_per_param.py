@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 1 (models sorted by FLOP/Param)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig01_flop_per_param(benchmark):
+    table = run_and_report(benchmark, "fig01")
+    values = table.column("flop_per_param")
+    assert values == sorted(values)
+    labels = table.labels()
+    # Shape: the paper's extremes hold — VGG-S 32x32 least intense, C3D most.
+    assert labels[0] == "VGG-S 32x32"
+    assert labels[-1] == "C3D"

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 2 (best-framework latency per edge device)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig02_best_framework(benchmark):
+    table = run_and_report(benchmark, "fig02")
+    # Shape: where the paper's bars are legible, we land within ~3x, and
+    # the anchored points are spot-on.
+    ratios = [row["ratio"] for row in table if row["ratio"] is not None]
+    assert ratios, "no comparable points"
+    within_3x = sum(1 for r in ratios if 1 / 3 <= r <= 3)
+    assert within_3x / len(ratios) >= 0.75
+    assert table.row("Jetson Nano / ResNet-18")["ratio"] == pytest.approx(1.0, abs=0.1)

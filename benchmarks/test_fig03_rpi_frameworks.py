@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 3 (RPi cross-framework latency)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig03_rpi_frameworks(benchmark):
+    table = run_and_report(benchmark, "fig03")
+    # Shape: TensorFlow fastest where it runs; PyTorch slowest but runs the
+    # big models TensorFlow cannot (memory errors marked as '-').
+    for row in table:
+        tf, pt = row["TensorFlow (s)"], row["PyTorch (s)"]
+        assert pt is not None
+        if tf is not None:
+            assert tf < pt
+    assert table.row("AlexNet")["TensorFlow (s)"] is None
+    assert table.row("VGG16")["TensorFlow (s)"] is None

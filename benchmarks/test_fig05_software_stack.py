@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 5 (software-stack profiles)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig05_software_stack(benchmark):
+    table = run_and_report(benchmark, "fig05")
+    # Shape: the dominant bucket of each pie matches the paper's.
+    dominant = {
+        "RPi/PyTorch": "conv2d",
+        "RPi/TensorFlow": "base_layer",
+        "TX2/PyTorch": "_C._TensorBase.to()",
+    }
+    for prefix, bucket in dominant.items():
+        rows = [row for row in table if row.label.startswith(prefix)]
+        best = max(rows, key=lambda r: r["measured_fraction"])
+        assert best.label.endswith(bucket), (prefix, best.label)
+    # Every measured fraction within 0.25 absolute of the paper's label.
+    for row in table:
+        assert row["measured_fraction"] == pytest.approx(
+            row["paper_fraction"], abs=0.25), row.label

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 6 (GTX Titan X: TensorFlow vs PyTorch)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig06_gtx_tf_vs_pytorch(benchmark):
+    table = run_and_report(benchmark, "fig06")
+    # Shape: PyTorch faster than TensorFlow on the HPC GPU, every model.
+    for row in table:
+        assert row["speedup"] > 1.0, row.label
+    # ... by a believable margin (the paper's bars sit between ~1.2 and 2.5x).
+    speedups = table.column("speedup")
+    assert 1.1 < sum(speedups) / len(speedups) < 3.0

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 8 (RPi: TensorFlow vs PyTorch vs TFLite)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig08_rpi_tflite(benchmark):
+    table = run_and_report(benchmark, "fig08")
+    tf_speedups = table.column("speedup_vs_tf")
+    pt_speedups = table.column("speedup_vs_pt")
+    # Paper: TFLite averages 1.58x over TF and 4.53x over PyTorch.
+    assert all(s > 1.0 for s in tf_speedups)
+    assert 1.1 < sum(tf_speedups) / len(tf_speedups) < 2.5
+    assert 3.0 < sum(pt_speedups) / len(pt_speedups) < 12.0
+    # The TFLite gain is biggest on MobileNet-v2 (quantized depthwise path).
+    assert table.row("MobileNet-v2")["speedup_vs_tf"] == max(tf_speedups)

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 9 (edge vs HPC time per inference, PyTorch)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig09_edge_vs_hpc(benchmark):
+    table = run_and_report(benchmark, "fig09")
+    # Shape: HPC GPUs always beat the TX2; Xeon loses on compute-bound
+    # models and competes only on the memory-bound VGG family.
+    for row in table:
+        tx2 = row["Jetson TX2 (ms)"]
+        for gpu in ("GTX Titan X (ms)", "Titan Xp (ms)", "RTX 2080 (ms)"):
+            assert row[gpu] < tx2, (row.label, gpu)
+    assert table.row("ResNet-50")["Xeon E5-2696 v4 (ms)"] > table.row("ResNet-50")["Jetson TX2 (ms)"]
+    assert table.row("VGG16")["Xeon E5-2696 v4 (ms)"] < 1.3 * table.row("VGG16")["Jetson TX2 (ms)"]

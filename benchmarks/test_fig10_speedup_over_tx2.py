@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 10 (speedup over Jetson TX2)."""
+
+import re
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig10_speedup_over_tx2(benchmark):
+    table = run_and_report(benchmark, "fig10")
+    note = next(note for note in table.notes if "geomean" in note)
+    geomean = float(re.search(r"([\d.]+)x", note).group(1))
+    # Paper headline: "the average speedup over Jetson TX2 ... is only 3x".
+    assert 2.0 < geomean < 5.0
+    # VGG/C3D gain more from HPC GPUs than ResNets do.
+    assert (table.row("VGG16")["RTX 2080 (x)"]
+            > table.row("ResNet-50")["RTX 2080 (x)"])
+    assert (table.row("C3D")["RTX 2080 (x)"]
+            > table.row("ResNet-101")["RTX 2080 (x)"])

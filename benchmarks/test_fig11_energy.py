@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 11 (energy per inference, log scale)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig11_energy(benchmark):
+    table = run_and_report(benchmark, "fig11")
+    # Paper's ordering: RPi worst; edge accelerators down to ~11 mJ.
+    rpi = table.row("Raspberry Pi 3B / ResNet-18")["energy_mj"]
+    for device in ("Jetson TX2", "Jetson Nano", "Movidius NCS", "EdgeTPU"):
+        row = table.row(f"{device} / ResNet-18")
+        if row["energy_mj"] is not None:
+            assert rpi > row["energy_mj"], device
+    assert table.row("EdgeTPU / MobileNet-v2")["energy_mj"] < 20
+    # Where the paper's prose gives values, stay within ~3x.
+    for row in table:
+        if row["paper_mj"] is None or row["energy_mj"] is None:
+            continue
+        assert 1 / 3 < row["energy_mj"] / row["paper_mj"] < 3, row.label

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 12 (inference time vs active power scatter)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig12_time_vs_power(benchmark):
+    table = run_and_report(benchmark, "fig12")
+    by_device: dict[str, list] = {}
+    for row in table:
+        by_device.setdefault(row.label.split(" / ")[0], []).append(row)
+    # Paper: Movidius has the lowest active power usage ...
+    min_power = {d: min(r["power_w"] for r in rows) for d, rows in by_device.items()}
+    assert min(min_power, key=min_power.get) == "Movidius NCS"
+    # ... EdgeTPU the lowest inference time ...
+    min_latency = {d: min(r["latency_ms"] for r in rows) for d, rows in by_device.items()}
+    assert min(min_latency, key=min_latency.get) == "EdgeTPU"
+    # ... and GTX Titan X sits far right at ~100 W.
+    assert min(r["power_w"] for r in by_device["GTX Titan X"]) > 50

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 13 (bare metal vs Docker on RPi)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig13_virtualization(benchmark):
+    table = run_and_report(benchmark, "fig13")
+    # Paper: overhead "almost negligible, within 5%, in all cases".
+    for row in table:
+        assert 0 <= row["slowdown"] <= 0.05 + 1e-9, row.label
+    # Longer-running models amortize the fixed syscall tax.
+    assert (table.row("Inception-v4")["slowdown"]
+            <= table.row("ResNet-18")["slowdown"])

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 14 (temperature behaviour under Inception-v4)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig14_temperature(benchmark):
+    table = run_and_report(benchmark, "fig14")
+    assert "shutdown" in table.row("Raspberry Pi 3B")["events"]
+    assert "fan_on" in table.row("Jetson TX2")["events"]
+    assert "fan_on" in table.row("Jetson Nano")["events"]
+    # Movidius: lowest variation and lowest absolute temperature.
+    variations = {row.label: row["steady_surface_c"] - row["idle_surface_c"]
+                  for row in table}
+    assert min(variations, key=variations.get) == "Movidius NCS"
+    steady = {row.label: row["steady_surface_c"] for row in table}
+    assert min(steady, key=steady.get) == "Movidius NCS"
+    # Idle temperatures match Table VI within instrument tolerance.
+    for row in table:
+        tolerance = 4.0 if row.label == "Movidius NCS" else 1.5
+        assert row["idle_surface_c"] == pytest.approx(row["paper_idle_c"], abs=tolerance)

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table I (model FLOP/parameter inventory)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1_models(benchmark):
+    table = run_and_report(benchmark, "table1")
+    # Shape: exact-architecture rows track the paper closely.
+    for name in ("ResNet-50", "VGG16", "Inception-v4"):
+        row = table.row(name)
+        assert row["gflop"] == pytest.approx(row["paper_gflop"], rel=0.05)
+        assert row["params_m"] == pytest.approx(row["paper_params_m"], rel=0.02)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table II (framework feature/optimization matrix)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2_frameworks(benchmark):
+    table = run_and_report(benchmark, "table2")
+    fusion = table.row("Fusion")
+    assert fusion["TensorRT"] and fusion["TFLite"] and fusion["NCSDK"]
+    assert not fusion["PyTorch"] and not fusion["DarkNet"]

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table III (device specs + measured power)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table3_devices(benchmark):
+    table = run_and_report(benchmark, "table3")
+    for row in table:
+        assert row["idle_w"] == pytest.approx(row["paper_idle_w"], rel=0.05)
+        assert row["average_w"] == pytest.approx(row["paper_average_w"], rel=0.05)

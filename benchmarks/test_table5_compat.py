@@ -1,0 +1,11 @@
+"""Bench: regenerate Table V (model x platform compatibility matrix)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table5_compat(benchmark):
+    table = run_and_report(benchmark, "table5")
+    assert all(row["matches_paper"] for row in table)

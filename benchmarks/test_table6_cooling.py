@@ -1,0 +1,13 @@
+"""Bench: regenerate Table VI (cooling hardware + idle temperatures)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table6_cooling(benchmark):
+    table = run_and_report(benchmark, "table6")
+    for row in table:
+        tolerance = 4.0 if row.label == "Movidius NCS" else 1.0
+        assert row["idle_surface_c"] == pytest.approx(row["paper_idle_c"], abs=tolerance)

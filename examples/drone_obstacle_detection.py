@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario: object detection on a battery-powered UAV.
+
+The paper's introduction motivates in-the-edge inference with drones that
+cannot offload to the cloud.  This example sweeps every (device, framework,
+detector) combination and reports which deployments satisfy a UAV's
+constraints: a frame deadline, a power ceiling, and a payload-friendly
+device class — then ranks the feasible ones by energy per frame.
+
+Run:  python examples/drone_obstacle_detection.py [fps] [power_budget_w]
+"""
+
+import sys
+
+from repro import InferenceSession, ReproError, load_device, load_framework, load_model
+from repro.harness.figures import BEST_FRAMEWORK_CANDIDATES
+from repro.measurement.energy import active_power_w, measure_energy_per_inference
+
+DETECTORS = ("TinyYolo", "SSD MobileNet-v1", "YOLOv3")
+EDGE_DEVICES = ("Raspberry Pi 3B", "Jetson TX2", "Jetson Nano", "EdgeTPU",
+                "Movidius NCS", "PYNQ-Z1")
+
+
+def sweep(fps: float, power_budget_w: float):
+    deadline_s = 1.0 / fps
+    feasible, rejected = [], []
+    for device_name in EDGE_DEVICES:
+        device = load_device(device_name)
+        for framework_name in BEST_FRAMEWORK_CANDIDATES[device_name]:
+            framework = load_framework(framework_name)
+            for detector in DETECTORS:
+                try:
+                    deployed = framework.deploy(load_model(detector), device)
+                except ReproError as error:
+                    rejected.append((detector, device_name, framework_name,
+                                     type(error).__name__))
+                    continue
+                session = InferenceSession(deployed)
+                power = active_power_w(session)
+                entry = {
+                    "detector": detector,
+                    "device": device_name,
+                    "framework": framework_name,
+                    "latency_ms": session.latency_s * 1e3,
+                    "power_w": power,
+                    "energy_mj": float(measure_energy_per_inference(session)) * 1e3,
+                }
+                if session.latency_s <= deadline_s and power <= power_budget_w:
+                    feasible.append(entry)
+                else:
+                    reason = "deadline" if session.latency_s > deadline_s else "power"
+                    rejected.append((detector, device_name, framework_name, reason))
+    return feasible, rejected
+
+
+def main(fps: float = 10.0, power_budget_w: float = 7.5) -> None:
+    print(f"UAV constraints: {fps:.0f} fps deadline "
+          f"({1e3 / fps:.0f} ms/frame), <= {power_budget_w} W payload power")
+    print()
+    feasible, rejected = sweep(fps, power_budget_w)
+    if not feasible:
+        print("No deployment satisfies the constraints; the rejections below "
+              "show what to relax.")
+    else:
+        print(f"{len(feasible)} feasible deployments, best energy first:")
+        feasible.sort(key=lambda e: e["energy_mj"])
+        for entry in feasible:
+            print(f"  {entry['detector']:18s} on {entry['device']:16s} via "
+                  f"{entry['framework']:9s}: {entry['latency_ms']:7.1f} ms, "
+                  f"{entry['power_w']:5.2f} W, {entry['energy_mj']:7.1f} mJ/frame")
+    print()
+    print(f"{len(rejected)} rejected combinations (first 12 shown):")
+    for detector, device, framework, reason in rejected[:12]:
+        print(f"  {detector:18s} on {device:16s} via {framework:9s}: {reason}")
+
+
+if __name__ == "__main__":
+    args = [float(a) for a in sys.argv[1:3]]
+    main(*args)

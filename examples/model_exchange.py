@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Model exchange: the Section III-B compatibility maze, walked.
+
+A team trains in PyTorch and wants the fastest deployment on each device
+they own.  Which toolchains can even ingest the model, and what does each
+converted deployment cost?  This example walks the conversion matrix,
+converts where possible, and times every resulting deployment.
+
+Run:  python examples/model_exchange.py [model]
+"""
+
+import sys
+
+from repro import InferenceSession, ReproError, load_device, load_framework, load_model
+from repro.frameworks.exchange import can_convert, compatibility_scores, convert
+
+SOURCE = "PyTorch"
+TARGETS = (
+    ("TensorRT", "Jetson Nano"),
+    ("TFLite", "Raspberry Pi 3B"),
+    ("NCSDK", "Movidius NCS"),
+    ("TVM VTA", "PYNQ-Z1"),
+    ("Caffe", "Jetson TX2"),
+    ("DarkNet", "Jetson TX2"),
+)
+
+
+def main(model_name: str = "ResNet-50") -> None:
+    graph = load_model(model_name)
+    print(f"Source: {model_name} trained in {SOURCE}")
+    print()
+    print("Importer friendliness (count of source frameworks each accepts):")
+    for name, score in sorted(compatibility_scores().items(), key=lambda kv: -kv[1]):
+        print(f"  {name:11s}: {score}")
+    print()
+
+    for framework_name, device_name in TARGETS:
+        path = can_convert(SOURCE, framework_name)
+        if path is None:
+            print(f"{framework_name:9s} on {device_name:16s}: NO IMPORT PATH "
+                  f"from {SOURCE} (reimplement by hand)")
+            continue
+        converted = convert(graph, SOURCE, framework_name)
+        try:
+            deployed = load_framework(framework_name).deploy(
+                converted, load_device(device_name))
+        except ReproError as error:
+            print(f"{framework_name:9s} on {device_name:16s}: imported via "
+                  f"{path.via}, but deployment failed "
+                  f"({type(error).__name__})")
+            continue
+        session = InferenceSession(deployed)
+        print(f"{framework_name:9s} on {device_name:16s}: via {path.via:12s} "
+              f"-> {session.latency_s * 1e3:8.1f} ms "
+              f"[{deployed.weight_dtype.value}, {deployed.storage_mode}]")
+    print()
+    print("TensorRT's broad importer set is exactly why the paper calls it")
+    print("the most compatible framework (Table II) — and DarkNet's empty")
+    print("one is why Figures 3/4 show 'Not Available' bars.")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

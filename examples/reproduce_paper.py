@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+This is the whole-paper harness: it executes each registered experiment and
+prints the rendered paper-vs-measured table, in paper order.
+
+Run:  python examples/reproduce_paper.py [experiment_id ...]
+e.g.  python examples/reproduce_paper.py fig07 fig08
+"""
+
+import sys
+import time
+
+from repro import list_experiments, render_table, run_experiment
+
+
+def main(selected: list[str]) -> None:
+    experiment_ids = selected or list_experiments()
+    total_start = time.perf_counter()
+    for experiment_id in experiment_ids:
+        start = time.perf_counter()
+        table = run_experiment(experiment_id)
+        elapsed = time.perf_counter() - start
+        print(render_table(table))
+        print(f"[{experiment_id} regenerated in {elapsed:.2f} s]")
+        print()
+    print(f"Reproduced {len(experiment_ids)} artifacts in "
+          f"{time.perf_counter() - total_start:.1f} s.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

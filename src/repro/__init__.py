@@ -1,0 +1,60 @@
+"""edgebench-repro: a full reproduction of "Characterizing the Deployment of
+Deep Neural Networks on Commercial Edge Devices" (IISWC 2019).
+
+Public API quick tour::
+
+    from repro import (
+        load_model, load_device, load_framework,
+        InferenceSession, run_experiment,
+    )
+
+    device = load_device("Jetson Nano")
+    framework = load_framework("TensorRT")
+    deployed = framework.deploy(load_model("ResNet-18"), device)
+    session = InferenceSession(deployed)
+    print(session.latency_s)            # seconds per single-batch inference
+
+    table = run_experiment("fig07")     # reproduce a paper figure
+"""
+
+from repro.core.errors import (
+    CompatibilityError,
+    ConversionError,
+    DeploymentError,
+    IncompatibleModelError,
+    OutOfMemoryError,
+    ReproError,
+    ThermalShutdownError,
+)
+from repro.engine import InferenceSession
+from repro.frameworks import FRAMEWORK_REGISTRY, list_frameworks, load_framework
+from repro.harness import EXPERIMENT_REGISTRY, list_experiments, render_table, run_experiment
+from repro.hardware import DEVICE_REGISTRY, list_devices, load_device
+from repro.models import MODEL_REGISTRY, list_models, load_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompatibilityError",
+    "ConversionError",
+    "DEVICE_REGISTRY",
+    "DeploymentError",
+    "EXPERIMENT_REGISTRY",
+    "FRAMEWORK_REGISTRY",
+    "IncompatibleModelError",
+    "InferenceSession",
+    "MODEL_REGISTRY",
+    "OutOfMemoryError",
+    "ReproError",
+    "ThermalShutdownError",
+    "__version__",
+    "list_devices",
+    "list_experiments",
+    "list_frameworks",
+    "list_models",
+    "load_device",
+    "load_framework",
+    "load_model",
+    "render_table",
+    "run_experiment",
+]

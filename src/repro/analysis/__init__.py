@@ -1,0 +1,36 @@
+"""Higher-level analyses built on the engine.
+
+Extensions beyond the paper's published figures: batch-size crossover
+studies (the single- vs multi-batch argument of Section VI-C made
+quantitative), pruning/quantization sensitivity (the Table II optimization
+rows exercised), Pareto-frontier extraction for Figure 12, and
+thermally-aware sustained-throughput simulation (Figure 14 turned into a
+performance number).
+"""
+
+from repro.analysis.advisor import (
+    Recommendation,
+    Requirements,
+    best_deployment,
+    recommend_deployments,
+)
+from repro.analysis.efficiency import energy_delay_metrics, energy_delay_table
+from repro.analysis.pareto import ParetoPoint, pareto_frontier
+from repro.analysis.sustained import SustainedResult, simulate_sustained
+from repro.analysis.sweeps import batch_size_sweep, dtype_sweep, sparsity_sweep
+
+__all__ = [
+    "ParetoPoint",
+    "Recommendation",
+    "Requirements",
+    "SustainedResult",
+    "best_deployment",
+    "recommend_deployments",
+    "batch_size_sweep",
+    "dtype_sweep",
+    "energy_delay_metrics",
+    "energy_delay_table",
+    "pareto_frontier",
+    "simulate_sustained",
+    "sparsity_sweep",
+]

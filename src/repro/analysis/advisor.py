@@ -1,0 +1,123 @@
+"""Deployment advisor: the paper's conclusion, operationalized.
+
+Section IX: "we hope that the following insights ... lead users to
+knowingly choose their required package (i.e., a combination of framework
+and platform) for a specific edge application."  The advisor searches the
+(device, framework, operating point) space for one model under the user's
+constraints and ranks the feasible deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+from repro.engine.executor import InferenceSession
+from repro.frameworks import load_framework
+from repro.hardware import apply_operating_point, list_operating_points, load_device
+from repro.measurement.energy import active_power_w
+from repro.models import load_model
+
+# Frameworks worth trying per device, mirrored from the harness.
+_CANDIDATES: dict[str, tuple[str, ...]] = {
+    "Raspberry Pi 3B": ("TFLite", "TensorFlow", "Caffe", "DarkNet", "PyTorch"),
+    "Jetson TX2": ("PyTorch", "TensorFlow", "Caffe", "DarkNet"),
+    "Jetson Nano": ("TensorRT", "PyTorch"),
+    "EdgeTPU": ("TFLite",),
+    "Movidius NCS": ("NCSDK",),
+    "PYNQ-Z1": ("TVM VTA", "FINN"),
+}
+EDGE_DEVICES = tuple(_CANDIDATES)
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """Constraints a deployment must satisfy."""
+
+    deadline_s: float | None = None
+    power_budget_w: float | None = None
+    energy_budget_j: float | None = None
+
+    def check(self, latency_s: float, power_w: float,
+              energy_j: float) -> tuple[bool, str]:
+        """(feasible, reason-if-not)."""
+        if self.deadline_s is not None and latency_s > self.deadline_s:
+            return False, f"misses {self.deadline_s * 1e3:.0f} ms deadline"
+        if self.power_budget_w is not None and power_w > self.power_budget_w:
+            return False, f"exceeds {self.power_budget_w:.1f} W budget"
+        if self.energy_budget_j is not None and energy_j > self.energy_budget_j:
+            return False, f"exceeds {self.energy_budget_j * 1e3:.0f} mJ/inference"
+        return True, ""
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One evaluated deployment."""
+
+    device: str
+    framework: str
+    operating_point: str
+    latency_s: float
+    power_w: float
+    energy_j: float
+    feasible: bool
+    reason: str = ""
+
+    def describe(self) -> str:
+        mode = f" @ {self.operating_point}" if self.operating_point != "default" else ""
+        verdict = "OK" if self.feasible else f"rejected ({self.reason})"
+        return (f"{self.device}{mode} via {self.framework}: "
+                f"{self.latency_s * 1e3:.1f} ms, {self.power_w:.2f} W, "
+                f"{self.energy_j * 1e3:.1f} mJ — {verdict}")
+
+
+def recommend_deployments(
+    model_name: str,
+    requirements: Requirements,
+    devices: tuple[str, ...] = EDGE_DEVICES,
+    include_operating_points: bool = True,
+) -> list[Recommendation]:
+    """Evaluate the search space; feasible results first, by energy.
+
+    Deployment failures (Table V territory) are silently skipped — they
+    are not *rejections*, the configuration simply does not exist.
+    """
+    recommendations: list[Recommendation] = []
+    graph = load_model(model_name)
+    for device_name in devices:
+        base_device = load_device(device_name)
+        points = (list_operating_points(device_name)
+                  if include_operating_points else list_operating_points(device_name)[:1])
+        for point in points:
+            device = apply_operating_point(base_device, point)
+            for framework_name in _CANDIDATES.get(device_name, ("PyTorch",)):
+                try:
+                    deployed = load_framework(framework_name).deploy(graph, device)
+                    session = InferenceSession(deployed)
+                except ReproError:
+                    continue
+                latency = session.latency_s
+                power = active_power_w(session)
+                energy = power * latency
+                feasible, reason = requirements.check(latency, power, energy)
+                recommendations.append(Recommendation(
+                    device=device_name,
+                    framework=framework_name,
+                    operating_point=point.name,
+                    latency_s=latency,
+                    power_w=power,
+                    energy_j=energy,
+                    feasible=feasible,
+                    reason=reason,
+                ))
+    recommendations.sort(key=lambda r: (not r.feasible, r.energy_j))
+    return recommendations
+
+
+def best_deployment(model_name: str, requirements: Requirements,
+                    **kwargs) -> Recommendation | None:
+    """The lowest-energy feasible deployment, or None."""
+    for recommendation in recommend_deployments(model_name, requirements, **kwargs):
+        if recommendation.feasible:
+            return recommendation
+    return None

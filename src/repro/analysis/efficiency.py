@@ -1,0 +1,56 @@
+"""Energy-delay metrics.
+
+Figure 12 plots time against power and leaves the reader to trade them
+off; energy-delay product (EDP) and ED^2P are the standard scalarizations
+of that trade-off (delay-emphasis for latency-critical deployments).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+from repro.core.result import ResultTable
+from repro.engine.executor import InferenceSession
+from repro.measurement.energy import active_power_w
+
+
+def energy_delay_metrics(session: InferenceSession) -> tuple[float, float, float]:
+    """(energy J, EDP J*s, ED2P J*s^2) for one deployment."""
+    delay = session.latency_s
+    energy = active_power_w(session) * delay
+    return energy, energy * delay, energy * delay * delay
+
+
+def energy_delay_table(model_name: str, device_framework_pairs,
+                       build_session) -> ResultTable:
+    """Rank deployments of one model by EDP.
+
+    Args:
+        model_name: zoo model to deploy everywhere.
+        device_framework_pairs: iterable of (device, framework) names.
+        build_session: callable (model, device, framework) -> session; the
+            harness passes :func:`repro.harness.figures.build_session`.
+    """
+    table = ResultTable(
+        f"Energy-delay ranking for {model_name}",
+        ["framework", "latency_ms", "energy_mj", "edp_mj_ms", "ed2p"],
+        caption="Sorted by EDP (energy x delay): the balanced-efficiency "
+        "ranking of the Figure 12 plane.",
+    )
+    rows = []
+    for device_name, framework_name in device_framework_pairs:
+        try:
+            session = build_session(model_name, device_name, framework_name)
+        except ReproError:
+            continue
+        energy, edp, ed2p = energy_delay_metrics(session)
+        rows.append((edp, device_name, framework_name, session.latency_s, energy, ed2p))
+    for edp, device_name, framework_name, latency, energy, ed2p in sorted(rows):
+        table.add_row(
+            device_name,
+            framework=framework_name,
+            latency_ms=latency * 1e3,
+            energy_mj=energy * 1e3,
+            edp_mj_ms=edp * 1e6,
+            ed2p=ed2p,
+        )
+    return table

@@ -1,0 +1,47 @@
+"""Pareto-frontier extraction for the Figure 12 scatter.
+
+The paper reads its time-vs-power plot qualitatively ("Movidius is the
+platform with the lowest active power usage ... EdgeTPU is the platform
+with the lowest inference time ... Jetson Nano resides in the middle").
+This module makes that reading precise: which (platform, model) points are
+non-dominated in (latency, power)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate configuration in the latency-power plane."""
+
+    label: str
+    latency_s: float
+    power_w: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if this point is at least as good on both axes and strictly
+        better on at least one."""
+        no_worse = (self.latency_s <= other.latency_s and self.power_w <= other.power_w)
+        strictly = (self.latency_s < other.latency_s or self.power_w < other.power_w)
+        return no_worse and strictly
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by latency (ascending)."""
+    candidates = list(points)
+    if not candidates:
+        return []
+    frontier = [
+        point for point in candidates
+        if not any(other.dominates(point) for other in candidates)
+    ]
+    return sorted(frontier, key=lambda p: (p.latency_s, p.power_w))
+
+
+def dominated_by(point: ParetoPoint, points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """Every point that dominates ``point`` — the 'why is this off the
+    frontier' explanation."""
+    return [other for other in points if other.dominates(point)]

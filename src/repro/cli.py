@@ -1,0 +1,263 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list                      # experiments, models, devices
+    python -m repro run fig07 fig08           # regenerate specific artifacts
+    python -m repro run --all                 # the whole paper
+    python -m repro time ResNet-18 "Jetson Nano" TensorRT
+    python -m repro compat                    # Table V matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import (
+    InferenceSession,
+    ReproError,
+    list_devices,
+    list_experiments,
+    list_frameworks,
+    list_models,
+    load_device,
+    load_framework,
+    load_model,
+    render_table,
+    run_experiment,
+)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Experiments:")
+    for experiment_id in list_experiments():
+        print(f"  {experiment_id}")
+    print("\nModels:")
+    for name in list_models():
+        print(f"  {name}")
+    print("\nDevices:")
+    for name in list_devices():
+        print(f"  {name}")
+    print("\nFrameworks:")
+    for name in list_frameworks():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.report import render_csv, render_markdown
+
+    renderers = {"table": render_table, "markdown": render_markdown, "csv": render_csv}
+    render = renderers[args.format]
+    experiment_ids = list_experiments() if args.all else args.experiments
+    if not experiment_ids:
+        print("nothing to run: pass experiment ids or --all", file=sys.stderr)
+        return 2
+    for experiment_id in experiment_ids:
+        try:
+            table = run_experiment(experiment_id)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(render(table))
+        if args.chart:
+            from repro.harness.charts import bar_chart
+
+            if args.chart not in table.columns:
+                print(f"error: no column {args.chart!r} to chart", file=sys.stderr)
+                return 2
+            print()
+            print(bar_chart(table, args.chart))
+        print()
+    return 0
+
+
+def _cmd_time(args: argparse.Namespace) -> int:
+    try:
+        deployed = load_framework(args.framework).deploy(
+            load_model(args.model), load_device(args.device))
+        session = InferenceSession(deployed)
+    except ReproError as error:
+        print(f"deployment failed: {error}", file=sys.stderr)
+        return 1
+    print(session.describe())
+    return 0
+
+
+def _cmd_compat(_args: argparse.Namespace) -> int:
+    table = run_experiment("table5")
+    print(render_table(table))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.harness.validation import validate_claims
+
+    try:
+        results = validate_claims(args.claims or None)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    failures = 0
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        if not result.passed:
+            failures += 1
+        print(f"[{status}] {result.claim_id} (Sec. {result.section}): "
+              f"{result.statement}")
+        print(f"       {result.evidence}")
+    print(f"\n{len(results) - failures}/{len(results)} claims hold")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.harness.suite import save_results
+
+    try:
+        save_results(args.path, args.experiments or None)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.path}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.harness.suite import compare_results, load_results
+
+    before = load_results(args.before)
+    after = load_results(args.after)
+    differences = compare_results(before, after, rel_tolerance=args.tolerance)
+    for difference in differences:
+        print(difference.describe())
+    print(f"{len(differences)} differing cells "
+          f"(tolerance {args.tolerance:.1%})")
+    return 0 if not differences else 1
+
+
+def _cmd_calibration(_args: argparse.Namespace) -> int:
+    from repro.engine.calibration import calibration_report
+
+    print(f"{'framework':11s} {'device':17s} {'anchor model':16s} "
+          f"{'target':>10s} {'achieved':>10s} {'scale':>8s}  source")
+    for entry in calibration_report():
+        print(f"{entry['framework']:11s} {entry['device']:17s} "
+              f"{entry['model']:16s} {entry['target_s'] * 1e3:8.1f}ms "
+              f"{entry['achieved_s'] * 1e3:8.1f}ms {entry['scale']:8.3f}  "
+              f"{entry['source']}")
+    clamped = sum(1 for entry in calibration_report() if entry["clamped"])
+    print(f"\n{clamped} clamped anchors")
+    return 0 if clamped == 0 else 1
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    try:
+        graph = load_model(args.model)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(graph.summary(verbose=True))
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.analysis import Requirements, recommend_deployments
+
+    requirements = Requirements(
+        deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+        power_budget_w=args.power_w,
+        energy_budget_j=None if args.energy_mj is None else args.energy_mj / 1e3,
+    )
+    try:
+        results = recommend_deployments(args.model, requirements)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for recommendation in results[: args.top]:
+        print(recommendation.describe())
+    feasible = sum(1 for r in results if r.feasible)
+    print(f"\n{feasible}/{len(results)} deployable configurations satisfy "
+          "the constraints")
+    return 0 if feasible else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'Characterizing the Deployment "
+        "of Deep Neural Networks on Commercial Edge Devices' (IISWC 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list experiments/models/devices")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="regenerate paper artifacts")
+    run_parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. fig07)")
+    run_parser.add_argument("--all", action="store_true", help="run every experiment")
+    run_parser.add_argument("--format", choices=("table", "markdown", "csv"),
+                            default="table", help="output format")
+    run_parser.add_argument("--chart", metavar="COLUMN",
+                            help="also render an ASCII bar chart of COLUMN")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    time_parser = subparsers.add_parser("time", help="time one deployment")
+    time_parser.add_argument("model")
+    time_parser.add_argument("device")
+    time_parser.add_argument("framework")
+    time_parser.set_defaults(handler=_cmd_time)
+
+    compat_parser = subparsers.add_parser("compat", help="print the Table V matrix")
+    compat_parser.set_defaults(handler=_cmd_compat)
+
+    validate_parser = subparsers.add_parser(
+        "validate", help="check the paper's headline claims against the simulation")
+    validate_parser.add_argument("claims", nargs="*", help="claim ids (default: all)")
+    validate_parser.set_defaults(handler=_cmd_validate)
+
+    export_parser = subparsers.add_parser(
+        "export", help="snapshot experiment results to a JSON file")
+    export_parser.add_argument("path", help="output file")
+    export_parser.add_argument("experiments", nargs="*",
+                               help="experiment ids (default: all)")
+    export_parser.set_defaults(handler=_cmd_export)
+
+    calibration_parser = subparsers.add_parser(
+        "calibration", help="show the anchor-calibration fit report")
+    calibration_parser.set_defaults(handler=_cmd_calibration)
+
+    summary_parser = subparsers.add_parser(
+        "summary", help="print a model's per-layer summary")
+    summary_parser.add_argument("model")
+    summary_parser.set_defaults(handler=_cmd_summary)
+
+    recommend_parser = subparsers.add_parser(
+        "recommend", help="find the best deployment for a model under constraints")
+    recommend_parser.add_argument("model")
+    recommend_parser.add_argument("--deadline-ms", type=float, default=None)
+    recommend_parser.add_argument("--power-w", type=float, default=None)
+    recommend_parser.add_argument("--energy-mj", type=float, default=None)
+    recommend_parser.add_argument("--top", type=int, default=10,
+                                  help="rows to print (default 10)")
+    recommend_parser.set_defaults(handler=_cmd_recommend)
+
+    diff_parser = subparsers.add_parser(
+        "diff", help="compare two result snapshots")
+    diff_parser.add_argument("before")
+    diff_parser.add_argument("after")
+    diff_parser.add_argument("--tolerance", type=float, default=0.01,
+                             help="relative tolerance for numeric cells")
+    diff_parser.set_defaults(handler=_cmd_diff)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Core utilities shared by every subsystem.
+
+This package holds the small, dependency-free building blocks: unit-safe
+quantities, error types, generic registries, result containers, and the
+experiment runner that the harness builds on.
+"""
+
+from repro.core.errors import (
+    CompatibilityError,
+    ConversionError,
+    DeploymentError,
+    IncompatibleModelError,
+    OutOfMemoryError,
+    ReproError,
+    ThermalShutdownError,
+    UnknownEntryError,
+)
+from repro.core.experiment import Experiment, ExperimentResult, ExperimentRunner
+from repro.core.quantity import (
+    GIGA,
+    KIBI,
+    MEBI,
+    GIBI,
+    MEGA,
+    KILO,
+    MILLI,
+    MICRO,
+    Bytes,
+    Celsius,
+    Hertz,
+    Joules,
+    Seconds,
+    Watts,
+    format_bytes,
+    format_seconds,
+)
+from repro.core.registry import Registry
+from repro.core.result import Measurement, ResultRow, ResultTable
+
+__all__ = [
+    "Bytes",
+    "Celsius",
+    "CompatibilityError",
+    "ConversionError",
+    "DeploymentError",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "GIBI",
+    "GIGA",
+    "Hertz",
+    "IncompatibleModelError",
+    "Joules",
+    "KIBI",
+    "KILO",
+    "MEBI",
+    "MEGA",
+    "MICRO",
+    "MILLI",
+    "Measurement",
+    "OutOfMemoryError",
+    "Registry",
+    "ReproError",
+    "ResultRow",
+    "ResultTable",
+    "Seconds",
+    "ThermalShutdownError",
+    "UnknownEntryError",
+    "Watts",
+    "format_bytes",
+    "format_seconds",
+]

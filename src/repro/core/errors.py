@@ -1,0 +1,62 @@
+"""Exception hierarchy for the edgebench reproduction.
+
+Every failure mode the paper reports has a dedicated exception so that the
+compatibility matrix (Table V) can be reconstructed from the error type:
+
+* :class:`OutOfMemoryError` — the static-graph deployment does not fit in the
+  device memory (TensorFlow on Raspberry Pi for AlexNet/VGG16/C3D).
+* :class:`ConversionError` — the model cannot be converted for an
+  accelerator-specific toolchain (EdgeTPU TFLite compilation barriers).
+* :class:`IncompatibleModelError` — base-code incompatibility (SSD on RPi,
+  C3D on Movidius).
+* :class:`ThermalShutdownError` — the device exceeded its shutdown
+  temperature (Raspberry Pi in Figure 14).
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class UnknownEntryError(ReproError, KeyError):
+    """A registry lookup failed.
+
+    Inherits from :class:`KeyError` so callers can treat registries like
+    mappings, while still being catchable as a :class:`ReproError`.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable.
+        return Exception.__str__(self)
+
+
+class DeploymentError(ReproError):
+    """A model could not be deployed on a (device, framework) pair."""
+
+
+class OutOfMemoryError(DeploymentError):
+    """The execution plan exceeds the device's usable memory."""
+
+    def __init__(self, message: str, required_bytes: int = 0, available_bytes: int = 0):
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.available_bytes = available_bytes
+
+
+class ConversionError(DeploymentError):
+    """A toolchain failed to convert/compile the model for the target."""
+
+
+class IncompatibleModelError(DeploymentError):
+    """The model's base code is incompatible with the platform."""
+
+
+class CompatibilityError(ReproError):
+    """A framework is not available on the requested device."""
+
+
+class ThermalShutdownError(ReproError):
+    """The device reached its thermal shutdown temperature."""
+
+    def __init__(self, message: str, temperature_c: float = 0.0):
+        super().__init__(message)
+        self.temperature_c = temperature_c

@@ -1,0 +1,123 @@
+"""Unit-safe scalar quantities.
+
+The paper mixes ms, s, mJ, J, W and GB freely; internally this library works
+in SI base units (seconds, joules, watts, bytes, hertz, degrees Celsius) and
+converts only at the presentation layer.  Quantities are thin ``float``
+subclasses: they interoperate with numpy and plain arithmetic, but carry a
+``unit`` tag and a readable ``repr`` so harness tables stay self-describing.
+"""
+
+from __future__ import annotations
+
+MILLI = 1e-3
+MICRO = 1e-6
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+KIBI = 1024
+MEBI = 1024**2
+GIBI = 1024**3
+
+
+class Quantity(float):
+    """A float with a unit label used for presentation only.
+
+    Arithmetic degrades to plain ``float`` (units are documentation, not an
+    algebra); this keeps hot paths cheap while making results readable.
+    """
+
+    unit: str = ""
+
+    def __repr__(self) -> str:
+        return f"{float(self):.6g} {self.unit}".strip()
+
+
+class Seconds(Quantity):
+    """A duration in seconds."""
+
+    unit = "s"
+
+    @classmethod
+    def from_ms(cls, value: float) -> "Seconds":
+        return cls(value * MILLI)
+
+    @property
+    def ms(self) -> float:
+        return float(self) / MILLI
+
+
+class Joules(Quantity):
+    """An energy in joules."""
+
+    unit = "J"
+
+    @classmethod
+    def from_mj(cls, value: float) -> "Joules":
+        return cls(value * MILLI)
+
+    @property
+    def mj(self) -> float:
+        return float(self) / MILLI
+
+
+class Watts(Quantity):
+    """A power in watts."""
+
+    unit = "W"
+
+
+class Hertz(Quantity):
+    """A frequency in hertz."""
+
+    unit = "Hz"
+
+    @classmethod
+    def from_mhz(cls, value: float) -> "Hertz":
+        return cls(value * MEGA)
+
+    @classmethod
+    def from_ghz(cls, value: float) -> "Hertz":
+        return cls(value * GIGA)
+
+
+class Celsius(Quantity):
+    """A temperature in degrees Celsius."""
+
+    unit = "degC"
+
+
+class Bytes(int):
+    """An integer byte count with binary-prefix helpers."""
+
+    @classmethod
+    def from_kib(cls, value: float) -> "Bytes":
+        return cls(int(value * KIBI))
+
+    @classmethod
+    def from_mib(cls, value: float) -> "Bytes":
+        return cls(int(value * MEBI))
+
+    @classmethod
+    def from_gib(cls, value: float) -> "Bytes":
+        return cls(int(value * GIBI))
+
+    def __repr__(self) -> str:
+        return format_bytes(int(self))
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with the largest binary prefix that fits."""
+    value = float(num_bytes)
+    for prefix, scale in (("GiB", GIBI), ("MiB", MEBI), ("KiB", KIBI)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {prefix}"
+    return f"{value:.0f} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration in the unit the paper's figures use (ms or s)."""
+    if seconds < 1.0:
+        return f"{seconds / MILLI:.1f} ms"
+    return f"{seconds:.2f} s"

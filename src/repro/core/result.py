@@ -1,0 +1,140 @@
+"""Result containers for measurements and harness tables.
+
+A :class:`Measurement` is one scalar observation with enough statistics to
+support the paper's methodology (median over 200-1000 timed inferences,
+instrument accuracy bounds).  A :class:`ResultTable` is the tabular form the
+harness renders for each reproduced figure/table, carrying optional
+paper-reported reference values alongside the measured ones.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A scalar observation with dispersion statistics.
+
+    Attributes:
+        value: the summary statistic (median unless stated otherwise).
+        unit: presentation unit, e.g. ``"s"``, ``"J"``, ``"degC"``.
+        samples: number of raw observations behind ``value``.
+        stddev: sample standard deviation of the raw observations.
+        minimum / maximum: extremes of the raw observations.
+    """
+
+    value: float
+    unit: str = ""
+    samples: int = 1
+    stddev: float = 0.0
+    minimum: float = math.nan
+    maximum: float = math.nan
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float], unit: str = "") -> "Measurement":
+        if not samples:
+            raise ValueError("cannot summarize an empty sample set")
+        values = [float(v) for v in samples]
+        return cls(
+            value=statistics.median(values),
+            unit=unit,
+            samples=len(values),
+            stddev=statistics.stdev(values) if len(values) > 1 else 0.0,
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        label = f"{self.value:.6g} {self.unit}".strip()
+        if self.samples > 1:
+            label += f" (n={self.samples}, sd={self.stddev:.3g})"
+        return f"Measurement({label})"
+
+
+@dataclass
+class ResultRow:
+    """One row of a reproduced table/figure.
+
+    ``cells`` maps column name to value; values may be floats, strings, or
+    ``None`` (rendered as the paper's "not available" marker).
+    """
+
+    label: str
+    cells: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, column: str) -> Any:
+        return self.cells[column]
+
+    def get(self, column: str, default: Any = None) -> Any:
+        return self.cells.get(column, default)
+
+
+class ResultTable:
+    """An ordered collection of rows with named columns.
+
+    The harness builds one per figure/table; ``title`` and ``caption`` mirror
+    the paper, and ``notes`` record substitutions or anchor calibrations.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str], caption: str = ""):
+        self.title = title
+        self.columns = list(columns)
+        self.caption = caption
+        self.notes: list[str] = []
+        self._rows: list[ResultRow] = []
+
+    def add_row(self, label: str, **cells: Any) -> ResultRow:
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns {sorted(unknown)}; table has {self.columns}")
+        row = ResultRow(label=label, cells=dict(cells))
+        self._rows.append(row)
+        return row
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    @property
+    def rows(self) -> list[ResultRow]:
+        return list(self._rows)
+
+    def row(self, label: str) -> ResultRow:
+        for candidate in self._rows:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no row labelled {label!r} in table {self.title!r}")
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r} in table {self.title!r}")
+        return [row.get(name) for row in self._rows]
+
+    def labels(self) -> list[str]:
+        return [row.label for row in self._rows]
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Flatten to a list of dicts (label included), e.g. for json/csv."""
+        return [{"label": row.label, **row.cells} for row in self._rows]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, as used for the paper's cross-model speedup summary."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,121 @@
+"""Statistics for measurement comparison.
+
+The paper reports point values; a careful reproduction should say how sure
+it is.  This module adds bootstrap confidence intervals over timing-loop
+samples and a speedup comparison between two measurements — used by the
+timer-based harness paths and available to downstream users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import Measurement
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided bootstrap confidence interval."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.point <= self.high:
+            raise ValueError(
+                f"interval [{self.low}, {self.high}] must contain {self.point}")
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (f"{self.point:.6g} [{self.low:.6g}, {self.high:.6g}] "
+                f"@{self.confidence:.0%}")
+
+
+def bootstrap_median(samples: list[float] | np.ndarray, confidence: float = 0.95,
+                     n_resamples: int = 2000, seed: int = 0) -> ConfidenceInterval:
+    """Bootstrap CI of the median (the paper's summary statistic)."""
+    values = np.asarray(samples, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample set")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, values.size, size=(n_resamples, values.size))
+    medians = np.median(values[indices], axis=1)
+    alpha = (1 - confidence) / 2
+    low, high = np.quantile(medians, [alpha, 1 - alpha])
+    point = float(np.median(values))
+    return ConfidenceInterval(
+        point=point,
+        low=min(float(low), point),
+        high=max(float(high), point),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class SpeedupComparison:
+    """Ratio of two latency measurements with its bootstrap interval."""
+
+    baseline: Measurement
+    candidate: Measurement
+    interval: ConfidenceInterval
+
+    @property
+    def speedup(self) -> float:
+        return self.interval.point
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI excludes 1.0 (a real win or a real loss)."""
+        return not self.interval.contains(1.0)
+
+    def __str__(self) -> str:
+        verdict = "significant" if self.significant else "not significant"
+        return f"speedup {self.interval} ({verdict})"
+
+
+def compare_speedup(baseline_samples: list[float] | np.ndarray,
+                    candidate_samples: list[float] | np.ndarray,
+                    confidence: float = 0.95, n_resamples: int = 2000,
+                    seed: int = 0) -> SpeedupComparison:
+    """Bootstrap the ratio median(baseline)/median(candidate).
+
+    Speedup > 1 means the candidate is faster.
+    """
+    base = np.asarray(baseline_samples, dtype=float)
+    cand = np.asarray(candidate_samples, dtype=float)
+    if base.size == 0 or cand.size == 0:
+        raise ValueError("both sample sets must be non-empty")
+    if np.any(base <= 0) or np.any(cand <= 0):
+        raise ValueError("latency samples must be positive")
+    rng = np.random.default_rng(seed)
+    base_medians = np.median(
+        base[rng.integers(0, base.size, size=(n_resamples, base.size))], axis=1)
+    cand_medians = np.median(
+        cand[rng.integers(0, cand.size, size=(n_resamples, cand.size))], axis=1)
+    ratios = base_medians / cand_medians
+    alpha = (1 - confidence) / 2
+    low, high = np.quantile(ratios, [alpha, 1 - alpha])
+    point = float(np.median(base) / np.median(cand))
+    interval = ConfidenceInterval(
+        point=point,
+        low=min(float(low), point),
+        high=max(float(high), point),
+        confidence=confidence,
+    )
+    return SpeedupComparison(
+        baseline=Measurement.from_samples(base.tolist(), unit="s"),
+        candidate=Measurement.from_samples(cand.tolist(), unit="s"),
+        interval=interval,
+    )

@@ -1,0 +1,31 @@
+"""Distributed edge inference.
+
+The paper's related-work section centers on distributing DNN inference:
+Neurosurgeon's cloud-edge split and the authors' own collaborative
+model-parallelism across IoT devices/robots.  This package builds that
+substrate on the engine: network link models, graph cut-point analysis,
+a Neurosurgeon-style split planner, and a pipeline partitioner for chains
+of edge devices.
+"""
+
+from repro.distribution.network import LINK_PRESETS, NetworkLink, load_link
+from repro.distribution.partition import CutPoint, cut_points
+from repro.distribution.pipeline import (
+    PipelinePlan,
+    partition_pipeline,
+    partition_pipeline_heterogeneous,
+)
+from repro.distribution.split import SplitPlan, SplitPlanner
+
+__all__ = [
+    "CutPoint",
+    "LINK_PRESETS",
+    "NetworkLink",
+    "PipelinePlan",
+    "SplitPlan",
+    "SplitPlanner",
+    "cut_points",
+    "load_link",
+    "partition_pipeline",
+    "partition_pipeline_heterogeneous",
+]

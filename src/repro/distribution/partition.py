@@ -1,0 +1,95 @@
+"""Graph cut-point analysis.
+
+A *cut point* after position ``k`` in the topological order splits the
+graph into a prefix (ops 0..k) and a suffix.  The bytes that must cross a
+cut are exactly the outputs of prefix ops still consumed by the suffix —
+the live set the memory planner already reasons about.  Residual and
+multi-branch networks therefore get honest transfer sizes (a cut inside a
+ResNet block ships both the trunk and the shortcut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs import ops as O
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class CutPoint:
+    """One feasible split location.
+
+    Attributes:
+        index: number of non-input ops in the prefix (0 = everything
+            remote; len(ops) = everything local).
+        after_op: name of the last prefix op ("" for index 0).
+        transfer_bytes: activation bytes crossing the cut.
+    """
+
+    index: int
+    after_op: str
+    transfer_bytes: int
+
+
+def cut_points(graph: Graph) -> list[CutPoint]:
+    """Every cut location with its crossing-tensor size.
+
+    Position 0 ships the raw input; position N ships the final output
+    (which any deployment must return anyway, so it is the graph output
+    size).  Fused-away ops cannot host a cut — their output does not
+    materialize — so cuts land on schedulable ops only.
+    """
+    schedulable = graph.schedulable_ops()
+    order_index = {id(op): i for i, op in enumerate(schedulable)}
+
+    def position(op: O.Op) -> int:
+        """Index (in schedulable order) of the op that materializes
+        ``op``'s output; inputs map to -1 (before everything)."""
+        anchor = op
+        while anchor.fused_into is not None:
+            anchor = anchor.fused_into
+        if isinstance(anchor, O.Input):
+            return -1
+        return order_index[id(anchor)]
+
+    consumers: dict[int, list[int]] = {}
+    for op in graph.ops:
+        consumer_pos = position(op)
+        for parent in op.inputs:
+            producer_pos = position(parent)
+            if producer_pos == consumer_pos:
+                continue
+            consumers.setdefault(producer_pos, []).append(consumer_pos)
+
+    points: list[CutPoint] = []
+    input_bytes = sum(op.output_bytes() for op in graph.inputs)
+    points.append(CutPoint(index=0, after_op="", transfer_bytes=input_bytes))
+    output_bytes = sum(op.output_bytes() for op in graph.outputs)
+    for k in range(1, len(schedulable) + 1):
+        # Tensors produced at position < k with a consumer at position >= k.
+        crossing = 0
+        # Raw inputs consumed beyond the cut also cross it.
+        for producer_pos, consumer_positions in consumers.items():
+            if producer_pos < k and any(pos >= k for pos in consumer_positions):
+                if producer_pos == -1:
+                    crossing += input_bytes
+                else:
+                    crossing += schedulable[producer_pos].output_bytes()
+        if k == len(schedulable):
+            crossing = output_bytes
+        points.append(CutPoint(
+            index=k,
+            after_op=schedulable[k - 1].name,
+            transfer_bytes=crossing,
+        ))
+    return points
+
+
+def narrowest_cut(graph: Graph) -> CutPoint:
+    """The interior cut with the smallest crossing tensor — the natural
+    'compress here' point the split literature looks for."""
+    interior = cut_points(graph)[1:-1]
+    if not interior:
+        raise ValueError(f"graph {graph.name!r} has no interior cut points")
+    return min(interior, key=lambda p: p.transfer_bytes)

@@ -1,0 +1,207 @@
+"""Pipeline partitioning across a chain of identical edge devices.
+
+The authors' collaborative-robots line of work distributes one DNN across
+several resource-constrained devices stage-by-stage and streams inputs
+through the pipeline.  Steady-state throughput is set by the slowest stage
+(compute plus its outgoing transfer), so the partitioner minimizes the
+bottleneck over all contiguous stage assignments via dynamic programming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distribution.network import NetworkLink
+from repro.distribution.partition import cut_points
+from repro.engine.executor import InferenceSession
+from repro.frameworks.base import DeployedModel
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One device's share of the pipeline."""
+
+    device_index: int
+    op_names: tuple[str, ...]
+    compute_s: float
+    outgoing_transfer_s: float
+
+    @property
+    def stage_s(self) -> float:
+        return self.compute_s + self.outgoing_transfer_s
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """A full pipeline assignment."""
+
+    stages: tuple[PipelineStage, ...]
+
+    @property
+    def bottleneck_s(self) -> float:
+        return max(stage.stage_s for stage in self.stages)
+
+    @property
+    def throughput_fps(self) -> float:
+        return 1.0 / self.bottleneck_s
+
+    @property
+    def pipeline_latency_s(self) -> float:
+        """End-to-end latency of one input through all stages."""
+        return sum(stage.stage_s for stage in self.stages)
+
+    def describe(self) -> str:
+        lines = [f"{len(self.stages)}-stage pipeline: "
+                 f"{self.throughput_fps:.2f} inferences/s "
+                 f"(bottleneck {self.bottleneck_s * 1e3:.1f} ms, "
+                 f"end-to-end {self.pipeline_latency_s * 1e3:.1f} ms)"]
+        for stage in self.stages:
+            lines.append(
+                f"  device {stage.device_index}: {len(stage.op_names)} ops, "
+                f"compute {stage.compute_s * 1e3:.1f} ms, "
+                f"send {stage.outgoing_transfer_s * 1e3:.1f} ms"
+            )
+        return "\n".join(lines)
+
+
+def partition_pipeline_heterogeneous(deployments: list[DeployedModel],
+                                     link: NetworkLink) -> PipelinePlan:
+    """Pipeline one model across an ORDERED list of different devices.
+
+    Each entry of ``deployments`` is the same source model deployed on the
+    device that will run that pipeline position (robot teams are rarely
+    uniform).  The DP minimizes the bottleneck stage, where a stage's
+    compute time uses its own device's per-op timings.
+    """
+    if not deployments:
+        raise ValueError("need at least one deployment")
+    names = {d.graph.name for d in deployments}
+    if len(names) != 1:
+        raise ValueError(f"all deployments must share one model, got {sorted(names)}")
+    num_devices = len(deployments)
+    schedulable = [op.name for op in deployments[0].graph.schedulable_ops()]
+    for deployed in deployments[1:]:
+        other = [op.name for op in deployed.graph.schedulable_ops()]
+        if other != schedulable:
+            raise ValueError(
+                "deployments disagree on the op schedule (mixed frameworks "
+                "with different fusion are not pipeline-compatible)")
+    n = len(schedulable)
+    if num_devices > n:
+        raise ValueError(f"cannot spread {n} ops over {num_devices} devices")
+
+    cuts = cut_points(deployments[0].graph)
+    transfer_at = [link.transfer_time_s(c.transfer_bytes) for c in cuts]
+    prefix_compute = []
+    for deployed in deployments:
+        timings = {t.op.name: t.latency_s
+                   for t in InferenceSession(deployed).plan.timings}
+        prefix = [0.0] * (n + 1)
+        for i, name in enumerate(schedulable):
+            prefix[i + 1] = prefix[i] + timings.get(name, 0.0)
+        prefix_compute.append(prefix)
+
+    INF = float("inf")
+    best = [[INF] * (n + 1) for _ in range(num_devices + 1)]
+    choice: list[list[int]] = [[-1] * (n + 1) for _ in range(num_devices + 1)]
+    best[0][0] = 0.0
+    for d in range(1, num_devices + 1):
+        prefix = prefix_compute[d - 1]
+        for end in range(d, n + 1):
+            for start in range(d - 1, end):
+                if best[d - 1][start] == INF:
+                    continue
+                compute = prefix[end] - prefix[start]
+                outgoing = 0.0 if (d == num_devices and end == n) else transfer_at[end]
+                candidate = max(best[d - 1][start], compute + outgoing)
+                if candidate < best[d][end]:
+                    best[d][end] = candidate
+                    choice[d][end] = start
+    if best[num_devices][n] == INF:
+        raise ValueError("no feasible partition found")
+
+    boundaries = [n]
+    cursor = n
+    for d in range(num_devices, 0, -1):
+        cursor = choice[d][cursor]
+        boundaries.append(cursor)
+    boundaries.reverse()
+
+    stages = []
+    for device_index in range(num_devices):
+        start, end = boundaries[device_index], boundaries[device_index + 1]
+        prefix = prefix_compute[device_index]
+        is_last = device_index == num_devices - 1
+        stages.append(PipelineStage(
+            device_index=device_index,
+            op_names=tuple(schedulable[start:end]),
+            compute_s=prefix[end] - prefix[start],
+            outgoing_transfer_s=0.0 if (is_last and end == n) else transfer_at[end],
+        ))
+    return PipelinePlan(stages=tuple(stages))
+
+
+def partition_pipeline(deployed: DeployedModel, num_devices: int,
+                       link: NetworkLink) -> PipelinePlan:
+    """Minimize the pipeline bottleneck over contiguous stage assignments.
+
+    Dynamic program over (ops consumed, devices used): classic chain
+    partitioning, O(N^2 * D) with N schedulable ops.
+    """
+    if num_devices < 1:
+        raise ValueError(f"need at least one device, got {num_devices}")
+    session = InferenceSession(deployed)
+    timings = {t.op.name: t.latency_s for t in session.plan.timings}
+    schedulable = [op.name for op in deployed.graph.schedulable_ops()]
+    n = len(schedulable)
+    if num_devices > n:
+        raise ValueError(f"cannot spread {n} ops over {num_devices} devices")
+    cuts = cut_points(deployed.graph)  # index k -> crossing bytes after k ops
+    transfer_at = [link.transfer_time_s(c.transfer_bytes) for c in cuts]
+    prefix_compute = [0.0] * (n + 1)
+    for i, name in enumerate(schedulable):
+        prefix_compute[i + 1] = prefix_compute[i] + timings.get(name, 0.0)
+
+    def stage_cost(start: int, end: int, is_last: bool) -> float:
+        compute = prefix_compute[end] - prefix_compute[start]
+        outgoing = 0.0 if is_last else transfer_at[end]
+        return compute + outgoing
+
+    INF = float("inf")
+    # best[d][k]: minimal bottleneck covering the first k ops with d devices.
+    best = [[INF] * (n + 1) for _ in range(num_devices + 1)]
+    choice: list[list[int]] = [[-1] * (n + 1) for _ in range(num_devices + 1)]
+    best[0][0] = 0.0
+    for d in range(1, num_devices + 1):
+        for end in range(d, n + 1):
+            is_last_device = d == num_devices
+            for start in range(d - 1, end):
+                if best[d - 1][start] == INF:
+                    continue
+                cost = stage_cost(start, end, is_last_device and end == n)
+                candidate = max(best[d - 1][start], cost)
+                if candidate < best[d][end]:
+                    best[d][end] = candidate
+                    choice[d][end] = start
+    if best[num_devices][n] == INF:
+        raise ValueError("no feasible partition found")
+
+    # Reconstruct stage boundaries.
+    boundaries = [n]
+    cursor = n
+    for d in range(num_devices, 0, -1):
+        cursor = choice[d][cursor]
+        boundaries.append(cursor)
+    boundaries.reverse()
+
+    stages = []
+    for device_index in range(num_devices):
+        start, end = boundaries[device_index], boundaries[device_index + 1]
+        is_last = device_index == num_devices - 1
+        stages.append(PipelineStage(
+            device_index=device_index,
+            op_names=tuple(schedulable[start:end]),
+            compute_s=prefix_compute[end] - prefix_compute[start],
+            outgoing_transfer_s=0.0 if (is_last and end == n) else transfer_at[end],
+        ))
+    return PipelinePlan(stages=tuple(stages))

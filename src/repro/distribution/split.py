@@ -1,0 +1,112 @@
+"""Neurosurgeon-style cloud-edge split planning.
+
+For every cut point: run the prefix on the edge device, ship the crossing
+activations over the link, run the suffix on the remote platform.  The
+planner evaluates all cuts with the engine's per-op timings and returns the
+latency-optimal plan, together with the all-edge and all-remote baselines
+the paper's offloading discussion contrasts (Section I: privacy, connectivity
+and timing constraints are what rule the all-remote point out in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distribution.network import NetworkLink
+from repro.distribution.partition import CutPoint, cut_points
+from repro.engine.executor import InferenceSession
+from repro.frameworks.base import DeployedModel
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """One evaluated cut."""
+
+    cut: CutPoint
+    edge_s: float
+    transfer_s: float
+    remote_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.edge_s + self.transfer_s + self.remote_s
+
+    @property
+    def is_all_edge(self) -> bool:
+        return self.remote_s == 0.0 and self.cut.after_op != ""
+
+    def describe(self) -> str:
+        where = f"after {self.cut.after_op!r}" if self.cut.after_op else "at the input"
+        return (
+            f"cut {where}: edge {self.edge_s * 1e3:.1f} ms + link "
+            f"{self.transfer_s * 1e3:.1f} ms + remote {self.remote_s * 1e3:.1f} ms "
+            f"= {self.total_s * 1e3:.1f} ms"
+        )
+
+
+class SplitPlanner:
+    """Evaluates every cut of a model between two deployments.
+
+    Both deployments must come from the SAME source graph so that op names
+    align; the planner times each side with its own engine session and
+    prices the link with the crossing-tensor sizes.
+    """
+
+    def __init__(self, edge: DeployedModel, remote: DeployedModel, link: NetworkLink):
+        if edge.graph.name != remote.graph.name:
+            raise ValueError(
+                f"split requires one model on both sides, got "
+                f"{edge.graph.name!r} vs {remote.graph.name!r}"
+            )
+        self.edge = edge
+        self.remote = remote
+        self.link = link
+        self._edge_times = self._per_op_times(edge)
+        self._remote_times = self._per_op_times(remote)
+        self._cuts = cut_points(edge.graph)
+
+    @staticmethod
+    def _per_op_times(deployed: DeployedModel) -> dict[str, float]:
+        session = InferenceSession(deployed)
+        times = {t.op.name: t.latency_s for t in session.plan.timings}
+        times["__session__"] = (session.plan.session_overhead_s
+                                + session.plan.input_transfer_s)
+        return times
+
+    def _side_time(self, times: dict[str, float], op_names: list[str]) -> float:
+        if not op_names:
+            return 0.0
+        compute = sum(times.get(name, 0.0) for name in op_names)
+        return compute + times["__session__"]
+
+    def sweep(self) -> list[SplitPlan]:
+        """Evaluate every cut point, input-side first."""
+        schedulable = [op.name for op in self.edge.graph.schedulable_ops()]
+        plans = []
+        for cut in self._cuts:
+            prefix = schedulable[:cut.index]
+            suffix = schedulable[cut.index:]
+            transfer = self.link.transfer_time_s(cut.transfer_bytes) if suffix or prefix else 0.0
+            if cut.index == len(schedulable):
+                # Fully local: the result still returns to the caller on-device.
+                transfer = 0.0
+            plans.append(SplitPlan(
+                cut=cut,
+                edge_s=self._side_time(self._edge_times, prefix),
+                transfer_s=transfer,
+                remote_s=self._side_time(self._remote_times, suffix),
+            ))
+        return plans
+
+    def best(self) -> SplitPlan:
+        return min(self.sweep(), key=lambda plan: plan.total_s)
+
+    def all_edge(self) -> SplitPlan:
+        return self.sweep()[-1]
+
+    def all_remote(self) -> SplitPlan:
+        return self.sweep()[0]
+
+    def offload_speedup(self) -> float:
+        """Best split latency improvement over staying fully on the edge."""
+        return self.all_edge().total_s / self.best().total_s

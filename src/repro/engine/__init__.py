@@ -1,0 +1,24 @@
+"""Analytical execution engine.
+
+Turns a :class:`~repro.frameworks.base.DeployedModel` into per-op and
+per-inference latency via a roofline model (compute term vs memory term per
+op, plus dispatch and framework overheads).  Per-(framework, device)
+efficiencies are one-point calibrated against paper anchors
+(:mod:`repro.engine.calibration`); every other (model, framework, device)
+combination is a prediction.
+"""
+
+from repro.engine.executor import EngineConfig, ExecutionPlan, InferenceSession, OpTiming
+from repro.engine.roofline import RooflineInputs, time_op
+from repro.engine.calibration import ANCHORS, efficiency_scale
+
+__all__ = [
+    "ANCHORS",
+    "EngineConfig",
+    "ExecutionPlan",
+    "InferenceSession",
+    "OpTiming",
+    "RooflineInputs",
+    "efficiency_scale",
+    "time_op",
+]

@@ -1,0 +1,266 @@
+"""Inference session: the engine's user-facing entry point.
+
+Builds an :class:`ExecutionPlan` (per-op roofline timings) for a deployed
+model and exposes the quantities the measurement layer consumes: steady
+per-inference latency, one-time initialization cost (excluded from the
+paper's timing loop, Section V), and compute utilization (which maps to
+power draw).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import OutOfMemoryError
+from repro.frameworks.base import DeployedModel
+from repro.engine.roofline import (
+    FABRIC_SPILL_BANDWIDTH_FACTOR,
+    ON_CHIP_BANDWIDTH_MULTIPLIER,
+    OpTiming,
+    RooflineInputs,
+    time_op,
+)
+from repro.graphs.tensor import DType
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine switches for batching and for the ablation studies.
+
+    The defaults model the paper's setting: single-batch inference with the
+    full roofline (compute AND memory terms), framework overheads, and
+    fusion respected.  Each switch corresponds to one of DESIGN.md's
+    ablation candidates.
+
+    Attributes:
+        batch_size: inputs processed per invocation.  Batching amortizes
+            weight traffic, dispatch and session overhead across the batch
+            and enlarges per-op work (filling wide units) — the multi-batch
+            cloud regime the paper contrasts with edge inference.
+        include_memory_term: ablation 1 — set False for a pure-FLOP model.
+        include_framework_overheads: ablation 2 — set False to drop session
+            and per-op framework bookkeeping (hardware dispatch remains).
+        respect_fusion: ablation 4 — set False to dispatch and materialize
+            every fused-away op as if no fusion had happened.
+    """
+
+    batch_size: int = 1
+    include_memory_term: bool = True
+    include_framework_overheads: bool = True
+    respect_fusion: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+@dataclass
+class ExecutionPlan:
+    """Per-op timings plus aggregate decomposition for one inference."""
+
+    timings: list[OpTiming] = field(default_factory=list)
+    session_overhead_s: float = 0.0
+    input_transfer_s: float = 0.0
+
+    @property
+    def compute_s(self) -> float:
+        return sum(t.compute_s for t in self.timings)
+
+    @property
+    def memory_s(self) -> float:
+        return sum(t.memory_s for t in self.timings)
+
+    @property
+    def dispatch_s(self) -> float:
+        return sum(t.dispatch_s for t in self.timings)
+
+    @property
+    def roofline_s(self) -> float:
+        return sum(t.roofline_s for t in self.timings)
+
+    @property
+    def latency_s(self) -> float:
+        return self.session_overhead_s + self.input_transfer_s + sum(
+            t.latency_s for t in self.timings
+        )
+
+    def bound_fraction(self, bound: str) -> float:
+        """Fraction of roofline time spent in ``"compute"``/``"memory"``-bound ops."""
+        total = self.roofline_s
+        if total == 0:
+            return 0.0
+        return sum(t.roofline_s for t in self.timings if t.bound == bound) / total
+
+
+class InferenceSession:
+    """Single-batch inference of one deployed model.
+
+    Args:
+        deployed: output of :meth:`Framework.deploy`.
+        efficiency_scale: calibration multiplier on kernel efficiency; the
+            default ``None`` resolves the one-point anchor calibration for
+            the (framework, device) pair.
+    """
+
+    def __init__(self, deployed: DeployedModel, efficiency_scale: float | None = None,
+                 config: EngineConfig | None = None):
+        self.deployed = deployed
+        self.config = config or EngineConfig()
+        if efficiency_scale is None:
+            from repro.engine.calibration import efficiency_scale as resolve
+
+            efficiency_scale = resolve(deployed.framework.name, deployed.device.name)
+        self.efficiency_scale = efficiency_scale
+        self._check_batch_memory()
+        self.plan = self._build_plan()
+
+    def _check_batch_memory(self) -> None:
+        """Batched activations must still fit; deployment only checked
+        batch 1 (the edge regime)."""
+        batch = self.config.batch_size
+        if batch == 1:
+            return
+        footprint = (
+            self.deployed.footprint_bytes()
+            + (batch - 1) * self.deployed.graph.peak_activation_bytes()
+        )
+        usable = self.deployed.device.memory.usable_bytes
+        if footprint > usable:
+            raise OutOfMemoryError(
+                f"batch {batch} of {self.deployed.graph.name} needs "
+                f"{footprint / 2**20:.0f} MiB on {self.deployed.device.name} "
+                f"({usable / 2**20:.0f} MiB usable)",
+                required_bytes=footprint,
+                available_bytes=usable,
+            )
+
+    # -- plan construction -------------------------------------------------
+    def _roofline_inputs(self) -> RooflineInputs:
+        deployed = self.deployed
+        unit = deployed.unit
+        memory = deployed.device.memory
+        dtype = deployed.weight_dtype
+        peak = unit.peak(dtype) if unit.supports(dtype) else unit.peak(DType.FP32)
+
+        bandwidth = memory.bandwidth_bytes_per_s
+        weight_bandwidth = bandwidth
+        total_weights = deployed.graph.weight_bytes()
+        if deployed.storage_mode == "paged":
+            # Dynamic-graph fallback: weights stream from backing store every
+            # inference — the order-of-magnitude penalty of Table V.
+            weight_bandwidth = memory.storage_bandwidth_bytes_per_s
+        elif deployed.storage_mode == "fabric_spill":
+            # Un-ported models stream every tile through host DDR3 with the
+            # overlay stalled on it: bandwidth collapses and the GEMM core
+            # runs at a fraction of its ported efficiency (Table V ^^).
+            bandwidth *= FABRIC_SPILL_BANDWIDTH_FACTOR
+            weight_bandwidth = bandwidth
+        elif unit.on_chip_buffer_bytes and total_weights <= unit.on_chip_buffer_bytes:
+            # The whole model lives in the accelerator scratchpad (EdgeTPU
+            # running MobileNet-class networks): weights AND the activation
+            # working set stay on-chip.
+            bandwidth *= ON_CHIP_BANDWIDTH_MULTIPLIER
+            weight_bandwidth = bandwidth
+        return RooflineInputs(
+            peak_macs_per_s=peak,
+            memory_bandwidth_bytes_per_s=bandwidth,
+            weight_bandwidth_bytes_per_s=weight_bandwidth,
+            dispatch_overhead_s=unit.dispatch_overhead_s,
+        )
+
+    def _build_plan(self) -> ExecutionPlan:
+        from repro.graphs.ops import Input
+
+        deployed = self.deployed
+        config = self.config
+        inputs = self._roofline_inputs()
+        framework = deployed.framework
+        session_overhead = deployed.session_overhead_s / config.batch_size
+        if not config.include_framework_overheads:
+            session_overhead = 0.0
+        plan = ExecutionPlan(session_overhead_s=session_overhead)
+
+        if deployed.device.transfer is not None:
+            input_bytes = sum(op.output_bytes() for op in deployed.graph.inputs)
+            output_bytes = sum(op.output_bytes() for op in deployed.graph.outputs)
+            plan.input_transfer_s = deployed.device.transfer.transfer_time_s(
+                input_bytes + output_bytes
+            )
+
+        if config.respect_fusion:
+            ops = deployed.graph.schedulable_ops()
+        else:
+            ops = [op for op in deployed.graph.ops if not isinstance(op, Input)]
+        per_op_overhead = deployed.per_op_overhead_s
+        if not config.include_framework_overheads:
+            per_op_overhead = 0.0
+        spill_penalty = 0.5 if deployed.storage_mode == "fabric_spill" else 1.0
+        for op in ops:
+            efficiency = framework.kernel_efficiency(
+                op, deployed.unit, deployed.weight_dtype, deployed.graph,
+                batch_size=config.batch_size,
+            ) * self.efficiency_scale * spill_penalty
+            plan.timings.append(
+                time_op(
+                    op,
+                    inputs,
+                    efficiency=efficiency,
+                    exploit_sparsity=deployed.exploit_sparsity,
+                    per_op_overhead_s=per_op_overhead,
+                    batch_size=config.batch_size,
+                    include_memory_term=config.include_memory_term,
+                )
+            )
+        return plan
+
+    # -- user-facing quantities ---------------------------------------------
+    @property
+    def latency_s(self) -> float:
+        """Steady-state time per single-batch inference (seconds)."""
+        return self.plan.latency_s
+
+    @property
+    def init_time_s(self) -> float:
+        """One-time setup cost, excluded from the paper's timing loop."""
+        deployed = self.deployed
+        return (
+            deployed.library_load_s
+            + deployed.graph_setup_s
+            + deployed.weight_load_s
+            + deployed.transfer_setup_s
+            + deployed.device_staging_s
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Compute-unit busy fraction during an inference, in [0, 1].
+
+        Memory-bound phases keep the unit partially busy (prefetch +
+        arithmetic on the streaming data), overheads leave it idle.
+        """
+        latency = self.latency_s
+        if latency == 0:
+            return 0.0
+        busy = sum(
+            t.compute_s if t.bound == "compute" else 0.65 * t.roofline_s
+            for t in self.plan.timings
+        )
+        return min(1.0, busy / latency)
+
+    def run(self, n_inferences: int) -> list[float]:
+        """Simulate ``n_inferences`` timed runs, returning per-run seconds.
+
+        Deterministic: the measurement layer adds instrument noise.
+        """
+        if n_inferences <= 0:
+            raise ValueError(f"n_inferences must be positive, got {n_inferences}")
+        return [self.latency_s] * n_inferences
+
+    def describe(self) -> str:
+        plan = self.plan
+        return (
+            f"{self.deployed.describe()}: {plan.latency_s * 1e3:.1f} ms/inference "
+            f"(compute {plan.compute_s * 1e3:.1f} ms, memory {plan.memory_s * 1e3:.1f} ms, "
+            f"dispatch {plan.dispatch_s * 1e3:.1f} ms, "
+            f"session {plan.session_overhead_s * 1e3:.2f} ms)"
+        )

@@ -1,0 +1,69 @@
+"""DNN framework models (Table II).
+
+Nine frameworks, each encoding its real-world graph mode, optimizations,
+software-stack overheads, and deployment pipeline.  ``load_framework``
+resolves the names the paper's figures use (TF, T-Lite, PT, T-RT, ...).
+"""
+
+from repro.core.registry import Registry
+from repro.frameworks.base import (
+    DeployedModel,
+    Framework,
+    FrameworkCapabilities,
+    FrameworkOverheads,
+)
+from repro.frameworks.caffe import Caffe
+from repro.frameworks.darknet import DarkNet
+from repro.frameworks.fpga import FINN, TVMVTA
+from repro.frameworks.keras import Keras
+from repro.frameworks.ncsdk import NCSDK
+from repro.frameworks.pytorch import PyTorch
+from repro.frameworks.tensorflow import TensorFlow
+from repro.frameworks.tensorrt import TensorRT
+from repro.frameworks.tflite import TFLite
+
+FRAMEWORK_REGISTRY: Registry[Framework] = Registry("framework")
+for _cls, _aliases in (
+    (TensorFlow, ("TF",)),
+    (TFLite, ("T-Lite", "TensorFlow Lite", "TensorFlow-Lite")),
+    (Keras, ()),
+    (Caffe, ("Caffe2", "Caffe1/2")),
+    (PyTorch, ("PT", "Torch")),
+    (TensorRT, ("T-RT", "TRT")),
+    (DarkNet, ()),
+    (NCSDK, ("Movidius SDK", "Movidius toolkit")),
+    (TVMVTA, ("TVM", "VTA")),
+    (FINN, ()),
+):
+    FRAMEWORK_REGISTRY.register(_cls.name, _cls, aliases=_aliases)
+
+
+def load_framework(name: str) -> Framework:
+    """Instantiate the named framework model."""
+    return FRAMEWORK_REGISTRY.create(name)
+
+
+def list_frameworks() -> list[str]:
+    """Display names of every modelled framework."""
+    return FRAMEWORK_REGISTRY.names()
+
+
+__all__ = [
+    "Caffe",
+    "DarkNet",
+    "DeployedModel",
+    "FINN",
+    "FRAMEWORK_REGISTRY",
+    "Framework",
+    "FrameworkCapabilities",
+    "FrameworkOverheads",
+    "Keras",
+    "NCSDK",
+    "PyTorch",
+    "TFLite",
+    "TVMVTA",
+    "TensorFlow",
+    "TensorRT",
+    "list_frameworks",
+    "load_framework",
+]

@@ -1,0 +1,132 @@
+"""Model x platform compatibility (Table V).
+
+Reconstructs the paper's compatibility matrix by actually attempting each
+deployment and classifying the outcome: clean run, dynamic-graph fallback
+(the paper's diamond), hard memory error, base-code incompatibility (O),
+EdgeTPU conversion barrier (triangle), or FPGA fabric spill (double caret).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import (
+    ConversionError,
+    IncompatibleModelError,
+    OutOfMemoryError,
+)
+from repro.frameworks import load_framework
+from repro.hardware import load_device
+from repro.models import load_model
+
+
+class CompatStatus(enum.Enum):
+    OK = "ok"
+    DYNAMIC_GRAPH = "dynamic-graph"  # paper: diamond — large memory usage
+    MEMORY_ERROR = "memory-error"
+    CODE_INCOMPATIBILITY = "code-incompatibility"  # paper: O
+    CONVERSION_BARRIER = "conversion-barrier"  # paper: triangle (EdgeTPU)
+    FABRIC_SPILL = "fabric-spill"  # paper: double caret (PYNQ)
+
+    @property
+    def symbol(self) -> str:
+        return {
+            CompatStatus.OK: "+",
+            CompatStatus.DYNAMIC_GRAPH: "^",
+            CompatStatus.MEMORY_ERROR: "X",
+            CompatStatus.CODE_INCOMPATIBILITY: "O",
+            CompatStatus.CONVERSION_BARRIER: "4",
+            CompatStatus.FABRIC_SPILL: "^^",
+        }[self]
+
+    @property
+    def runnable(self) -> bool:
+        return self in (CompatStatus.OK, CompatStatus.DYNAMIC_GRAPH, CompatStatus.FABRIC_SPILL)
+
+
+@dataclass(frozen=True)
+class CompatResult:
+    model: str
+    device: str
+    framework: str
+    status: CompatStatus
+    detail: str = ""
+
+
+# Framework(s) each Table V column deploys with, in fallback order: the
+# paper's RPi column falls back from TensorFlow to PyTorch's dynamic graph
+# when memory runs out, producing the diamond entries.
+TABLE_V_FRAMEWORKS: dict[str, tuple[str, ...]] = {
+    "Raspberry Pi 3B": ("TensorFlow", "PyTorch"),
+    "Jetson TX2": ("PyTorch",),
+    "Jetson Nano": ("TensorRT",),
+    "EdgeTPU": ("TFLite",),
+    "Movidius NCS": ("NCSDK",),
+    "PYNQ-Z1": ("TVM VTA", "FINN"),
+}
+
+TABLE_V_MODELS = (
+    "ResNet-18",
+    "ResNet-50",
+    "MobileNet-v2",
+    "Inception-v4",
+    "AlexNet",
+    "VGG16",
+    "SSD MobileNet-v1",
+    "TinyYolo",
+    "C3D",
+)
+
+
+def check_compatibility(model_name: str, device_name: str,
+                        framework_name: str | None = None) -> CompatResult:
+    """Attempt a deployment and classify the outcome, Table V style."""
+    device = load_device(device_name)
+    if framework_name is not None:
+        chain = (framework_name,)
+    else:
+        chain = TABLE_V_FRAMEWORKS.get(device.name, (device.supported_frameworks or ("PyTorch",))[0:1])
+        if isinstance(chain, str):
+            chain = (chain,)
+    last: CompatResult | None = None
+    for candidate in chain:
+        last = _attempt(model_name, device, candidate)
+        if last.status.runnable:
+            return last
+    assert last is not None
+    return last
+
+
+def _attempt(model_name: str, device, framework_name: str) -> CompatResult:
+    framework = load_framework(framework_name)
+    graph = load_model(model_name)
+    try:
+        deployed = framework.deploy(graph, device)
+    except IncompatibleModelError as error:
+        return CompatResult(graph.name, device.name, framework.name,
+                            CompatStatus.CODE_INCOMPATIBILITY, str(error))
+    except ConversionError as error:
+        return CompatResult(graph.name, device.name, framework.name,
+                            CompatStatus.CONVERSION_BARRIER, str(error))
+    except OutOfMemoryError as error:
+        return CompatResult(graph.name, device.name, framework.name,
+                            CompatStatus.MEMORY_ERROR, str(error))
+    status = {
+        "resident": CompatStatus.OK,
+        "paged": CompatStatus.DYNAMIC_GRAPH,
+        "fabric_spill": CompatStatus.FABRIC_SPILL,
+    }[deployed.storage_mode]
+    detail = "; ".join(deployed.notes)
+    return CompatResult(graph.name, device.name, framework.name, status, detail)
+
+
+def compatibility_matrix() -> dict[str, dict[str, CompatResult]]:
+    """The full Table V: model -> device -> result."""
+    matrix: dict[str, dict[str, CompatResult]] = {}
+    for model_name in TABLE_V_MODELS:
+        row: dict[str, CompatResult] = {}
+        for device_name in TABLE_V_FRAMEWORKS:
+            row[device_name] = check_compatibility(model_name, device_name)
+        matrix[model_name] = row
+    return matrix

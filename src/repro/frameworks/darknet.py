@@ -1,0 +1,67 @@
+"""DarkNet framework model.
+
+A standalone C framework: tiny codebase, near-zero Python overhead, good
+for low-level experimentation — but no industry backing, so complex models
+simply are not available in it (the "Not Available" bars of Figures 3/4)
+and none of the Table II optimizations are implemented.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import IncompatibleModelError
+from repro.core.quantity import MEBI
+from repro.frameworks.base import Framework, FrameworkCapabilities, FrameworkOverheads
+from repro.graphs.tensor import DType
+from repro.hardware.compute import ComputeKind
+
+# Model families with DarkNet implementations; the paper "could not
+# find/implement some complex models" outside these (Section VI-B1).
+_AVAILABLE_FAMILIES = ("yolo", "resnet", "alexnet", "vgg", "cifarnet")
+
+
+class DarkNet(Framework):
+    """Standalone C framework: tiny overheads, no optimizations, few models."""
+
+    name = "DarkNet"
+    capabilities = FrameworkCapabilities(
+        language="C",
+        industry_backed=False,
+        training_framework=True,
+        usability=2,
+        adding_new_models=3,
+        predefined_models=2,
+        documentation=1,
+        no_extra_steps=True,
+        mobile_deployment=False,
+        low_level_modifications=3,
+        compatibility_with_others=1,
+        quantization=False,
+        mixed_precision=False,
+        dynamic_graph=False,
+        pruning_exploit=False,
+        fusion=False,
+        auto_tuning=False,
+        half_precision=False,
+    )
+    overheads = FrameworkOverheads(
+        library_load_s=0.05,
+        graph_setup_base_s=0.1,  # cfg parse + weight mmap
+        graph_setup_per_op_s=2e-4,
+        session_base_s=1e-5,
+        python_per_op_s=3e-6,
+        runtime_memory_bytes=30 * MEBI,
+        weight_memory_factor=1.1,
+    )
+    target_kinds = (ComputeKind.GPU, ComputeKind.CPU)
+    deploy_dtypes = (DType.FP32,)
+    kernel_quality = {ComputeKind.CPU: 0.12, ComputeKind.GPU: 0.13}
+    depthwise_efficiency = 0.05
+
+    def check_model_support(self, graph, device, unit) -> None:
+        super().check_model_support(graph, device, unit)
+        family = graph.metadata.get("family", "")
+        if family not in _AVAILABLE_FAMILIES:
+            raise IncompatibleModelError(
+                f"no DarkNet implementation of {graph.name} exists "
+                "(not industry backed; Section VI-B1)"
+            )

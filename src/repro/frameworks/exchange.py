@@ -1,0 +1,97 @@
+"""Model exchange between frameworks.
+
+Section III-B: "we find limited compatibility among frameworks ... TensorRT
+provides better compatibility in importing models from other frameworks
+(including ONNX format)".  This module encodes who can import from whom and
+performs the conversion: the graph is serialized to the exchange format and
+rebuilt, tagged with its provenance, exactly as a format translation would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConversionError
+from repro.graphs.graph import Graph
+from repro.graphs.serialize import graph_from_dict, graph_to_dict
+
+
+@dataclass(frozen=True)
+class ConversionPath:
+    """One supported import route."""
+
+    source: str
+    destination: str
+    via: str  # "native" | "onnx" | "uff" | "caffe-parser" | "frontend"
+    lossless: bool = True
+
+
+# destination -> {source: via}.  Derived from each toolchain's documented
+# importers at the paper's time frame.
+_IMPORTERS: dict[str, dict[str, str]] = {
+    "TensorFlow": {"Keras": "native", "TFLite": "native"},
+    "Keras": {"TensorFlow": "native"},
+    "TFLite": {"TensorFlow": "native", "Keras": "native"},
+    "PyTorch": {"Caffe": "onnx"},
+    "Caffe": {"PyTorch": "onnx"},
+    "TensorRT": {
+        "TensorFlow": "uff",
+        "Keras": "uff",
+        "Caffe": "caffe-parser",
+        "PyTorch": "onnx",
+        "DarkNet": "onnx",
+    },
+    "NCSDK": {"TensorFlow": "frontend", "Caffe": "frontend"},
+    "TVM VTA": {
+        "TensorFlow": "frontend",
+        "Keras": "frontend",
+        "PyTorch": "frontend",
+        "DarkNet": "frontend",
+    },
+    "FINN": {"PyTorch": "onnx"},
+    "DarkNet": {},  # hand-written cfg files only
+}
+
+
+def can_convert(source: str, destination: str) -> ConversionPath | None:
+    """The import route from ``source`` to ``destination``, or None."""
+    if source == destination:
+        return ConversionPath(source, destination, via="native")
+    via = _IMPORTERS.get(destination, {}).get(source)
+    if via is None:
+        return None
+    return ConversionPath(source, destination, via=via)
+
+
+def supported_sources(destination: str) -> list[str]:
+    """Frameworks ``destination`` can import models from."""
+    return sorted(_IMPORTERS.get(destination, {}))
+
+
+def compatibility_scores() -> dict[str, int]:
+    """Importable-source counts per framework — the quantitative form of
+    Table II's 'Compatibility with others' stars."""
+    return {name: len(sources) for name, sources in _IMPORTERS.items()}
+
+
+def convert(graph: Graph, source: str, destination: str) -> Graph:
+    """Translate a model description between frameworks.
+
+    The graph round-trips through the exchange format (structure and
+    annotations preserved) and carries provenance metadata; deployment
+    pipelines of the destination framework then apply their own transforms.
+
+    Raises:
+        ConversionError: when no import route exists.
+    """
+    path = can_convert(source, destination)
+    if path is None:
+        routes = supported_sources(destination) or ["(nothing)"]
+        raise ConversionError(
+            f"{destination} cannot import {source} models; it imports from: "
+            f"{', '.join(routes)} (Section III-B's limited compatibility)"
+        )
+    converted = graph_from_dict(graph_to_dict(graph))
+    converted.metadata["converted_from"] = source
+    converted.metadata["conversion_via"] = path.via
+    return converted

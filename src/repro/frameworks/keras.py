@@ -1,0 +1,31 @@
+"""Keras framework model.
+
+A high-level API over the TensorFlow engine (Section III-A): identical
+kernels and session machinery, with an extra Python layer during model
+construction.  The paper uses Keras and TensorFlow implementations
+interchangeably, and so does this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.frameworks.tensorflow import TensorFlow
+
+
+class Keras(TensorFlow):
+    """High-level API over the TensorFlow engine; extra construction cost."""
+
+    name = "Keras"
+    capabilities = replace(
+        TensorFlow.capabilities,
+        usability=3,
+        adding_new_models=3,
+        documentation=3,
+    )
+    overheads = replace(
+        TensorFlow.overheads,
+        library_load_s=TensorFlow.overheads.library_load_s * 1.2,
+        graph_setup_base_s=TensorFlow.overheads.graph_setup_base_s * 1.3,
+        graph_setup_per_op_s=TensorFlow.overheads.graph_setup_per_op_s * 1.5,
+    )

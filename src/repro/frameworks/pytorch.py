@@ -1,0 +1,55 @@
+"""PyTorch framework model.
+
+Dynamic computation graphs: near-zero graph setup (Figure 5a), efficient
+memory reuse that lets oversized models run by paging (the Table V diamond
+entries), strong GPU kernels via cuDNN — but numpy-style CPU execution that
+is several times slower than TensorFlow on the Raspberry Pi (Figure 8).
+"""
+
+from __future__ import annotations
+
+from repro.core.quantity import MEBI
+from repro.frameworks.base import Framework, FrameworkCapabilities, FrameworkOverheads
+from repro.graphs.tensor import DType
+from repro.hardware.compute import ComputeKind
+
+
+class PyTorch(Framework):
+    """Dynamic-graph engine: negligible setup, cuDNN-class GPU kernels."""
+
+    name = "PyTorch"
+    capabilities = FrameworkCapabilities(
+        language="Python",
+        industry_backed=True,
+        training_framework=True,
+        usability=3,
+        adding_new_models=3,
+        predefined_models=3,
+        documentation=3,
+        no_extra_steps=True,
+        mobile_deployment=False,
+        low_level_modifications=1,
+        compatibility_with_others=1,
+        quantization=True,
+        mixed_precision=False,
+        dynamic_graph=True,
+        pruning_exploit=False,
+        fusion=False,
+        auto_tuning=False,
+        half_precision=True,
+    )
+    overheads = FrameworkOverheads(
+        library_load_s=1.2,
+        graph_setup_base_s=0.06,  # model.__init__ + weight randn/load glue
+        graph_setup_per_op_s=8e-4,
+        session_base_s=4e-5,
+        python_per_op_s=8e-6,  # per-op Python dispatch, rebuilt every run
+        runtime_memory_bytes=220 * MEBI,
+        weight_memory_factor=1.7,  # state_dict + module copies during load
+        gpu_staging_base_s=4.8,  # CUDA context + per-parameter .to() copies
+    )
+    target_kinds = (ComputeKind.GPU, ComputeKind.CPU)
+    deploy_dtypes = (DType.FP32,)
+    kernel_quality = {ComputeKind.CPU: 0.045, ComputeKind.GPU: 0.25}
+    depthwise_efficiency = 0.25
+    norm_efficiency = 1.0  # ATen's batch-norm is as tuned as its conv path

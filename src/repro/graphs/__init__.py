@@ -1,0 +1,63 @@
+"""Neural-network computation-graph IR.
+
+This package is the substrate every framework model operates on: a small
+dataflow IR with enough fidelity to account for multiply-accumulates,
+parameters, weight bytes and activation liveness — the quantities that drive
+Table I and the execution engine's roofline model.
+"""
+
+from repro.graphs.graph import Graph, GraphBuilder
+from repro.graphs.ops import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Conv3D,
+    Dense,
+    DepthwiseConv2D,
+    DetectionOutput,
+    Dropout,
+    Flatten,
+    GlobalPool2D,
+    Input,
+    LocalResponseNorm,
+    Op,
+    OpCategory,
+    Pad,
+    Pool2D,
+    Pool3D,
+    Reshape,
+    Softmax,
+    Upsample2D,
+)
+from repro.graphs.tensor import DType, TensorShape
+
+__all__ = [
+    "Activation",
+    "Add",
+    "BatchNorm",
+    "Concat",
+    "Conv2D",
+    "Conv3D",
+    "DType",
+    "Dense",
+    "DepthwiseConv2D",
+    "DetectionOutput",
+    "Dropout",
+    "Flatten",
+    "GlobalPool2D",
+    "Graph",
+    "GraphBuilder",
+    "Input",
+    "LocalResponseNorm",
+    "Op",
+    "OpCategory",
+    "Pad",
+    "Pool2D",
+    "Pool3D",
+    "Reshape",
+    "Softmax",
+    "TensorShape",
+    "Upsample2D",
+]

@@ -1,0 +1,366 @@
+"""The dataflow graph and its builder.
+
+A :class:`Graph` is an immutable-by-convention DAG of ops in topological
+order (the builder can only reference already-created ops, so construction
+order is a valid schedule).  It exposes the aggregate quantities Table I
+reports (MACs, parameters, compute intensity) plus the memory figures the
+execution engine needs (weight bytes, peak activation liveness).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterator
+
+from repro.graphs import ops as O
+from repro.graphs.tensor import DType, TensorShape
+
+
+class Graph:
+    """A topologically ordered op DAG for one DNN model."""
+
+    def __init__(self, name: str, operations: list[O.Op], metadata: dict | None = None):
+        self.name = name
+        self.ops = list(operations)
+        self.metadata = dict(metadata or {})
+        self._validate()
+
+    def _validate(self) -> None:
+        seen: set[int] = set()
+        names: set[str] = set()
+        for op in self.ops:
+            for parent in op.inputs:
+                if id(parent) not in seen:
+                    raise ValueError(
+                        f"graph {self.name!r} is not topologically ordered: "
+                        f"{op.name!r} consumes {parent.name!r} before it is defined"
+                    )
+            if op.name in names:
+                raise ValueError(f"graph {self.name!r} has duplicate op name {op.name!r}")
+            names.add(op.name)
+            seen.add(id(op))
+        if not any(isinstance(op, O.Input) for op in self.ops):
+            raise ValueError(f"graph {self.name!r} has no Input op")
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def inputs(self) -> list[O.Op]:
+        return [op for op in self.ops if isinstance(op, O.Input)]
+
+    @property
+    def outputs(self) -> list[O.Op]:
+        consumed = {id(parent) for op in self.ops for parent in op.inputs}
+        return [op for op in self.ops if id(op) not in consumed]
+
+    def op(self, name: str) -> O.Op:
+        for candidate in self.ops:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no op named {name!r} in graph {self.name!r}")
+
+    def __iter__(self) -> Iterator[O.Op]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def clone(self) -> "Graph":
+        """Deep copy, so transforms never mutate a shared zoo instance."""
+        return copy.deepcopy(self)
+
+    # -- Table I accounting -------------------------------------------------
+    @property
+    def total_params(self) -> int:
+        return sum(op.params for op in self.ops)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(op.macs for op in self.ops)
+
+    @property
+    def flop_per_param(self) -> float:
+        """Compute intensity — the sorting key of the paper's Figure 1."""
+        params = self.total_params
+        if params == 0:
+            raise ValueError(f"graph {self.name!r} has no parameters")
+        return self.total_macs / params
+
+    def weight_bytes(self, dtype: DType | None = None) -> int:
+        """Total weight bytes; ``dtype`` overrides per-op annotations."""
+        if dtype is None:
+            return sum(op.weight_bytes() for op in self.ops)
+        total = 0.0
+        for op in self.ops:
+            total += op.params * dtype.bytes
+        return int(total)
+
+    # -- memory liveness ----------------------------------------------------
+    @staticmethod
+    def _chain_anchor(op: O.Op) -> O.Op:
+        """The op whose kernel materializes ``op``'s output buffer.
+
+        For a fused chain conv->bn->relu the conv's kernel writes the single
+        output buffer all chain-external consumers read.
+        """
+        while op.fused_into is not None:
+            op = op.fused_into
+        return op
+
+    def peak_activation_bytes(self) -> int:
+        """Peak live activation memory for a sequential single-batch run.
+
+        Computed by reference-counting each materialized buffer until its
+        last chain-external consumer has executed — the same liveness a
+        framework memory planner sees.  Fused-away ops share their anchor's
+        buffer instead of materializing an intermediate.
+        """
+        remaining_uses = {id(op): 0 for op in self.ops}
+        for op in self.ops:
+            consumer_anchor = self._chain_anchor(op)
+            for parent in op.inputs:
+                producer_anchor = self._chain_anchor(parent)
+                if producer_anchor is consumer_anchor:
+                    continue  # edge internal to one fused kernel
+                remaining_uses[id(producer_anchor)] += 1
+        # Graph outputs stay live until the end of the inference.
+        for op in self.outputs:
+            remaining_uses[id(self._chain_anchor(op))] += 1
+
+        live_bytes = 0
+        peak = 0
+        alive: dict[int, int] = {}
+        for op in self.ops:
+            if not op.is_fused_away:
+                produced = op.output_bytes()
+                alive[id(op)] = produced
+                live_bytes += produced
+                peak = max(peak, live_bytes)
+            consumer_anchor = self._chain_anchor(op)
+            for parent in op.inputs:
+                producer_anchor = self._chain_anchor(parent)
+                if producer_anchor is consumer_anchor:
+                    continue
+                remaining_uses[id(producer_anchor)] -= 1
+                if remaining_uses[id(producer_anchor)] == 0:
+                    live_bytes -= alive.pop(id(producer_anchor), 0)
+        return peak
+
+    def inference_footprint_bytes(self) -> int:
+        """Weights + peak activations: the deployment footprint the paper's
+        Table V memory failures are about."""
+        return self.weight_bytes() + self.peak_activation_bytes()
+
+    # -- convenience --------------------------------------------------------
+    def ops_by_category(self) -> dict[O.OpCategory, list[O.Op]]:
+        grouped: dict[O.OpCategory, list[O.Op]] = {}
+        for op in self.ops:
+            grouped.setdefault(op.category, []).append(op)
+        return grouped
+
+    def schedulable_ops(self) -> list[O.Op]:
+        """Ops that still dispatch a kernel (not fused into a producer)."""
+        return [op for op in self.ops if not op.is_fused_away and not isinstance(op, O.Input)]
+
+    def summary(self, verbose: bool = False) -> str:
+        """One-line totals; ``verbose`` adds a per-op table (Keras-style)."""
+        lines = [
+            f"Graph {self.name!r}: {len(self.ops)} ops, "
+            f"{self.total_params / 1e6:.2f} M params, "
+            f"{self.total_macs / 1e9:.2f} GFLOP (MAC convention), "
+            f"FLOP/Param {self.flop_per_param:.1f}"
+        ]
+        if verbose:
+            header = (f"{'op':24s} {'type':18s} {'output':>18s} "
+                      f"{'params':>12s} {'MACs':>14s}")
+            lines += [header, "-" * len(header)]
+            for op in self.ops:
+                shape = "x".join(str(d) for d in op.output_shape.dims)
+                fused = " (fused)" if op.is_fused_away else ""
+                lines.append(
+                    f"{op.name[:24]:24s} {type(op).__name__[:18]:18s} "
+                    f"{shape:>18s} {op.params:>12,d} {op.macs:>14,d}{fused}"
+                )
+            lines.append("-" * len(header))
+            lines.append(
+                f"{'total':24s} {'':18s} {'':>18s} "
+                f"{self.total_params:>12,d} {self.total_macs:>14,d}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Graph({self.name!r}, ops={len(self.ops)})"
+
+
+class GraphBuilder:
+    """Fluent construction API for model definitions.
+
+    Every method creates one op wired to its inputs and returns it, so model
+    code reads like a framework model definition::
+
+        b = GraphBuilder("TinyNet")
+        x = b.input((3, 224, 224))
+        x = b.conv_bn_act(x, 32, 3, stride=2)
+        x = b.global_avg_pool(x)
+        x = b.dense(x, 1000)
+        graph = b.build()
+    """
+
+    def __init__(self, name: str, metadata: dict | None = None):
+        self.name = name
+        self.metadata = dict(metadata or {})
+        self._ops: list[O.Op] = []
+        self._counts: dict[str, int] = {}
+
+    def _register(self, op: O.Op) -> O.Op:
+        self._ops.append(op)
+        return op
+
+    def _auto_name(self, prefix: str, name: str | None) -> str:
+        if name is not None:
+            return name
+        self._counts[prefix] = self._counts.get(prefix, 0) + 1
+        return f"{prefix}_{self._counts[prefix]}"
+
+    # -- op constructors ----------------------------------------------------
+    def input(self, shape: tuple[int, ...] | TensorShape, name: str | None = None) -> O.Op:
+        if not isinstance(shape, TensorShape):
+            shape = TensorShape(*shape)
+        return self._register(O.Input(self._auto_name("input", name), shape))
+
+    def conv2d(self, x: O.Op, out_channels: int, kernel, stride=1, padding="same",
+               groups: int = 1, dilation: int = 1, use_bias: bool = True,
+               name: str | None = None) -> O.Op:
+        return self._register(O.Conv2D(
+            self._auto_name("conv", name), [x], out_channels, kernel,
+            stride=stride, padding=padding, groups=groups, dilation=dilation,
+            use_bias=use_bias,
+        ))
+
+    def depthwise_conv2d(self, x: O.Op, kernel, stride=1, padding="same",
+                         channel_multiplier: int = 1, use_bias: bool = True,
+                         name: str | None = None) -> O.Op:
+        return self._register(O.DepthwiseConv2D(
+            self._auto_name("dwconv", name), [x], kernel, stride=stride,
+            padding=padding, channel_multiplier=channel_multiplier, use_bias=use_bias,
+        ))
+
+    def conv3d(self, x: O.Op, out_channels: int, kernel, stride=1, padding="same",
+               use_bias: bool = True, name: str | None = None) -> O.Op:
+        return self._register(O.Conv3D(
+            self._auto_name("conv3d", name), [x], out_channels, kernel,
+            stride=stride, padding=padding, use_bias=use_bias,
+        ))
+
+    def dense(self, x: O.Op, units: int, use_bias: bool = True, name: str | None = None) -> O.Op:
+        return self._register(O.Dense(self._auto_name("dense", name), [x], units, use_bias=use_bias))
+
+    def batch_norm(self, x: O.Op, name: str | None = None) -> O.Op:
+        return self._register(O.BatchNorm(self._auto_name("bn", name), [x]))
+
+    def activation(self, x: O.Op, kind: str = "relu", name: str | None = None) -> O.Op:
+        return self._register(O.Activation(self._auto_name(kind, name), [x], kind=kind))
+
+    def relu(self, x: O.Op, name: str | None = None) -> O.Op:
+        return self.activation(x, "relu", name)
+
+    def max_pool(self, x: O.Op, kernel, stride=None, padding="valid",
+                 ceil_mode: bool = False, name: str | None = None) -> O.Op:
+        return self._register(O.Pool2D(
+            self._auto_name("maxpool", name), [x], kernel, stride=stride,
+            padding=padding, kind="max", ceil_mode=ceil_mode,
+        ))
+
+    def avg_pool(self, x: O.Op, kernel, stride=None, padding="valid",
+                 name: str | None = None) -> O.Op:
+        return self._register(O.Pool2D(
+            self._auto_name("avgpool", name), [x], kernel, stride=stride,
+            padding=padding, kind="avg",
+        ))
+
+    def max_pool3d(self, x: O.Op, kernel, stride=None, padding="valid",
+                   ceil_mode: bool = False, name: str | None = None) -> O.Op:
+        return self._register(O.Pool3D(
+            self._auto_name("maxpool3d", name), [x], kernel, stride=stride,
+            padding=padding, kind="max", ceil_mode=ceil_mode,
+        ))
+
+    def global_avg_pool(self, x: O.Op, name: str | None = None) -> O.Op:
+        return self._register(O.GlobalPool2D(self._auto_name("gap", name), [x], kind="avg"))
+
+    def add(self, *xs: O.Op, name: str | None = None) -> O.Op:
+        return self._register(O.Add(self._auto_name("add", name), list(xs)))
+
+    def concat(self, *xs: O.Op, name: str | None = None) -> O.Op:
+        return self._register(O.Concat(self._auto_name("concat", name), list(xs)))
+
+    def flatten(self, x: O.Op, name: str | None = None) -> O.Op:
+        return self._register(O.Flatten(self._auto_name("flatten", name), [x]))
+
+    def reshape(self, x: O.Op, shape: tuple[int, ...], name: str | None = None) -> O.Op:
+        return self._register(O.Reshape(self._auto_name("reshape", name), [x], TensorShape(*shape)))
+
+    def dropout(self, x: O.Op, rate: float = 0.5, name: str | None = None) -> O.Op:
+        return self._register(O.Dropout(self._auto_name("dropout", name), [x], rate=rate))
+
+    def softmax(self, x: O.Op, name: str | None = None) -> O.Op:
+        return self._register(O.Softmax(self._auto_name("softmax", name), [x]))
+
+    def lrn(self, x: O.Op, size: int = 5, name: str | None = None) -> O.Op:
+        return self._register(O.LocalResponseNorm(self._auto_name("lrn", name), [x], size=size))
+
+    def upsample(self, x: O.Op, factor: int = 2, name: str | None = None) -> O.Op:
+        return self._register(O.Upsample2D(self._auto_name("upsample", name), [x], factor=factor))
+
+    def pad(self, x: O.Op, pad: tuple[int, int], name: str | None = None) -> O.Op:
+        return self._register(O.Pad(self._auto_name("pad", name), [x], pad=pad))
+
+    def embedding(self, x: O.Op, vocab_size: int, dim: int,
+                  name: str | None = None) -> O.Op:
+        return self._register(O.Embedding(
+            self._auto_name("embedding", name), [x], vocab_size=vocab_size, dim=dim))
+
+    def lstm(self, x: O.Op, hidden: int, return_sequences: bool = True,
+             name: str | None = None) -> O.Op:
+        return self._register(O.LSTM(
+            self._auto_name("lstm", name), [x], hidden=hidden,
+            return_sequences=return_sequences))
+
+    def gru(self, x: O.Op, hidden: int, return_sequences: bool = True,
+            name: str | None = None) -> O.Op:
+        return self._register(O.GRU(
+            self._auto_name("gru", name), [x], hidden=hidden,
+            return_sequences=return_sequences))
+
+    def last_timestep(self, x: O.Op, name: str | None = None) -> O.Op:
+        return self._register(O.LastTimestep(self._auto_name("last", name), [x]))
+
+    def detection_output(self, x: O.Op, num_anchors: int, num_classes: int,
+                         name: str | None = None) -> O.Op:
+        return self._register(O.DetectionOutput(
+            self._auto_name("detect", name), [x], num_anchors=num_anchors, num_classes=num_classes,
+        ))
+
+    # -- common composites ---------------------------------------------------
+    def conv_bn_act(self, x: O.Op, out_channels: int, kernel, stride=1,
+                    padding="same", groups: int = 1, act: str = "relu",
+                    use_bias: bool = False, name: str | None = None) -> O.Op:
+        """Conv → BatchNorm → activation, the dominant CNN building block."""
+        x = self.conv2d(x, out_channels, kernel, stride=stride, padding=padding,
+                        groups=groups, use_bias=use_bias, name=name)
+        x = self.batch_norm(x)
+        if act != "linear":
+            x = self.activation(x, act)
+        return x
+
+    def dw_bn_act(self, x: O.Op, kernel, stride=1, padding="same",
+                  act: str = "relu", name: str | None = None) -> O.Op:
+        """Depthwise conv → BatchNorm → activation (MobileNet/Xception)."""
+        x = self.depthwise_conv2d(x, kernel, stride=stride, padding=padding,
+                                  use_bias=False, name=name)
+        x = self.batch_norm(x)
+        if act != "linear":
+            x = self.activation(x, act)
+        return x
+
+    def build(self) -> Graph:
+        return Graph(self.name, self._ops, metadata=self.metadata)

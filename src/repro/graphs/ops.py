@@ -1,0 +1,597 @@
+"""Graph operators with cost accounting.
+
+Every operator knows its output shape, learnable parameter count and
+multiply-accumulate count for one single-batch inference.  The convention
+follows the paper's Table I: "FLOP" counts one multiply-accumulate as one
+operation, and cheap pointwise work (batch-norm, activations, pooling) is
+counted at one operation per output element.
+
+Transforms (`repro.graphs.transforms`) annotate ops in place: datatypes,
+weight sparsity, and fusion markers.  The execution engine interprets these
+annotations; operators themselves stay framework-agnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.graphs.tensor import (
+    DType,
+    TensorShape,
+    conv_output_length,
+    pool_output_length,
+)
+
+
+class OpCategory(enum.Enum):
+    """Operator classes the engine prices differently."""
+
+    INPUT = "input"
+    CONV = "conv"
+    DENSE = "dense"
+    NORM = "norm"
+    ACTIVATION = "activation"
+    POOL = "pool"
+    ELEMENTWISE = "elementwise"
+    SHAPE = "shape"
+    DETECTION = "detection"
+    EMBEDDING = "embedding"
+    RECURRENT = "recurrent"
+
+
+class Op:
+    """Base operator.
+
+    Subclasses set ``output_shape``, ``params`` and ``macs`` during
+    construction; they never change afterwards.  The mutable annotation
+    fields (``weight_dtype``, ``act_dtype``, ``weight_sparsity``,
+    ``fused_into`` / ``absorbed``) are written by graph transforms.
+    """
+
+    category: OpCategory = OpCategory.ELEMENTWISE
+
+    def __init__(self, name: str, inputs: list["Op"]):
+        self.name = name
+        self.inputs = list(inputs)
+        self.output_shape: TensorShape = TensorShape(1)
+        self.params: int = 0
+        self.macs: int = 0
+        # --- transform annotations -------------------------------------
+        self.weight_dtype: DType = DType.FP32
+        self.act_dtype: DType = DType.FP32
+        self.weight_sparsity: float = 0.0
+        self.fused_into: "Op | None" = None
+        self.absorbed: list["Op"] = []
+
+    # -- accounting ------------------------------------------------------
+    @property
+    def is_fused_away(self) -> bool:
+        """True when this op's work has been merged into a producer op."""
+        return self.fused_into is not None
+
+    def weight_bytes(self) -> int:
+        """Bytes of weights this op reads per inference (dense layout)."""
+        return math.ceil(self.params * self.weight_dtype.bytes)
+
+    def effective_weight_bytes(self, exploit_sparsity: bool) -> int:
+        """Weight bytes after (optionally) skipping pruned weights."""
+        dense = self.weight_bytes()
+        if not exploit_sparsity or self.weight_sparsity <= 0.0:
+            return dense
+        return math.ceil(dense * (1.0 - self.weight_sparsity))
+
+    def effective_macs(self, exploit_sparsity: bool) -> int:
+        """MACs after (optionally) skipping work on pruned weights."""
+        if not exploit_sparsity or self.weight_sparsity <= 0.0 or self.params == 0:
+            return self.macs
+        return math.ceil(self.macs * (1.0 - self.weight_sparsity))
+
+    def traffic_weight_bytes(self, exploit_sparsity: bool) -> int:
+        """Weight bytes actually read per inference.
+
+        Defaults to the full (sparsity-adjusted) weight set; ops that touch
+        only part of their parameters (embedding lookups) override this.
+        """
+        return self.effective_weight_bytes(exploit_sparsity)
+
+    @property
+    def parallel_macs(self) -> int:
+        """MACs available to execute concurrently.
+
+        Equal to ``macs`` for feed-forward ops; recurrent ops expose only
+        one timestep of work at a time, which is why they fill wide units
+        poorly.
+        """
+        return self.macs
+
+    def input_bytes(self) -> int:
+        return sum(math.ceil(op.output_shape.numel * self.act_dtype.bytes) for op in self.inputs)
+
+    def output_bytes(self) -> int:
+        return math.ceil(self.output_shape.numel * self.act_dtype.bytes)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, out={self.output_shape.dims})"
+
+
+def _single_input(inputs: list[Op], op_name: str) -> Op:
+    if len(inputs) != 1:
+        raise ValueError(f"{op_name} expects exactly one input, got {len(inputs)}")
+    return inputs[0]
+
+
+class Input(Op):
+    """Graph input placeholder."""
+
+    category = OpCategory.INPUT
+
+    def __init__(self, name: str, shape: TensorShape):
+        super().__init__(name, [])
+        self.output_shape = shape
+
+
+class Conv2D(Op):
+    """2-D convolution (optionally grouped / dilated)."""
+
+    category = OpCategory.CONV
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[Op],
+        out_channels: int,
+        kernel: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: str | int = "same",
+        groups: int = 1,
+        dilation: int = 1,
+        use_bias: bool = True,
+    ):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "Conv2D")
+        if source.output_shape.rank != 3:
+            raise ValueError(f"Conv2D needs a (C, H, W) input, got {source.output_shape}")
+        in_channels, in_h, in_w = source.output_shape.dims
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        sh, sw = (stride, stride) if isinstance(stride, int) else stride
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"groups={groups} must divide in_channels={in_channels} and out_channels={out_channels}"
+            )
+        out_h = conv_output_length(in_h, kh, sh, padding, dilation)
+        out_w = conv_output_length(in_w, kw, sw, padding, dilation)
+        self.out_channels = out_channels
+        self.kernel = (kh, kw)
+        self.stride = (sh, sw)
+        self.padding = padding
+        self.groups = groups
+        self.dilation = dilation
+        self.use_bias = use_bias
+        self.output_shape = TensorShape(out_channels, out_h, out_w)
+        weights = kh * kw * (in_channels // groups) * out_channels
+        self.params = weights + (out_channels if use_bias else 0)
+        self.macs = weights * out_h * out_w
+
+
+class DepthwiseConv2D(Conv2D):
+    """Depthwise convolution: one filter (per multiplier) per input channel."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[Op],
+        kernel: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: str | int = "same",
+        channel_multiplier: int = 1,
+        use_bias: bool = True,
+    ):
+        in_channels = _single_input(inputs, "DepthwiseConv2D").output_shape.channels
+        super().__init__(
+            name,
+            inputs,
+            out_channels=in_channels * channel_multiplier,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            groups=in_channels,
+            use_bias=use_bias,
+        )
+        self.channel_multiplier = channel_multiplier
+
+
+class Conv3D(Op):
+    """3-D convolution over (C, T, H, W) video tensors (C3D)."""
+
+    category = OpCategory.CONV
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[Op],
+        out_channels: int,
+        kernel: int | tuple[int, int, int],
+        stride: int | tuple[int, int, int] = 1,
+        padding: str | int = "same",
+        use_bias: bool = True,
+    ):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "Conv3D")
+        if source.output_shape.rank != 4:
+            raise ValueError(f"Conv3D needs a (C, T, H, W) input, got {source.output_shape}")
+        in_channels, in_t, in_h, in_w = source.output_shape.dims
+        kt, kh, kw = (kernel,) * 3 if isinstance(kernel, int) else kernel
+        st, sh, sw = (stride,) * 3 if isinstance(stride, int) else stride
+        out_t = conv_output_length(in_t, kt, st, padding)
+        out_h = conv_output_length(in_h, kh, sh, padding)
+        out_w = conv_output_length(in_w, kw, sw, padding)
+        self.out_channels = out_channels
+        self.kernel = (kt, kh, kw)
+        self.stride = (st, sh, sw)
+        self.padding = padding
+        self.use_bias = use_bias
+        self.output_shape = TensorShape(out_channels, out_t, out_h, out_w)
+        weights = kt * kh * kw * in_channels * out_channels
+        self.params = weights + (out_channels if use_bias else 0)
+        self.macs = weights * out_t * out_h * out_w
+
+
+class Dense(Op):
+    """Fully connected layer over a flat input."""
+
+    category = OpCategory.DENSE
+
+    def __init__(self, name: str, inputs: list[Op], units: int, use_bias: bool = True):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "Dense")
+        in_features = source.output_shape.numel
+        self.units = units
+        self.use_bias = use_bias
+        self.output_shape = TensorShape(units)
+        self.params = in_features * units + (units if use_bias else 0)
+        self.macs = in_features * units
+
+
+class BatchNorm(Op):
+    """Batch normalization (inference mode: one scale-add per element).
+
+    Only the learnable scale/shift count as parameters, matching the
+    trainable-parameter convention the paper's Table I follows; the running
+    statistics are buffers tracked in ``buffer_params``.
+    """
+
+    category = OpCategory.NORM
+
+    def __init__(self, name: str, inputs: list[Op]):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "BatchNorm")
+        channels = source.output_shape.channels
+        self.output_shape = source.output_shape
+        self.params = 2 * channels
+        self.buffer_params = 2 * channels
+        self.macs = source.output_shape.numel
+
+
+class Activation(Op):
+    """Pointwise nonlinearity (relu, relu6, leaky_relu, sigmoid, tanh, ...)."""
+
+    category = OpCategory.ACTIVATION
+    KINDS = ("relu", "relu6", "leaky_relu", "sigmoid", "tanh", "swish", "elu", "linear")
+
+    def __init__(self, name: str, inputs: list[Op], kind: str = "relu"):
+        super().__init__(name, inputs)
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown activation kind {kind!r}; expected one of {self.KINDS}")
+        source = _single_input(inputs, "Activation")
+        self.kind = kind
+        self.output_shape = source.output_shape
+        self.macs = source.output_shape.numel
+
+
+class Pool2D(Op):
+    """2-D max/average pooling."""
+
+    category = OpCategory.POOL
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[Op],
+        kernel: int | tuple[int, int],
+        stride: int | tuple[int, int] | None = None,
+        padding: str | int = "valid",
+        kind: str = "max",
+        ceil_mode: bool = False,
+    ):
+        super().__init__(name, inputs)
+        if kind not in ("max", "avg"):
+            raise ValueError(f"pool kind must be 'max' or 'avg', got {kind!r}")
+        source = _single_input(inputs, "Pool2D")
+        channels, in_h, in_w = source.output_shape.dims
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        if stride is None:
+            stride = (kh, kw)
+        sh, sw = (stride, stride) if isinstance(stride, int) else stride
+        out_h = pool_output_length(in_h, kh, sh, padding, ceil_mode)
+        out_w = pool_output_length(in_w, kw, sw, padding, ceil_mode)
+        self.kind = kind
+        self.kernel = (kh, kw)
+        self.stride = (sh, sw)
+        self.padding = padding
+        self.output_shape = TensorShape(channels, out_h, out_w)
+        self.macs = out_h * out_w * channels * kh * kw
+
+
+class Pool3D(Op):
+    """3-D pooling for video tensors (C3D)."""
+
+    category = OpCategory.POOL
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[Op],
+        kernel: int | tuple[int, int, int],
+        stride: int | tuple[int, int, int] | None = None,
+        padding: str | int = "valid",
+        kind: str = "max",
+        ceil_mode: bool = False,
+    ):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "Pool3D")
+        channels, in_t, in_h, in_w = source.output_shape.dims
+        kt, kh, kw = (kernel,) * 3 if isinstance(kernel, int) else kernel
+        if stride is None:
+            stride = (kt, kh, kw)
+        st, sh, sw = (stride,) * 3 if isinstance(stride, int) else stride
+        out_t = pool_output_length(in_t, kt, st, padding, ceil_mode)
+        out_h = pool_output_length(in_h, kh, sh, padding, ceil_mode)
+        out_w = pool_output_length(in_w, kw, sw, padding, ceil_mode)
+        self.kind = kind
+        self.kernel = (kt, kh, kw)
+        self.stride = (st, sh, sw)
+        self.output_shape = TensorShape(channels, out_t, out_h, out_w)
+        self.macs = out_t * out_h * out_w * channels * kt * kh * kw
+
+
+class GlobalPool2D(Op):
+    """Global spatial pooling down to (C,)."""
+
+    category = OpCategory.POOL
+
+    def __init__(self, name: str, inputs: list[Op], kind: str = "avg"):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "GlobalPool2D")
+        self.kind = kind
+        self.output_shape = TensorShape(source.output_shape.channels)
+        self.macs = source.output_shape.numel
+
+
+class Add(Op):
+    """Elementwise addition (residual connections)."""
+
+    category = OpCategory.ELEMENTWISE
+
+    def __init__(self, name: str, inputs: list[Op]):
+        super().__init__(name, inputs)
+        if len(inputs) < 2:
+            raise ValueError("Add needs at least two inputs")
+        shapes = {op.output_shape.dims for op in inputs}
+        if len(shapes) != 1:
+            raise ValueError(f"Add inputs must share a shape, got {sorted(shapes)}")
+        self.output_shape = inputs[0].output_shape
+        self.macs = self.output_shape.numel * (len(inputs) - 1)
+
+
+class Concat(Op):
+    """Channel-axis concatenation (Inception/DenseNet-style blocks)."""
+
+    category = OpCategory.SHAPE
+
+    def __init__(self, name: str, inputs: list[Op]):
+        super().__init__(name, inputs)
+        if len(inputs) < 2:
+            raise ValueError("Concat needs at least two inputs")
+        spatial = {op.output_shape.spatial for op in inputs}
+        if len(spatial) != 1:
+            raise ValueError(f"Concat inputs must share spatial dims, got {sorted(spatial)}")
+        channels = sum(op.output_shape.channels for op in inputs)
+        self.output_shape = TensorShape(channels, *inputs[0].output_shape.spatial)
+
+
+class Flatten(Op):
+    """Collapse a feature map to a flat vector."""
+
+    category = OpCategory.SHAPE
+
+    def __init__(self, name: str, inputs: list[Op]):
+        super().__init__(name, inputs)
+        self.output_shape = _single_input(inputs, "Flatten").output_shape.flattened()
+
+
+class Reshape(Op):
+    """Element-preserving shape change."""
+
+    category = OpCategory.SHAPE
+
+    def __init__(self, name: str, inputs: list[Op], shape: TensorShape):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "Reshape")
+        if shape.numel != source.output_shape.numel:
+            raise ValueError(
+                f"cannot reshape {source.output_shape} ({source.output_shape.numel} elements) "
+                f"to {shape} ({shape.numel} elements)"
+            )
+        self.output_shape = shape
+
+
+class Dropout(Op):
+    """Dropout: identity at inference time, zero cost."""
+
+    category = OpCategory.SHAPE
+
+    def __init__(self, name: str, inputs: list[Op], rate: float = 0.5):
+        super().__init__(name, inputs)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.output_shape = _single_input(inputs, "Dropout").output_shape
+
+
+class Softmax(Op):
+    """Softmax over the final classifier logits."""
+
+    category = OpCategory.ACTIVATION
+
+    def __init__(self, name: str, inputs: list[Op]):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "Softmax")
+        self.output_shape = source.output_shape
+        self.macs = 5 * source.output_shape.numel  # exp + sum + divide, amortized
+
+
+class LocalResponseNorm(Op):
+    """AlexNet-era local response normalization."""
+
+    category = OpCategory.NORM
+
+    def __init__(self, name: str, inputs: list[Op], size: int = 5):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "LocalResponseNorm")
+        self.size = size
+        self.output_shape = source.output_shape
+        self.macs = source.output_shape.numel * size
+
+
+class Upsample2D(Op):
+    """Nearest-neighbour upsampling (YOLOv3 feature pyramid)."""
+
+    category = OpCategory.SHAPE
+
+    def __init__(self, name: str, inputs: list[Op], factor: int = 2):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "Upsample2D")
+        channels, in_h, in_w = source.output_shape.dims
+        self.factor = factor
+        self.output_shape = TensorShape(channels, in_h * factor, in_w * factor)
+
+
+class Pad(Op):
+    """Explicit spatial zero-padding (DarkNet-style)."""
+
+    category = OpCategory.SHAPE
+
+    def __init__(self, name: str, inputs: list[Op], pad: tuple[int, int]):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "Pad")
+        channels, in_h, in_w = source.output_shape.dims
+        self.pad = pad
+        self.output_shape = TensorShape(channels, in_h + 2 * pad[0], in_w + 2 * pad[1])
+
+
+class Embedding(Op):
+    """Token-embedding lookup over an integer sequence.
+
+    Input is a token-id sequence shaped ``(T,)``; output is ``(T, dim)``.
+    The whole table counts toward parameters/deployment footprint, but a
+    single inference only reads the T looked-up rows.
+    """
+
+    category = OpCategory.EMBEDDING
+
+    def __init__(self, name: str, inputs: list[Op], vocab_size: int, dim: int):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "Embedding")
+        if source.output_shape.rank != 1:
+            raise ValueError(f"Embedding needs a (T,) token sequence, got {source.output_shape}")
+        if vocab_size <= 0 or dim <= 0:
+            raise ValueError("vocab_size and dim must be positive")
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.seq_len = source.output_shape.dims[0]
+        self.output_shape = TensorShape(self.seq_len, dim)
+        self.params = vocab_size * dim
+        self.macs = 0  # a gather, no arithmetic
+
+    def traffic_weight_bytes(self, exploit_sparsity: bool) -> int:
+        touched = self.seq_len * self.dim
+        return math.ceil(touched * self.weight_dtype.bytes)
+
+
+class _RecurrentLayer(Op):
+    """Shared machinery for gated recurrent layers over (T, F) inputs."""
+
+    category = OpCategory.RECURRENT
+    GATES = 1  # overridden
+
+    def __init__(self, name: str, inputs: list[Op], hidden: int,
+                 return_sequences: bool = True):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, type(self).__name__)
+        if source.output_shape.rank != 2:
+            raise ValueError(
+                f"{type(self).__name__} needs a (T, features) input, got {source.output_shape}"
+            )
+        if hidden <= 0:
+            raise ValueError("hidden size must be positive")
+        seq_len, features = source.output_shape.dims
+        self.hidden = hidden
+        self.seq_len = seq_len
+        self.features = features
+        self.return_sequences = return_sequences
+        self.output_shape = (
+            TensorShape(seq_len, hidden) if return_sequences else TensorShape(hidden)
+        )
+        gates = type(self).GATES
+        self.params = gates * (features * hidden + hidden * hidden + hidden)
+        per_step = gates * hidden * (features + hidden) + 4 * hidden
+        self.macs = seq_len * per_step
+
+    @property
+    def parallel_macs(self) -> int:
+        """The sequential recurrence exposes one timestep at a time."""
+        return max(1, self.macs // self.seq_len)
+
+
+class LSTM(_RecurrentLayer):
+    """Long short-term memory layer: 4 gates per timestep."""
+
+    GATES = 4
+
+
+class GRU(_RecurrentLayer):
+    """Gated recurrent unit: 3 gates per timestep."""
+
+    GATES = 3
+
+
+class LastTimestep(Op):
+    """Select the final timestep of a (T, H) sequence -> (H,)."""
+
+    category = OpCategory.SHAPE
+
+    def __init__(self, name: str, inputs: list[Op]):
+        super().__init__(name, inputs)
+        source = _single_input(inputs, "LastTimestep")
+        if source.output_shape.rank != 2:
+            raise ValueError(f"LastTimestep needs a (T, H) input, got {source.output_shape}")
+        self.output_shape = TensorShape(source.output_shape.dims[1])
+
+
+class DetectionOutput(Op):
+    """SSD-style box decoding + non-maximum suppression.
+
+    Modelled as a fixed per-anchor cost; this is the "extra image processing
+    library" that broke SSD on Raspberry Pi in the paper (Table V).
+    """
+
+    category = OpCategory.DETECTION
+    MACS_PER_ANCHOR = 40  # decode (8) + score/sort/NMS share, amortized
+
+    def __init__(self, name: str, inputs: list[Op], num_anchors: int, num_classes: int):
+        super().__init__(name, inputs)
+        self.num_anchors = num_anchors
+        self.num_classes = num_classes
+        self.output_shape = TensorShape(num_anchors, 6)  # class, score, box
+        self.macs = num_anchors * self.MACS_PER_ANCHOR

@@ -1,0 +1,248 @@
+"""Graph serialization: a minimal ONNX-like exchange format.
+
+Section III laments that "each framework usually requires its own model
+description format" and points at the nascent ONNX effort.  This module
+gives the IR one canonical JSON form so models round-trip between tools:
+``graph_to_dict`` / ``graph_from_dict`` plus file helpers.
+
+The format stores topology (ops reference producers by name), constructor
+attributes, and the transform annotations (datatypes, sparsity, fusion
+links), so a converted-and-reloaded graph deploys identically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.graphs import ops as O
+from repro.graphs.graph import Graph
+from repro.graphs.tensor import DType, TensorShape
+
+FORMAT_VERSION = 1
+
+# type name -> (attribute extractor, constructor). Constructors receive
+# (name, inputs, attrs) and return the op.
+_SERIALIZERS: dict[str, tuple[Callable[[O.Op], dict], Callable[[str, list, dict], O.Op]]] = {}
+
+
+def _register(op_cls, extract, construct):
+    _SERIALIZERS[op_cls.__name__] = (extract, construct)
+
+
+_register(
+    O.Input,
+    lambda op: {"shape": list(op.output_shape.dims)},
+    lambda name, inputs, a: O.Input(name, TensorShape(*a["shape"])),
+)
+_register(
+    O.Conv2D,
+    lambda op: {
+        "out_channels": op.out_channels, "kernel": list(op.kernel),
+        "stride": list(op.stride), "padding": op.padding,
+        "groups": op.groups, "dilation": op.dilation, "use_bias": op.use_bias,
+    },
+    lambda name, inputs, a: O.Conv2D(
+        name, inputs, a["out_channels"], tuple(a["kernel"]),
+        stride=tuple(a["stride"]), padding=a["padding"], groups=a["groups"],
+        dilation=a["dilation"], use_bias=a["use_bias"],
+    ),
+)
+_register(
+    O.DepthwiseConv2D,
+    lambda op: {
+        "kernel": list(op.kernel), "stride": list(op.stride),
+        "padding": op.padding, "channel_multiplier": op.channel_multiplier,
+        "use_bias": op.use_bias,
+    },
+    lambda name, inputs, a: O.DepthwiseConv2D(
+        name, inputs, tuple(a["kernel"]), stride=tuple(a["stride"]),
+        padding=a["padding"], channel_multiplier=a["channel_multiplier"],
+        use_bias=a["use_bias"],
+    ),
+)
+_register(
+    O.Conv3D,
+    lambda op: {
+        "out_channels": op.out_channels, "kernel": list(op.kernel),
+        "stride": list(op.stride), "padding": op.padding, "use_bias": op.use_bias,
+    },
+    lambda name, inputs, a: O.Conv3D(
+        name, inputs, a["out_channels"], tuple(a["kernel"]),
+        stride=tuple(a["stride"]), padding=a["padding"], use_bias=a["use_bias"],
+    ),
+)
+_register(
+    O.Dense,
+    lambda op: {"units": op.units, "use_bias": op.use_bias},
+    lambda name, inputs, a: O.Dense(name, inputs, a["units"], use_bias=a["use_bias"]),
+)
+_register(O.BatchNorm, lambda op: {}, lambda name, inputs, a: O.BatchNorm(name, inputs))
+_register(
+    O.Activation,
+    lambda op: {"kind": op.kind},
+    lambda name, inputs, a: O.Activation(name, inputs, kind=a["kind"]),
+)
+_register(
+    O.Pool2D,
+    lambda op: {
+        "kernel": list(op.kernel), "stride": list(op.stride),
+        "padding": op.padding, "kind": op.kind,
+    },
+    lambda name, inputs, a: O.Pool2D(
+        name, inputs, tuple(a["kernel"]), stride=tuple(a["stride"]),
+        padding=a["padding"], kind=a["kind"],
+    ),
+)
+_register(
+    O.Pool3D,
+    lambda op: {
+        "kernel": list(op.kernel), "stride": list(op.stride), "kind": op.kind,
+        "out": list(op.output_shape.dims),
+    },
+    # ceil_mode is not stored on the op; reconstruct by matching output.
+    lambda name, inputs, a: _rebuild_pool3d(name, inputs, a),
+)
+_register(
+    O.GlobalPool2D,
+    lambda op: {"kind": op.kind},
+    lambda name, inputs, a: O.GlobalPool2D(name, inputs, kind=a["kind"]),
+)
+_register(O.Add, lambda op: {}, lambda name, inputs, a: O.Add(name, inputs))
+_register(O.Concat, lambda op: {}, lambda name, inputs, a: O.Concat(name, inputs))
+_register(O.Flatten, lambda op: {}, lambda name, inputs, a: O.Flatten(name, inputs))
+_register(
+    O.Reshape,
+    lambda op: {"shape": list(op.output_shape.dims)},
+    lambda name, inputs, a: O.Reshape(name, inputs, TensorShape(*a["shape"])),
+)
+_register(
+    O.Dropout,
+    lambda op: {"rate": op.rate},
+    lambda name, inputs, a: O.Dropout(name, inputs, rate=a["rate"]),
+)
+_register(O.Softmax, lambda op: {}, lambda name, inputs, a: O.Softmax(name, inputs))
+_register(
+    O.LocalResponseNorm,
+    lambda op: {"size": op.size},
+    lambda name, inputs, a: O.LocalResponseNorm(name, inputs, size=a["size"]),
+)
+_register(
+    O.Upsample2D,
+    lambda op: {"factor": op.factor},
+    lambda name, inputs, a: O.Upsample2D(name, inputs, factor=a["factor"]),
+)
+_register(
+    O.Pad,
+    lambda op: {"pad": list(op.pad)},
+    lambda name, inputs, a: O.Pad(name, inputs, pad=tuple(a["pad"])),
+)
+_register(
+    O.DetectionOutput,
+    lambda op: {"num_anchors": op.num_anchors, "num_classes": op.num_classes},
+    lambda name, inputs, a: O.DetectionOutput(
+        name, inputs, num_anchors=a["num_anchors"], num_classes=a["num_classes"]),
+)
+_register(
+    O.Embedding,
+    lambda op: {"vocab_size": op.vocab_size, "dim": op.dim},
+    lambda name, inputs, a: O.Embedding(name, inputs, vocab_size=a["vocab_size"],
+                                        dim=a["dim"]),
+)
+_register(
+    O.LSTM,
+    lambda op: {"hidden": op.hidden, "return_sequences": op.return_sequences},
+    lambda name, inputs, a: O.LSTM(name, inputs, hidden=a["hidden"],
+                                   return_sequences=a["return_sequences"]),
+)
+_register(
+    O.GRU,
+    lambda op: {"hidden": op.hidden, "return_sequences": op.return_sequences},
+    lambda name, inputs, a: O.GRU(name, inputs, hidden=a["hidden"],
+                                  return_sequences=a["return_sequences"]),
+)
+_register(O.LastTimestep, lambda op: {}, lambda name, inputs, a: O.LastTimestep(name, inputs))
+
+
+def _rebuild_pool3d(name: str, inputs: list, attrs: dict) -> O.Pool3D:
+    for ceil_mode in (False, True):
+        candidate = O.Pool3D(name, inputs, tuple(attrs["kernel"]),
+                             stride=tuple(attrs["stride"]), kind=attrs["kind"],
+                             ceil_mode=ceil_mode)
+        if list(candidate.output_shape.dims) == attrs["out"]:
+            return candidate
+    raise ValueError(f"cannot reconstruct Pool3D {name!r}: no ceil mode matches")
+
+
+def graph_to_dict(graph: Graph) -> dict[str, Any]:
+    """Serialize a graph (topology, attributes, annotations) to plain data."""
+    ops_payload = []
+    for op in graph.ops:
+        type_name = type(op).__name__
+        if type_name not in _SERIALIZERS:
+            raise ValueError(f"no serializer registered for op type {type_name}")
+        extract, _construct = _SERIALIZERS[type_name]
+        ops_payload.append({
+            "name": op.name,
+            "type": type_name,
+            "inputs": [parent.name for parent in op.inputs],
+            "attrs": extract(op),
+            "annotations": {
+                "weight_dtype": op.weight_dtype.value,
+                "act_dtype": op.act_dtype.value,
+                "weight_sparsity": op.weight_sparsity,
+                "fused_into": op.fused_into.name if op.fused_into else None,
+            },
+        })
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "metadata": dict(graph.metadata),
+        "ops": ops_payload,
+    }
+
+
+def graph_from_dict(payload: dict[str, Any]) -> Graph:
+    """Reconstruct a graph serialized by :func:`graph_to_dict`."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {version!r}")
+    by_name: dict[str, O.Op] = {}
+    ops: list[O.Op] = []
+    for entry in payload["ops"]:
+        type_name = entry["type"]
+        if type_name not in _SERIALIZERS:
+            raise ValueError(f"unknown op type {type_name!r}")
+        _extract, construct = _SERIALIZERS[type_name]
+        try:
+            inputs = [by_name[parent] for parent in entry["inputs"]]
+        except KeyError as missing:
+            raise ValueError(
+                f"op {entry['name']!r} references undefined producer {missing}"
+            ) from None
+        op = construct(entry["name"], inputs, entry["attrs"])
+        annotations = entry.get("annotations", {})
+        op.weight_dtype = DType(annotations.get("weight_dtype", "fp32"))
+        op.act_dtype = DType(annotations.get("act_dtype", "fp32"))
+        op.weight_sparsity = annotations.get("weight_sparsity", 0.0)
+        by_name[op.name] = op
+        ops.append(op)
+    # Second pass: restore fusion links.
+    for entry, op in zip(payload["ops"], ops):
+        anchor_name = entry.get("annotations", {}).get("fused_into")
+        if anchor_name:
+            anchor = by_name[anchor_name]
+            op.fused_into = anchor
+            anchor.absorbed.append(op)
+    return Graph(payload["name"], ops, metadata=payload.get("metadata", {}))
+
+
+def save_graph(graph: Graph, path: str | Path) -> None:
+    """Write a graph to a JSON file."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=1))
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Read a graph from a JSON file."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,134 @@
+"""Tensor shapes and datatypes.
+
+Shapes are channel-first without the batch dimension: the paper studies
+single-batch inference exclusively (Section I), so batch is always 1 and is
+omitted.  Image tensors are ``(channels, height, width)``; video tensors for
+C3D are ``(channels, frames, height, width)``; flat tensors are
+``(features,)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class DType(enum.Enum):
+    """Numeric datatypes the studied frameworks deploy with (Table II).
+
+    ``BINARY`` is the 1-bit weight type used by FINN on the PYNQ board.
+    """
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    INT8 = "int8"
+    BINARY = "binary"
+
+    @property
+    def bits(self) -> int:
+        return {"fp32": 32, "fp16": 16, "int8": 8, "binary": 1}[self.value]
+
+    @property
+    def bytes(self) -> float:
+        """Bytes per element; fractional for sub-byte types."""
+        return self.bits / 8
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """An immutable tensor shape (no batch dimension)."""
+
+    dims: tuple[int, ...]
+
+    def __init__(self, *dims: int):
+        if len(dims) == 1 and isinstance(dims[0], (tuple, list)):
+            dims = tuple(dims[0])
+        if not dims:
+            raise ValueError("a tensor shape needs at least one dimension")
+        if any((not isinstance(d, int)) or d <= 0 for d in dims):
+            raise ValueError(f"dimensions must be positive integers, got {dims}")
+        object.__setattr__(self, "dims", tuple(dims))
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def numel(self) -> int:
+        return math.prod(self.dims)
+
+    @property
+    def channels(self) -> int:
+        """Channel count for channel-first feature maps; features for rank 1."""
+        return self.dims[0]
+
+    @property
+    def spatial(self) -> tuple[int, ...]:
+        """Spatial (and temporal, for video) dimensions after the channels."""
+        return self.dims[1:]
+
+    def bytes(self, dtype: DType = DType.FP32) -> int:
+        return math.ceil(self.numel * dtype.bytes)
+
+    def with_channels(self, channels: int) -> "TensorShape":
+        return TensorShape(channels, *self.dims[1:])
+
+    def flattened(self) -> "TensorShape":
+        return TensorShape(self.numel)
+
+    def __iter__(self):
+        return iter(self.dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def __getitem__(self, index: int) -> int:
+        return self.dims[index]
+
+    def __repr__(self) -> str:
+        return f"TensorShape{self.dims}"
+
+
+def conv_output_length(length: int, kernel: int, stride: int, padding: str | int, dilation: int = 1) -> int:
+    """Output length of a convolution along one spatial axis.
+
+    ``padding`` follows framework conventions: ``"same"`` (output =
+    ceil(in/stride)), ``"valid"`` (no padding), or an explicit pad count
+    applied to both sides (the PyTorch/Caffe style).
+    """
+    effective_kernel = (kernel - 1) * dilation + 1
+    if padding == "same":
+        return math.ceil(length / stride)
+    if padding == "valid":
+        pad = 0
+    elif isinstance(padding, int):
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        pad = padding
+    else:
+        raise ValueError(f"unsupported padding spec: {padding!r}")
+    out = (length + 2 * pad - effective_kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output collapsed to {out} "
+            f"(length={length}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def pool_output_length(length: int, kernel: int, stride: int, padding: str | int, ceil_mode: bool = False) -> int:
+    """Output length of a pooling window along one spatial axis."""
+    if padding == "same":
+        return math.ceil(length / stride)
+    pad = 0 if padding == "valid" else int(padding)
+    numerator = length + 2 * pad - kernel
+    if ceil_mode:
+        out = math.ceil(numerator / stride) + 1
+    else:
+        out = numerator // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"pool output collapsed to {out} (length={length}, kernel={kernel}, stride={stride})"
+        )
+    return out

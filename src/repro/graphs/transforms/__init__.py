@@ -1,0 +1,14 @@
+"""Graph-level optimizations (the Table II feature set).
+
+Each transform takes a :class:`~repro.graphs.graph.Graph` and returns a new
+annotated clone; zoo instances are never mutated.  Which transforms a
+deployment actually applies is decided by the framework models in
+:mod:`repro.frameworks`.
+"""
+
+from repro.graphs.transforms.fusion import fuse_graph, fusion_ratio
+from repro.graphs.transforms.freeze import freeze_graph
+from repro.graphs.transforms.pruning import prune_graph
+from repro.graphs.transforms.quantization import quantize_graph
+
+__all__ = ["freeze_graph", "fuse_graph", "fusion_ratio", "prune_graph", "quantize_graph"]

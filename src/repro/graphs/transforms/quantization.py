@@ -1,0 +1,32 @@
+"""Weight/activation quantization.
+
+Post-training quantization rewrites the datatype annotations of every op;
+quantization-aware deployments (EdgeTPU via TFLite) additionally require the
+model to advertise QAT support — that gate lives in the framework layer and
+reproduces the paper's EdgeTPU conversion barriers (Table V, Section VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.tensor import DType
+
+
+def quantize_graph(graph: Graph, weight_dtype: DType, act_dtype: DType | None = None) -> Graph:
+    """Return a clone whose ops carry the requested datatypes.
+
+    Args:
+        graph: source graph (not modified).
+        weight_dtype: storage/compute type for parameters.
+        act_dtype: activation type; defaults to ``weight_dtype`` except for
+            binary weights, where activations stay INT8 (FINN-style).
+    """
+    if act_dtype is None:
+        act_dtype = DType.INT8 if weight_dtype is DType.BINARY else weight_dtype
+    quantized = graph.clone()
+    for op in quantized.ops:
+        op.weight_dtype = weight_dtype
+        op.act_dtype = act_dtype
+    quantized.metadata["weight_dtype"] = weight_dtype.value
+    quantized.metadata["act_dtype"] = act_dtype.value
+    return quantized

@@ -1,0 +1,39 @@
+"""Hardware platform models (Table III).
+
+Each commercial device is modelled as compute units (CPU / GPU / ASIC / VPU
+/ FPGA) with per-datatype peak throughput, a memory system, a power model,
+a lumped-RC thermal model with the cooling hardware of Table VI, and an
+optional host-transfer link (USB for the Movidius stick, PCIe for HPC GPUs).
+"""
+
+from repro.hardware.compute import ComputeKind, ComputeUnit
+from repro.hardware.device import Device, DeviceCategory, TransferLink
+from repro.hardware.catalog import DEVICE_REGISTRY, list_devices, load_device
+from repro.hardware.memory import MemorySpec
+from repro.hardware.operating_points import (
+    OPERATING_POINTS,
+    OperatingPoint,
+    apply_operating_point,
+    list_operating_points,
+)
+from repro.hardware.power import PowerModel
+from repro.hardware.thermal import ThermalSimulator, ThermalSpec
+
+__all__ = [
+    "ComputeKind",
+    "ComputeUnit",
+    "DEVICE_REGISTRY",
+    "Device",
+    "DeviceCategory",
+    "MemorySpec",
+    "OPERATING_POINTS",
+    "OperatingPoint",
+    "PowerModel",
+    "apply_operating_point",
+    "list_operating_points",
+    "ThermalSimulator",
+    "ThermalSpec",
+    "TransferLink",
+    "list_devices",
+    "load_device",
+]

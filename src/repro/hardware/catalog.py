@@ -1,0 +1,353 @@
+"""The device catalog: the ten platforms of Table III.
+
+Microarchitectural peaks come from public specifications (cores x clock x
+MACs/cycle); power models are calibrated so idle and under-load draw match
+Table III's measured watts; thermal RC parameters are calibrated against
+Table VI idle temperatures and Figure 14's qualitative behaviour (TX2/Nano
+fan activation, Raspberry Pi thermal shutdown, Movidius's flat profile).
+"""
+
+from __future__ import annotations
+
+from repro.core.quantity import GIBI, GIGA, KIBI, MEBI
+from repro.core.registry import Registry
+from repro.graphs.tensor import DType
+from repro.hardware.compute import ComputeKind, ComputeUnit, cpu_unit, gpu_unit
+from repro.hardware.device import Device, DeviceCategory, TransferLink
+from repro.hardware.memory import MemorySpec
+from repro.hardware.power import PowerModel
+from repro.hardware.thermal import ThermalSpec
+
+# Utilization the engine reaches under sustained single-batch inference;
+# used to map Table III's measured average power onto the linear model.
+_EDGE_INFERENCE_UTILIZATION = 0.85
+
+
+def _power(idle_w: float, average_w: float, utilization: float = _EDGE_INFERENCE_UTILIZATION) -> PowerModel:
+    """Build a PowerModel whose draw at ``utilization`` equals ``average_w``."""
+    active_w = idle_w + (average_w - idle_w) / utilization
+    return PowerModel(idle_w=idle_w, active_w=active_w)
+
+
+def raspberry_pi_3b() -> Device:
+    return Device(
+        name="Raspberry Pi 3B",
+        category=DeviceCategory.EDGE_CPU,
+        compute_units=(
+            cpu_unit("4-core Cortex-A53 @ 1.2 GHz", cores=4, clock_hz=1.2 * GIGA,
+                     macs_per_cycle_per_core=2.0),
+        ),
+        memory=MemorySpec(
+            capacity_bytes=1 * GIBI,
+            bandwidth_bytes_per_s=2.0 * GIGA,
+            technology="LPDDR2",
+            usable_fraction=0.6,  # Raspbian + framework runtime overhead
+            storage_bandwidth_bytes_per_s=80 * MEBI,  # SD card
+        ),
+        power=_power(1.33, 2.73),
+        thermal=ThermalSpec(
+            r_passive_c_per_w=17.5,
+            r_active_c_per_w=17.5,
+            c_j_per_c=7.0,
+            has_heatsink=False,
+            has_fan=False,
+            heatsink_mm="14x14 (bare SoC)",
+            shutdown_c=68.0,
+            surface_offset_c=2.0,
+        ),
+        supported_frameworks=(),  # runs every framework in the study
+        inference_utilization=_EDGE_INFERENCE_UTILIZATION,
+    )
+
+
+def jetson_tx2() -> Device:
+    return Device(
+        name="Jetson TX2",
+        category=DeviceCategory.EDGE_GPU,
+        compute_units=(
+            gpu_unit("256-core Pascal @ 1.3 GHz", cuda_cores=256, clock_hz=1.3 * GIGA,
+                     fp16_ratio=2.0),
+            cpu_unit("4-core Cortex-A57 + 2-core Denver2 @ 2 GHz", cores=6,
+                     clock_hz=2.0 * GIGA, macs_per_cycle_per_core=2.0),
+        ),
+        memory=MemorySpec(
+            capacity_bytes=8 * GIBI,
+            bandwidth_bytes_per_s=35.0 * GIGA,
+            technology="LPDDR4 (128-bit, CPU/GPU shared)",
+            shared_with_host=True,
+            usable_fraction=0.85,
+        ),
+        power=_power(1.90, 9.65),
+        thermal=ThermalSpec(
+            r_passive_c_per_w=9.7,
+            r_active_c_per_w=3.7,
+            c_j_per_c=60.0,
+            has_heatsink=True,
+            has_fan=True,
+            heatsink_mm="80x55x20",
+            fan_trigger_c=50.0,
+            fan_stop_c=42.0,
+            surface_offset_c=8.0,
+        ),
+        inference_utilization=_EDGE_INFERENCE_UTILIZATION,
+    )
+
+
+def jetson_nano() -> Device:
+    return Device(
+        name="Jetson Nano",
+        category=DeviceCategory.EDGE_GPU,
+        compute_units=(
+            gpu_unit("128-core Maxwell @ 921 MHz", cuda_cores=128, clock_hz=0.921 * GIGA,
+                     fp16_ratio=2.0),
+            cpu_unit("4-core Cortex-A57 @ 1.43 GHz", cores=4, clock_hz=1.43 * GIGA,
+                     macs_per_cycle_per_core=2.0),
+        ),
+        memory=MemorySpec(
+            capacity_bytes=4 * GIBI,
+            bandwidth_bytes_per_s=16.0 * GIGA,
+            technology="LPDDR4 (64-bit, CPU/GPU shared)",
+            shared_with_host=True,
+            usable_fraction=0.8,
+        ),
+        power=_power(1.25, 4.58),
+        thermal=ThermalSpec(
+            r_passive_c_per_w=16.2,
+            r_active_c_per_w=8.3,
+            c_j_per_c=30.0,
+            has_heatsink=True,
+            has_fan=True,
+            heatsink_mm="59x39x17",
+            fan_trigger_c=55.0,
+            fan_stop_c=45.0,
+            surface_offset_c=7.0,
+        ),
+        inference_utilization=_EDGE_INFERENCE_UTILIZATION,
+    )
+
+
+def edgetpu() -> Device:
+    return Device(
+        name="EdgeTPU",
+        category=DeviceCategory.EDGE_ACCELERATOR,
+        compute_units=(
+            ComputeUnit(
+                name="EdgeTPU systolic array (4 TOPS INT8)",
+                kind=ComputeKind.ASIC,
+                peak_macs_per_s={DType.INT8: 2000 * GIGA},  # 4 TOPS = 2 TMAC/s
+                dispatch_overhead_s=2e-6,  # fused pipeline, near-zero launches
+                on_chip_buffer_bytes=8 * MEBI,
+            ),
+            cpu_unit("4-core Cortex-A53 + Cortex-M4 @ 1.5 GHz (host)", cores=4,
+                     clock_hz=1.5 * GIGA, macs_per_cycle_per_core=2.0),
+        ),
+        memory=MemorySpec(
+            capacity_bytes=1 * GIBI,
+            bandwidth_bytes_per_s=3.2 * GIGA,
+            technology="LPDDR4",
+            usable_fraction=0.7,
+        ),
+        power=_power(3.24, 4.14),
+        thermal=ThermalSpec(
+            r_passive_c_per_w=5.5,
+            r_active_c_per_w=5.5,
+            c_j_per_c=25.0,
+            has_heatsink=True,
+            has_fan=False,
+            heatsink_mm="44x40x9",
+            surface_offset_c=6.0,
+        ),
+        supported_frameworks=("TFLite",),
+        inference_utilization=_EDGE_INFERENCE_UTILIZATION,
+    )
+
+
+def movidius_ncs() -> Device:
+    return Device(
+        name="Movidius NCS",
+        category=DeviceCategory.EDGE_ACCELERATOR,
+        compute_units=(
+            ComputeUnit(
+                name="Myriad 2 VPU (12 SHAVE cores)",
+                kind=ComputeKind.VPU,
+                peak_macs_per_s={
+                    DType.FP16: 100 * GIGA,
+                    DType.FP32: 50 * GIGA,
+                    DType.INT8: 150 * GIGA,
+                },
+                dispatch_overhead_s=5e-6,
+                on_chip_buffer_bytes=2 * MEBI,  # CMX scratchpad
+            ),
+        ),
+        memory=MemorySpec(
+            capacity_bytes=512 * MEBI,
+            bandwidth_bytes_per_s=2.0 * GIGA,
+            technology="LPDDR3 (on-stick)",
+            shared_with_host=False,
+            usable_fraction=0.9,
+        ),
+        power=_power(0.36, 1.52),
+        # The stick enclosure is an efficient heatsink: the smallest thermal
+        # resistance in the study, producing the flattest Figure 14 curve.
+        # Trade-off: the modelled idle surface reads ~3 degC below Table
+        # VI's 25.8 (see EXPERIMENTS.md).
+        thermal=ThermalSpec(
+            r_passive_c_per_w=1.8,
+            r_active_c_per_w=1.8,
+            c_j_per_c=6.0,
+            has_heatsink=True,
+            has_fan=False,
+            heatsink_mm="60x27x14 (enclosure)",
+            surface_offset_c=0.0,
+        ),
+        transfer=TransferLink("USB 3.0", bandwidth_bytes_per_s=350 * MEBI, latency_s=1e-3),
+        supported_frameworks=("NCSDK",),
+        inference_utilization=_EDGE_INFERENCE_UTILIZATION,
+    )
+
+
+def pynq_z1() -> Device:
+    return Device(
+        name="PYNQ-Z1",
+        category=DeviceCategory.FPGA,
+        compute_units=(
+            ComputeUnit(
+                name="ZYNQ XC7Z020 fabric (VTA GEMM / FINN dataflow)",
+                kind=ComputeKind.FPGA,
+                peak_macs_per_s={
+                    DType.INT8: 36 * GIGA,  # VTA 16x16 GEMM @ ~140 MHz
+                    DType.BINARY: 400 * GIGA,  # FINN binarized dataflow
+                },
+                dispatch_overhead_s=50e-6,  # overlay invocation via PYNQ runtime
+                on_chip_buffer_bytes=630 * KIBI,  # BRAM
+            ),
+            cpu_unit("2-core Cortex-A9 @ 650 MHz", cores=2, clock_hz=0.65 * GIGA,
+                     macs_per_cycle_per_core=1.0),
+        ),
+        memory=MemorySpec(
+            capacity_bytes=512 * MEBI,
+            bandwidth_bytes_per_s=2.1 * GIGA,
+            technology="DDR3 (16-bit) + 630 KB BRAM",
+            usable_fraction=0.6,
+        ),
+        power=_power(2.65, 5.24),
+        thermal=ThermalSpec(
+            r_passive_c_per_w=8.0,
+            r_active_c_per_w=8.0,
+            c_j_per_c=20.0,
+            has_heatsink=True,
+            has_fan=False,
+            heatsink_mm="30x30x10",
+            surface_offset_c=5.0,
+        ),
+        supported_frameworks=("TVM VTA", "FINN"),
+        inference_utilization=_EDGE_INFERENCE_UTILIZATION,
+    )
+
+
+def xeon_e5_2696() -> Device:
+    return Device(
+        name="Xeon E5-2696 v4",
+        category=DeviceCategory.HPC_CPU,
+        compute_units=(
+            cpu_unit("2x 22-core E5-2696 v4 @ 2.2 GHz (AVX2)", cores=44,
+                     clock_hz=2.2 * GIGA, macs_per_cycle_per_core=16.0,
+                     dispatch_overhead_s=2e-6),
+        ),
+        memory=MemorySpec(
+            capacity_bytes=264 * GIBI,
+            bandwidth_bytes_per_s=70.0 * GIGA,
+            technology="DDR4 (quad-channel x2)",
+            usable_fraction=0.95,
+        ),
+        power=_power(70.0, 300.0),
+        inference_utilization=_EDGE_INFERENCE_UTILIZATION,
+    )
+
+
+def gtx_titan_x() -> Device:
+    return Device(
+        name="GTX Titan X",
+        category=DeviceCategory.HPC_GPU,
+        compute_units=(
+            gpu_unit("3072-core Maxwell @ 1.0 GHz", cuda_cores=3072, clock_hz=1.0 * GIGA),
+        ),
+        memory=MemorySpec(
+            capacity_bytes=12 * GIBI,
+            bandwidth_bytes_per_s=336.0 * GIGA,
+            technology="GDDR5",
+            shared_with_host=False,
+            usable_fraction=0.95,
+        ),
+        power=_power(15.0, 100.0),
+        transfer=TransferLink("PCIe 3.0 x16", bandwidth_bytes_per_s=12 * GIBI, latency_s=10e-6),
+        inference_utilization=_EDGE_INFERENCE_UTILIZATION,
+    )
+
+
+def titan_xp() -> Device:
+    return Device(
+        name="Titan Xp",
+        category=DeviceCategory.HPC_GPU,
+        compute_units=(
+            gpu_unit("3840-core Pascal @ 1.58 GHz", cuda_cores=3840, clock_hz=1.58 * GIGA,
+                     int8_ratio=4.0),
+        ),
+        memory=MemorySpec(
+            capacity_bytes=12 * GIBI,
+            bandwidth_bytes_per_s=547.0 * GIGA,
+            technology="GDDR5X",
+            shared_with_host=False,
+            usable_fraction=0.95,
+        ),
+        power=_power(55.0, 120.0),
+        transfer=TransferLink("PCIe 3.0 x16", bandwidth_bytes_per_s=12 * GIBI, latency_s=10e-6),
+        inference_utilization=_EDGE_INFERENCE_UTILIZATION,
+    )
+
+
+def rtx_2080() -> Device:
+    return Device(
+        name="RTX 2080",
+        category=DeviceCategory.HPC_GPU,
+        compute_units=(
+            gpu_unit("2944-core Turing @ 1.71 GHz", cuda_cores=2944, clock_hz=1.71 * GIGA,
+                     fp16_ratio=8.0, int8_ratio=16.0),  # tensor cores
+        ),
+        memory=MemorySpec(
+            capacity_bytes=8 * GIBI,
+            bandwidth_bytes_per_s=448.0 * GIGA,
+            technology="GDDR6",
+            shared_with_host=False,
+            usable_fraction=0.95,
+        ),
+        power=_power(39.0, 150.0),
+        transfer=TransferLink("PCIe 3.0 x16", bandwidth_bytes_per_s=12 * GIBI, latency_s=10e-6),
+        inference_utilization=_EDGE_INFERENCE_UTILIZATION,
+    )
+
+
+DEVICE_REGISTRY: Registry[Device] = Registry("device")
+for _factory, _aliases in (
+    (raspberry_pi_3b, ("RPi", "RPi3", "raspberrypi")),
+    (jetson_tx2, ("TX2",)),
+    (jetson_nano, ("Nano",)),
+    (edgetpu, ("Edge TPU", "Google EdgeTPU")),
+    (movidius_ncs, ("Movidius", "NCS", "Movidius Stick")),
+    (pynq_z1, ("PYNQ",)),
+    (xeon_e5_2696, ("Xeon", "Xeon CPU")),
+    (gtx_titan_x, ("GTX",)),
+    (titan_xp, ("T-XP",)),
+    (rtx_2080, ("2080",)),
+):
+    DEVICE_REGISTRY.register(_factory().name, _factory, aliases=_aliases)
+
+
+def load_device(name: str) -> Device:
+    """Instantiate the named Table III platform."""
+    return DEVICE_REGISTRY.create(name)
+
+
+def list_devices() -> list[str]:
+    """Display names of every Table III platform."""
+    return DEVICE_REGISTRY.names()

@@ -1,0 +1,124 @@
+"""Compute-unit models.
+
+A :class:`ComputeUnit` abstracts a CPU cluster, a GPU, or a fixed-function
+accelerator as peak multiply-accumulate throughput per datatype.  Peaks are
+derived from public microarchitecture data (cores x clock x MACs/cycle);
+what fraction of peak a real framework kernel achieves is a *framework*
+property resolved by the execution engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.graphs.tensor import DType
+
+
+class ComputeKind(enum.Enum):
+    """Microarchitecture classes a device may carry."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    ASIC = "asic"  # EdgeTPU-style systolic array
+    VPU = "vpu"  # Movidius SHAVE vector cores
+    FPGA = "fpga"  # PYNQ programmable fabric
+
+
+@dataclass(frozen=True)
+class ComputeUnit:
+    """One schedulable compute resource of a device.
+
+    Attributes:
+        name: human-readable descriptor ("4-core Cortex-A53 @ 1.2 GHz").
+        kind: the microarchitecture class.
+        peak_macs_per_s: peak MAC throughput per supported datatype; absence
+            of a datatype means the unit cannot execute it natively.
+        dispatch_overhead_s: fixed cost to launch one kernel on this unit
+            (syscall/driver/launch latency) — the constant the paper's
+            framework-overhead observations hinge on.
+        on_chip_buffer_bytes: scratchpad/L2 capacity available for weight
+            reuse; models that fit enjoy on-chip bandwidth (EdgeTPU, VTA).
+    """
+
+    name: str
+    kind: ComputeKind
+    peak_macs_per_s: dict[DType, float]
+    dispatch_overhead_s: float = 10e-6
+    on_chip_buffer_bytes: int = 0
+    cores: int = 1
+
+    @property
+    def per_core_macs_per_s(self) -> float:
+        """FP32 MAC/s of one core — the scalar-speed proxy used to scale
+        framework bookkeeping costs to slow edge CPUs."""
+        return self.peak_macs_per_s.get(DType.FP32, 0.0) / max(1, self.cores)
+
+    def supports(self, dtype: DType) -> bool:
+        return dtype in self.peak_macs_per_s
+
+    def peak(self, dtype: DType) -> float:
+        """Peak MAC/s at ``dtype``; raises for unsupported datatypes."""
+        if dtype not in self.peak_macs_per_s:
+            raise ValueError(f"{self.name} does not support {dtype.value}")
+        return self.peak_macs_per_s[dtype]
+
+    def best_dtype(self, allowed: tuple[DType, ...]) -> DType:
+        """The fastest supported datatype among ``allowed``."""
+        usable = [d for d in allowed if self.supports(d)]
+        if not usable:
+            raise ValueError(f"{self.name} supports none of {[d.value for d in allowed]}")
+        return max(usable, key=self.peak_macs_per_s.__getitem__)
+
+
+def cpu_unit(
+    name: str,
+    cores: int,
+    clock_hz: float,
+    macs_per_cycle_per_core: float,
+    fp16_ratio: float = 1.0,
+    int8_ratio: float = 1.0,
+    dispatch_overhead_s: float = 5e-6,
+) -> ComputeUnit:
+    """Build a CPU compute unit from core count, clock and SIMD width.
+
+    ``fp16_ratio``/``int8_ratio`` scale fp32 throughput; 1.0 means the ISA
+    provides no speedup for narrow types (e.g. Cortex-A53 NEON executes
+    INT8 at FP32 rate — the reason TFLite's INT8 kernels buy little on the
+    Raspberry Pi, Section VI-B2).
+    """
+    fp32 = cores * clock_hz * macs_per_cycle_per_core
+    return ComputeUnit(
+        name=name,
+        kind=ComputeKind.CPU,
+        peak_macs_per_s={
+            DType.FP32: fp32,
+            DType.FP16: fp32 * fp16_ratio,
+            DType.INT8: fp32 * int8_ratio,
+        },
+        dispatch_overhead_s=dispatch_overhead_s,
+        cores=cores,
+    )
+
+
+def gpu_unit(
+    name: str,
+    cuda_cores: int,
+    clock_hz: float,
+    fp16_ratio: float = 1.0,
+    int8_ratio: float = 1.0,
+    dispatch_overhead_s: float = 20e-6,
+) -> ComputeUnit:
+    """Build a GPU compute unit: one FMA (one MAC) per CUDA core per cycle."""
+    fp32 = cuda_cores * clock_hz
+    return ComputeUnit(
+        name=name,
+        kind=ComputeKind.GPU,
+        peak_macs_per_s={
+            DType.FP32: fp32,
+            DType.FP16: fp32 * fp16_ratio,
+            DType.INT8: fp32 * int8_ratio,
+        },
+        dispatch_overhead_s=dispatch_overhead_s,
+        cores=cuda_cores,
+    )

@@ -1,0 +1,106 @@
+"""The device abstraction tying compute, memory, power and thermal together."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hardware.compute import ComputeKind, ComputeUnit
+from repro.hardware.memory import MemorySpec
+from repro.hardware.power import PowerModel
+from repro.hardware.thermal import ThermalSimulator, ThermalSpec
+
+
+class DeviceCategory(enum.Enum):
+    """Table III's column groups."""
+
+    EDGE_CPU = "IoT/Edge device"
+    EDGE_GPU = "GPU-based edge device"
+    EDGE_ACCELERATOR = "Custom-ASIC edge accelerator"
+    FPGA = "FPGA-based"
+    HPC_CPU = "HPC CPU"
+    HPC_GPU = "HPC GPU"
+
+    @property
+    def is_edge(self) -> bool:
+        return self in (
+            DeviceCategory.EDGE_CPU,
+            DeviceCategory.EDGE_GPU,
+            DeviceCategory.EDGE_ACCELERATOR,
+            DeviceCategory.FPGA,
+        )
+
+
+@dataclass(frozen=True)
+class TransferLink:
+    """Host-to-accelerator link (USB for NCS, PCIe for discrete HPC GPUs).
+
+    Jetson boards share DRAM between CPU and GPU (Section IV-2), so they
+    carry no link at all — a structural advantage the paper calls out.
+    """
+
+    name: str
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+    def transfer_time_s(self, num_bytes: float) -> float:
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class Device:
+    """A hardware platform from Table III."""
+
+    name: str
+    category: DeviceCategory
+    compute_units: tuple[ComputeUnit, ...]
+    memory: MemorySpec
+    power: PowerModel
+    thermal: ThermalSpec | None = None
+    transfer: TransferLink | None = None
+    supported_frameworks: tuple[str, ...] = ()
+    # Typical compute utilization while running DNN inference; maps the
+    # PowerModel onto Table III's measured "Average Power".
+    inference_utilization: float = 1.0
+    # Active DVFS mode (see repro.hardware.operating_points).
+    operating_point: str = "default"
+
+    def unit(self, kind: ComputeKind) -> ComputeUnit:
+        """The first compute unit of the requested kind."""
+        for candidate in self.compute_units:
+            if candidate.kind == kind:
+                return candidate
+        raise ValueError(f"{self.name} has no {kind.value} compute unit")
+
+    def has_unit(self, kind: ComputeKind) -> bool:
+        return any(candidate.kind == kind for candidate in self.compute_units)
+
+    @property
+    def primary_unit(self) -> ComputeUnit:
+        """The unit DNN frameworks target by preference: accelerator, then
+        GPU, then CPU — the paper's per-device best configuration."""
+        for kind in (ComputeKind.ASIC, ComputeKind.VPU, ComputeKind.FPGA,
+                     ComputeKind.GPU, ComputeKind.CPU):
+            if self.has_unit(kind):
+                return self.unit(kind)
+        raise ValueError(f"{self.name} has no compute units")
+
+    def supports_framework(self, framework_name: str) -> bool:
+        if not self.supported_frameworks:
+            return True
+        normalized = framework_name.lower()
+        return any(normalized == entry.lower() for entry in self.supported_frameworks)
+
+    def average_power_w(self) -> float:
+        """Power draw under DNN load (reproduces Table III's column)."""
+        return self.power.power(self.inference_utilization)
+
+    def thermal_simulator(self, ambient_c: float | None = None) -> ThermalSimulator:
+        if self.thermal is None:
+            raise ValueError(f"{self.name} has no thermal model (HPC platform)")
+        if ambient_c is None:
+            return ThermalSimulator(self.thermal)
+        return ThermalSimulator(self.thermal, ambient_c=ambient_c)
+
+    def __repr__(self) -> str:
+        return f"Device({self.name!r}, {self.category.name})"

@@ -1,0 +1,47 @@
+"""Memory system model.
+
+Capacity gates deployment (Table V's dynamic-graph fallbacks and memory
+errors); bandwidth feeds the roofline's memory term.  ``usable_fraction``
+accounts for the OS/runtime share on single-board computers — the 1 GB
+Raspberry Pi does not have 1 GB for tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantity import GIBI, MEBI
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Main memory visible to the DNN execution.
+
+    Attributes:
+        capacity_bytes: physical capacity.
+        bandwidth_bytes_per_s: sustained stream bandwidth.
+        technology: marketing name (LPDDR2, GDDR6, BRAM+DDR3, ...).
+        shared_with_host: True when CPU and accelerator share DRAM with no
+            PCIe copy (Jetson family, Section IV-2).
+        usable_fraction: fraction of capacity available to the inference
+            process after OS / runtime overheads.
+        storage_bandwidth_bytes_per_s: backing-store stream rate (SD card,
+            SSD) used when a dynamic-graph run pages weights.
+    """
+
+    capacity_bytes: int
+    bandwidth_bytes_per_s: float
+    technology: str = "DRAM"
+    shared_with_host: bool = True
+    usable_fraction: float = 0.8
+    storage_bandwidth_bytes_per_s: float = 80 * MEBI
+
+    @property
+    def usable_bytes(self) -> int:
+        return int(self.capacity_bytes * self.usable_fraction)
+
+    def fits(self, footprint_bytes: int) -> bool:
+        return footprint_bytes <= self.usable_bytes
+
+    def describe(self) -> str:
+        return f"{self.capacity_bytes / GIBI:.1f} GiB {self.technology}"

@@ -1,0 +1,99 @@
+"""Device operating points (DVFS power modes).
+
+The Jetson boards ship user-selectable power modes — TX2's Max-N/Max-Q,
+Nano's 10 W/5 W — that trade clock speed for power.  The paper measures the
+default modes; this module lets every experiment re-run under the others,
+scaling compute peaks with the clock and the dynamic power with the mode's
+budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.errors import UnknownEntryError
+from repro.hardware.compute import ComputeUnit
+from repro.hardware.device import Device
+from repro.hardware.power import PowerModel
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS mode.
+
+    Attributes:
+        name: mode name as the vendor spells it.
+        clock_scale: multiplier on every compute unit's clock (and thus
+            peak MAC rates); dispatch latencies stretch inversely.
+        dynamic_power_scale: multiplier on the device's dynamic (active
+            minus idle) power: roughly clock x voltage^2.
+    """
+
+    name: str
+    clock_scale: float
+    dynamic_power_scale: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.clock_scale <= 1.5:
+            raise ValueError("clock_scale must be in (0, 1.5]")
+        if not 0 < self.dynamic_power_scale <= 1.5:
+            raise ValueError("dynamic_power_scale must be in (0, 1.5]")
+
+
+# Vendor-documented modes per device (default mode first).
+OPERATING_POINTS: dict[str, tuple[OperatingPoint, ...]] = {
+    "Jetson TX2": (
+        OperatingPoint("Max-N", 1.0, 1.0),
+        OperatingPoint("Max-Q", 0.70, 0.55),  # 7.5 W budget mode
+    ),
+    "Jetson Nano": (
+        OperatingPoint("10W", 1.0, 1.0),
+        OperatingPoint("5W", 0.59, 0.48),  # 2-core 5 W budget mode
+    ),
+}
+
+
+def list_operating_points(device_name: str) -> tuple[OperatingPoint, ...]:
+    """Modes documented for ``device_name`` (default-only when unlisted)."""
+    return OPERATING_POINTS.get(device_name, (OperatingPoint("default", 1.0, 1.0),))
+
+
+def apply_operating_point(device: Device, point: OperatingPoint | str) -> Device:
+    """A copy of ``device`` running in the given mode.
+
+    The device keeps its name (so anchor calibration still applies — the
+    mode scales physics, not kernels) and records the mode in
+    ``operating_point``.
+    """
+    if isinstance(point, str):
+        matches = [p for p in list_operating_points(device.name)
+                   if p.name.lower() == point.lower()]
+        if not matches:
+            options = ", ".join(p.name for p in list_operating_points(device.name))
+            raise UnknownEntryError(
+                f"unknown operating point {point!r} for {device.name}; "
+                f"options: {options}")
+        point = matches[0]
+    scaled_units = tuple(_scale_unit(unit, point.clock_scale)
+                         for unit in device.compute_units)
+    power = PowerModel(
+        idle_w=device.power.idle_w,
+        active_w=device.power.idle_w
+        + device.power.dynamic_range_w * point.dynamic_power_scale,
+    )
+    return dataclasses.replace(
+        device,
+        compute_units=scaled_units,
+        power=power,
+        operating_point=point.name,
+    )
+
+
+def _scale_unit(unit: ComputeUnit, clock_scale: float) -> ComputeUnit:
+    return dataclasses.replace(
+        unit,
+        peak_macs_per_s={dtype: peak * clock_scale
+                         for dtype, peak in unit.peak_macs_per_s.items()},
+        dispatch_overhead_s=unit.dispatch_overhead_s / clock_scale,
+    )

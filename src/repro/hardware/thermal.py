@@ -1,0 +1,194 @@
+"""Lumped-RC thermal model with cooling hardware (Table VI, Figure 14).
+
+Each device is a single thermal mass: heat capacity ``c_j_per_c`` charged by
+the power draw, discharging to ambient through a thermal resistance.  A fan
+(when present) switches the resistance between passive and active values
+with hysteresis; devices without sufficient cooling can cross their
+shutdown threshold — the Raspberry Pi's fate in Figure 14.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+DEFAULT_AMBIENT_C = 22.0
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """Thermal parameters of one device.
+
+    Attributes:
+        r_passive_c_per_w: junction-to-ambient resistance, fan off.
+        r_active_c_per_w: resistance with the fan spinning (= passive when
+            no fan is present).
+        c_j_per_c: lumped heat capacity.
+        has_heatsink / has_fan / heatsink_mm: Table VI cooling inventory.
+        fan_trigger_c: junction temperature that starts the fan.
+        fan_stop_c: temperature below which the fan stops (hysteresis).
+        shutdown_c: junction temperature that trips a thermal shutdown, or
+            ``None`` for devices that never trip.
+        throttle_c: junction temperature at which firmware DVFS reduces the
+            clock, or ``None`` for devices without a soft limit.
+        throttle_stop_c: temperature below which the clock is restored.
+        throttle_clock_factor: clock multiplier while throttled (< 1).
+        surface_offset_c: how much cooler the camera-visible surface is than
+            the junction (5-10 degC through a heatsink, Section V).
+    """
+
+    r_passive_c_per_w: float
+    r_active_c_per_w: float
+    c_j_per_c: float
+    has_heatsink: bool = True
+    has_fan: bool = False
+    heatsink_mm: str = ""
+    fan_trigger_c: float = 60.0
+    fan_stop_c: float = 50.0
+    shutdown_c: float | None = None
+    throttle_c: float | None = None
+    throttle_stop_c: float | None = None
+    throttle_clock_factor: float = 0.6
+    surface_offset_c: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.r_active_c_per_w > self.r_passive_c_per_w:
+            raise ValueError("fan-on resistance cannot exceed passive resistance")
+        if self.has_fan and self.fan_stop_c >= self.fan_trigger_c:
+            raise ValueError("fan hysteresis requires fan_stop_c < fan_trigger_c")
+        if self.throttle_c is not None:
+            if not 0 < self.throttle_clock_factor < 1:
+                raise ValueError("throttle_clock_factor must be in (0, 1)")
+            if self.throttle_stop_c is not None and self.throttle_stop_c >= self.throttle_c:
+                raise ValueError("throttle hysteresis requires throttle_stop_c < throttle_c")
+
+    def steady_state_c(self, power_w: float, ambient_c: float = DEFAULT_AMBIENT_C,
+                       fan_on: bool = False) -> float:
+        """Equilibrium junction temperature at constant ``power_w``."""
+        resistance = self.r_active_c_per_w if (fan_on and self.has_fan) else self.r_passive_c_per_w
+        return ambient_c + power_w * resistance
+
+
+@dataclass
+class ThermalEvent:
+    """A discrete thermal event observed during simulation."""
+
+    time_s: float
+    kind: str  # "fan_on" | "fan_off" | "shutdown"
+    temperature_c: float
+
+
+@dataclass
+class ThermalSimulator:
+    """Integrates the RC model forward in time.
+
+    Use :meth:`step` for explicit time-stepping or :meth:`run_to_steady_state`
+    for the paper's methodology ("each experiment runs until the temperature
+    reaches steady-state", Section V).
+    """
+
+    spec: ThermalSpec
+    ambient_c: float = DEFAULT_AMBIENT_C
+    temperature_c: float = field(default=0.0)
+    fan_on: bool = False
+    throttled: bool = False
+    shutdown: bool = False
+    time_s: float = 0.0
+    events: list[ThermalEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.temperature_c == 0.0:
+            self.temperature_c = self.ambient_c
+
+    @property
+    def resistance(self) -> float:
+        if self.fan_on and self.spec.has_fan:
+            return self.spec.r_active_c_per_w
+        return self.spec.r_passive_c_per_w
+
+    @property
+    def surface_temperature_c(self) -> float:
+        """What a thermal camera sees (junction minus sink/package drop)."""
+        return self.temperature_c - self.spec.surface_offset_c
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance ``dt_s`` seconds at constant ``power_w``; returns junction C.
+
+        Uses the exact exponential solution of the RC node over the step, so
+        large steps remain stable.
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+        if self.shutdown:
+            power_w = 0.0  # a tripped device stops drawing compute power
+        target = self.ambient_c + power_w * self.resistance
+        tau = self.resistance * self.spec.c_j_per_c
+        self.temperature_c = target + (self.temperature_c - target) * math.exp(-dt_s / tau)
+        self.time_s += dt_s
+        self._update_fan()
+        self._update_throttle()
+        self._check_shutdown()
+        return self.temperature_c
+
+    @property
+    def clock_factor(self) -> float:
+        """Effective clock multiplier: 1.0 unless DVFS is throttling."""
+        if self.shutdown:
+            return 0.0
+        return self.spec.throttle_clock_factor if self.throttled else 1.0
+
+    def _update_throttle(self) -> None:
+        if self.spec.throttle_c is None:
+            return
+        stop = self.spec.throttle_stop_c
+        if stop is None:
+            stop = self.spec.throttle_c - 5.0
+        if not self.throttled and self.temperature_c >= self.spec.throttle_c:
+            self.throttled = True
+            self.events.append(ThermalEvent(self.time_s, "throttle_on", self.temperature_c))
+        elif self.throttled and self.temperature_c <= stop:
+            self.throttled = False
+            self.events.append(ThermalEvent(self.time_s, "throttle_off", self.temperature_c))
+
+    def _update_fan(self) -> None:
+        if not self.spec.has_fan:
+            return
+        if not self.fan_on and self.temperature_c >= self.spec.fan_trigger_c:
+            self.fan_on = True
+            self.events.append(ThermalEvent(self.time_s, "fan_on", self.temperature_c))
+        elif self.fan_on and self.temperature_c <= self.spec.fan_stop_c:
+            self.fan_on = False
+            self.events.append(ThermalEvent(self.time_s, "fan_off", self.temperature_c))
+
+    def _check_shutdown(self) -> None:
+        if self.shutdown or self.spec.shutdown_c is None:
+            return
+        if self.temperature_c >= self.spec.shutdown_c:
+            self.shutdown = True
+            self.events.append(ThermalEvent(self.time_s, "shutdown", self.temperature_c))
+
+    def run_to_steady_state(self, power_w: float, dt_s: float = 1.0,
+                            tolerance_c: float = 0.01, max_time_s: float = 7200.0,
+                            ) -> list[tuple[float, float]]:
+        """Step until the temperature settles (or shutdown); returns the trace.
+
+        The trace is a list of ``(time_s, junction_temperature_c)`` samples,
+        one per step, suitable for plotting Figure 14-style curves.
+        """
+        trace: list[tuple[float, float]] = [(self.time_s, self.temperature_c)]
+        while self.time_s < max_time_s:
+            before = self.temperature_c
+            self.step(power_w, dt_s)
+            trace.append((self.time_s, self.temperature_c))
+            if self.shutdown:
+                break
+            target = self.ambient_c + power_w * self.resistance
+            if abs(self.temperature_c - before) < tolerance_c and abs(
+                target - self.temperature_c
+            ) < 10 * tolerance_c:
+                break
+        return trace
+
+    def idle_temperature_c(self, idle_power_w: float) -> float:
+        """Steady idle junction temperature (fan assumed off at idle)."""
+        return self.spec.steady_state_c(idle_power_w, self.ambient_c, fan_on=False)

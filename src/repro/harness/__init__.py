@@ -1,0 +1,17 @@
+"""Experiment harness: one generator per paper table/figure.
+
+``EXPERIMENT_REGISTRY`` maps ids ("fig02", "table5", ...) to experiments;
+each returns a :class:`~repro.core.result.ResultTable` carrying measured
+values next to the paper-reported references from
+:mod:`repro.harness.paper_data`.
+"""
+
+from repro.harness.registry import EXPERIMENT_REGISTRY, list_experiments, run_experiment
+from repro.harness.report import render_table
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "list_experiments",
+    "render_table",
+    "run_experiment",
+]

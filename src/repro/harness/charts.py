@@ -1,0 +1,115 @@
+"""ASCII charts for figure-style output.
+
+The paper presents bar charts and a log-log scatter; the CLI and examples
+can render the same shapes in a terminal: horizontal bars (linear or log
+scale) from a ResultTable column, and a log-log scatter grid for the
+Figure 12 time-vs-power plane.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.result import ResultTable
+
+DEFAULT_WIDTH = 48
+
+
+def bar_chart(table: ResultTable, column: str, *, log_scale: bool = False,
+              width: int = DEFAULT_WIDTH, unit: str = "") -> str:
+    """Horizontal bars for one numeric column; None cells render as 'n/a'."""
+    if column not in table.columns:
+        raise KeyError(f"no column {column!r} in table {table.title!r}")
+    values = [(row.label, row.get(column)) for row in table.rows]
+    numeric = [v for _label, v in values if v is not None]
+    if not numeric:
+        raise ValueError(f"column {column!r} has no numeric values")
+    if log_scale and min(numeric) <= 0:
+        raise ValueError("log scale requires positive values")
+
+    if log_scale:
+        low = math.log10(min(numeric))
+        high = math.log10(max(numeric))
+    else:
+        low, high = 0.0, max(numeric)
+    span = (high - low) or 1.0
+
+    label_width = max(len(label) for label, _v in values)
+    lines = [f"{table.title} — {column}" + (" (log scale)" if log_scale else "")]
+    for label, value in values:
+        if value is None:
+            lines.append(f"{label:{label_width}s} | n/a")
+            continue
+        magnitude = math.log10(value) if log_scale else value
+        filled = int(round((magnitude - low) / span * width))
+        filled = max(1, min(width, filled)) if value > 0 else 0
+        lines.append(
+            f"{label:{label_width}s} |{'#' * filled:{width}s}| "
+            f"{value:,.3g} {unit}".rstrip()
+        )
+    return "\n".join(lines)
+
+
+def roofline_chart(graph, peak_macs_per_s: float, bandwidth_bytes_per_s: float,
+                   *, width: int = 60, height: int = 16) -> str:
+    """ASCII roofline: each op plotted at (intensity, attainable MAC/s).
+
+    Ops sit ON the roofline by construction (attainable = min(peak,
+    bandwidth x intensity)); the chart shows how much of the model's work
+    lives left (memory-bound) or right (compute-bound) of the ridge.
+    """
+    from repro.graphs.analysis import intensity_profile, ridge_point
+
+    profile = [e for e in intensity_profile(graph) if e.macs > 0]
+    if not profile:
+        raise ValueError(f"graph {graph.name!r} has no compute to plot")
+    ridge = ridge_point(peak_macs_per_s, bandwidth_bytes_per_s)
+    points = []
+    for entry in profile:
+        attainable = min(peak_macs_per_s, bandwidth_bytes_per_s * entry.intensity)
+        marker = "C" if entry.intensity >= ridge else "M"
+        points.append((marker + entry.name, entry.intensity, attainable / 1e9))
+    chart = scatter_loglog(points, width=width, height=height,
+                           x_label="MACs/byte", y_label="GMAC/s")
+    compute_macs = sum(e.macs for e in profile if e.intensity >= ridge)
+    total = sum(e.macs for e in profile)
+    return (f"{graph.name} roofline (ridge at {ridge:.1f} MACs/byte, "
+            f"{compute_macs / total:.0%} of MACs compute-bound)\n" + chart)
+
+
+def scatter_loglog(points: list[tuple[str, float, float]], *,
+                   width: int = 60, height: int = 18,
+                   x_label: str = "x", y_label: str = "y") -> str:
+    """A log-log scatter: each point is (marker-label, x, y).
+
+    The first character of each label is the plot marker; a legend maps
+    markers back to labels.  Reproduces the Figure 12 reading at terminal
+    resolution.
+    """
+    if not points:
+        raise ValueError("nothing to plot")
+    if any(x <= 0 or y <= 0 for _l, x, y in points):
+        raise ValueError("log-log scatter requires positive coordinates")
+
+    xs = [math.log10(x) for _l, x, _y in points]
+    ys = [math.log10(y) for _l, _x, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: dict[str, str] = {}
+    for (label, x, y), lx, ly in zip(points, xs, ys):
+        marker = label[0].upper()
+        markers.setdefault(marker, label)
+        column = int((lx - x_low) / x_span * (width - 1))
+        row = int((y_high - ly) / y_span * (height - 1))
+        grid[row][column] = marker
+
+    lines = [f"{y_label} (log) ^"]
+    lines += ["".join(row_cells) for row_cells in grid]
+    lines.append("-" * width + f"> {x_label} (log)")
+    legend = ", ".join(f"{marker}={label}" for marker, label in sorted(markers.items()))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

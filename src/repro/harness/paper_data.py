@@ -1,0 +1,218 @@
+"""Paper-reported reference numbers.
+
+Transcribed from the paper's tables and (where the published scan is
+legible) figures.  Values the scan garbles are recorded as ``None`` rather
+than guessed; EXPERIMENTS.md discusses each gap.  Units: seconds unless a
+name says otherwise.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------- Table I
+# model -> (input size, GFLOP as printed, params in millions)
+TABLE1_MODELS: dict[str, tuple[str, float, float]] = {
+    "ResNet-18": ("224x224", 1.83, 11.69),
+    "ResNet-50": ("224x224", 4.14, 25.56),
+    "ResNet-101": ("224x224", 7.87, 44.55),
+    "Xception": ("224x224", 4.65, 22.91),
+    "MobileNet-v2": ("224x224", 0.32, 3.53),
+    "Inception-v4": ("224x224", 12.27, 42.71),
+    "AlexNet": ("224x224", 0.72, 102.14),
+    "VGG16": ("224x224", 15.47, 138.36),
+    "VGG19": ("224x224", 19.63, 143.66),
+    "VGG-S 32x32": ("32x32", 0.11, 32.11),
+    "VGG-S 224x224": ("224x224", 3.27, 102.91),
+    "CifarNet 32x32": ("32x32", 0.01, 0.79),
+    "SSD MobileNet-v1": ("300x300", 0.98, 4.23),
+    "YOLOv3": ("224x224", 38.97, 62.00),
+    "TinyYolo": ("224x224", 5.56, 15.87),
+    "C3D": ("12x112x112", 57.99, 89.00),
+}
+
+# Models whose printed "FLOP" follows DarkNet/Caffe's 2-ops-per-MAC
+# convention; our MAC counts are expected to be ~half the printed value.
+DOUBLE_COUNTED_FLOPS = ("YOLOv3", "C3D")
+
+# Known Table I irregularities (documented in EXPERIMENTS.md).
+TABLE1_KNOWN_DISCREPANCIES = ("AlexNet", "TinyYolo", "VGG-S 32x32", "CifarNet 32x32")
+
+# -------------------------------------------------------------- Table III
+# device -> (idle watts, average watts under DNN load)
+TABLE3_POWER_W: dict[str, tuple[float, float]] = {
+    "Raspberry Pi 3B": (1.33, 2.73),
+    "Jetson TX2": (1.90, 9.65),
+    "Jetson Nano": (1.25, 4.58),
+    "EdgeTPU": (3.24, 4.14),
+    "Movidius NCS": (0.36, 1.52),
+    "PYNQ-Z1": (2.65, 5.24),
+    "Xeon E5-2696 v4": (70.0, 300.0),
+    "GTX Titan X": (15.0, 100.0),
+    "Titan Xp": (55.0, 120.0),
+    "RTX 2080": (39.0, 150.0),
+}
+
+# --------------------------------------------------------------- Table VI
+# device -> (has heatsink, has fan, idle surface temperature degC)
+TABLE6_COOLING: dict[str, tuple[bool, bool, float]] = {
+    "Raspberry Pi 3B": (False, False, 43.3),
+    "Jetson TX2": (True, True, 32.4),
+    "Jetson Nano": (True, True, 35.2),
+    "EdgeTPU": (True, False, 33.9),
+    "Movidius NCS": (True, False, 25.8),
+}
+
+# ---------------------------------------------------------------- Table V
+# Expected status symbols, exactly as reproduced by
+# repro.frameworks.compat (paper symbols mapped: check=+, diamond=^, O=O,
+# triangle=4, double caret=^^).
+TABLE5_EXPECTED: dict[str, dict[str, str]] = {
+    "ResNet-18": {"Raspberry Pi 3B": "+", "Jetson TX2": "+", "Jetson Nano": "+",
+                  "EdgeTPU": "4", "Movidius NCS": "+", "PYNQ-Z1": "+"},
+    "ResNet-50": {"Raspberry Pi 3B": "+", "Jetson TX2": "+", "Jetson Nano": "+",
+                  "EdgeTPU": "+", "Movidius NCS": "+", "PYNQ-Z1": "^^"},
+    "MobileNet-v2": {"Raspberry Pi 3B": "+", "Jetson TX2": "+", "Jetson Nano": "+",
+                     "EdgeTPU": "+", "Movidius NCS": "+", "PYNQ-Z1": "^^"},
+    "Inception-v4": {"Raspberry Pi 3B": "+", "Jetson TX2": "+", "Jetson Nano": "+",
+                     "EdgeTPU": "+", "Movidius NCS": "+", "PYNQ-Z1": "^^"},
+    "AlexNet": {"Raspberry Pi 3B": "^", "Jetson TX2": "+", "Jetson Nano": "+",
+                "EdgeTPU": "4", "Movidius NCS": "+", "PYNQ-Z1": "^^"},
+    "VGG16": {"Raspberry Pi 3B": "^", "Jetson TX2": "+", "Jetson Nano": "+",
+              "EdgeTPU": "+", "Movidius NCS": "+", "PYNQ-Z1": "^^"},
+    "SSD MobileNet-v1": {"Raspberry Pi 3B": "O", "Jetson TX2": "+", "Jetson Nano": "+",
+                         "EdgeTPU": "+", "Movidius NCS": "+", "PYNQ-Z1": "^^"},
+    "TinyYolo": {"Raspberry Pi 3B": "+", "Jetson TX2": "+", "Jetson Nano": "+",
+                 "EdgeTPU": "4", "Movidius NCS": "+", "PYNQ-Z1": "^^"},
+    "C3D": {"Raspberry Pi 3B": "^", "Jetson TX2": "+", "Jetson Nano": "+",
+            "EdgeTPU": "4", "Movidius NCS": "O", "PYNQ-Z1": "^^"},
+}
+
+# ----------------------------------------------------------- Figure 2
+# Best-framework time per inference (seconds); None where the published
+# scan is not legible.
+FIG2_MODELS = ("ResNet-18", "ResNet-50", "MobileNet-v2", "Inception-v4",
+               "AlexNet", "VGG16", "SSD MobileNet-v1", "TinyYolo", "C3D")
+FIG2_BEST_S: dict[str, dict[str, float | None]] = {
+    "Raspberry Pi 3B": {
+        "ResNet-18": 0.870, "ResNet-50": 2.460, "MobileNet-v2": 0.480,
+        "Inception-v4": 5.510, "AlexNet": 2.8017, "VGG16": 16.485,
+        "SSD MobileNet-v1": None, "TinyYolo": 3.246, "C3D": None,
+    },
+    "Jetson TX2": {
+        "ResNet-18": 0.0265, "ResNet-50": 0.0543, "MobileNet-v2": 0.0401,
+        "Inception-v4": 0.1062, "AlexNet": 0.0156, "VGG16": 0.0877,
+        "SSD MobileNet-v1": 0.0416, "TinyYolo": 0.1079, "C3D": 0.1968,
+    },
+    "Jetson Nano": {
+        "ResNet-18": 0.023, "ResNet-50": 0.032, "MobileNet-v2": 0.018,
+        "Inception-v4": 0.095, "AlexNet": 0.046, "VGG16": 0.092,
+        "SSD MobileNet-v1": 0.032, "TinyYolo": 0.042, "C3D": 0.229,
+    },
+    "EdgeTPU": {
+        "ResNet-18": None, "ResNet-50": 0.065, "MobileNet-v2": 0.0029,
+        "Inception-v4": 0.1025, "AlexNet": None, "VGG16": 0.365,
+        "SSD MobileNet-v1": 0.016, "TinyYolo": None, "C3D": None,
+    },
+    "Movidius NCS": {
+        "ResNet-18": 0.1019, "ResNet-50": 0.1999, "MobileNet-v2": 0.051,
+        "Inception-v4": 0.6326, "AlexNet": 0.0911, "VGG16": None,
+        "SSD MobileNet-v1": 0.0871, "TinyYolo": None, "C3D": None,
+    },
+    "PYNQ-Z1": {
+        "ResNet-18": 0.1861, "ResNet-50": None, "MobileNet-v2": None,
+        "Inception-v4": None, "AlexNet": None, "VGG16": None,
+        "SSD MobileNet-v1": None, "TinyYolo": None, "C3D": None,
+    },
+}
+
+# ----------------------------------------------------------- Figure 5
+# Profile fraction targets per (device, framework): bucket -> fraction.
+FIG5_FRACTIONS: dict[tuple[str, str], dict[str, float]] = {
+    ("Raspberry Pi 3B", "PyTorch"): {"conv2d": 0.810, "batch_norm": 0.119},
+    ("Raspberry Pi 3B", "TensorFlow"): {
+        "base_layer": 0.507, "Library Loading": 0.137,
+        "TF_SessionRunCallable": 0.128, "_initialize_variable": 0.081,
+        "TF_SessionMakeCallable": 0.057, "session.__init__": 0.037,
+        "layers & weights": 0.053,
+    },
+    ("Jetson TX2", "PyTorch"): {
+        "_C._TensorBase.to()": 0.394, "conv2d": 0.228,
+        "<built-in import>": 0.130, "forward": 0.081, "linear": 0.061,
+        "batch_norm": 0.031, "randn": 0.041, "model.__init__": 0.034,
+    },
+    ("Jetson TX2", "TensorFlow"): {
+        "TF_SessionRunCallable": 0.343, "base_layer": 0.382,
+        "Library Loading": 0.096, "_initialize_variable": 0.078,
+        "TF_SessionMakeCallable": 0.032, "layers & weights": 0.070,
+    },
+}
+FIG5_RUNS = {"Raspberry Pi 3B": 30, "Jetson TX2": 1000}
+# Section VI-B3 headline: PyTorch on RPi spends 96.15% in compute-related
+# functions, conv2d alone 80.95%.
+FIG5_PT_RPI_COMPUTE_FRACTION = 0.9615
+
+# ----------------------------------------------------------- Figures 6-8
+FIG6_MODELS = ("ResNet-50", "MobileNet-v2", "VGG16", "VGG19")
+FIG6_GTX_S: dict[str, dict[str, float | None]] = {
+    # Figure 6's absolute values are not legible in the scan; the finding
+    # is the shape: PyTorch beats TensorFlow on the HPC GPU (speedup >1).
+    "PyTorch": {m: None for m in FIG6_MODELS},
+    "TensorFlow": {m: None for m in FIG6_MODELS},
+}
+
+FIG7_MODELS = FIG2_MODELS
+FIG7_NANO_S = {
+    "PyTorch": dict(zip(FIG7_MODELS, (0.1413, 0.2150, 0.1184, 0.2925, 0.1321,
+                                      0.2907, 0.1917, 0.1238, 0.5554))),
+    "TensorRT": dict(zip(FIG7_MODELS, (0.023, 0.032, 0.018, 0.095, 0.046,
+                                       0.092, 0.032, 0.042, 0.229))),
+}
+FIG7_AVG_SPEEDUP = 4.1
+
+FIG8_MODELS = ("ResNet-18", "ResNet-50", "ResNet-101", "MobileNet-v2", "Inception-v4")
+FIG8_RPI_S = {
+    "PyTorch": dict(zip(FIG8_MODELS, (6.57, 8.30, 15.32, 8.28, 13.84))),
+    "TensorFlow": dict(zip(FIG8_MODELS, (0.99, 3.06, 13.32, 1.40, 8.87))),
+    "TFLite": dict(zip(FIG8_MODELS, (0.87, 2.46, 8.86, 0.48, 5.51))),
+}
+FIG8_SPEEDUP_OVER_TF = 1.58
+FIG8_SPEEDUP_OVER_PT = 4.53
+
+# ---------------------------------------------------------- Figures 9-10
+FIG9_MODELS = ("ResNet-18", "ResNet-50", "ResNet-101", "MobileNet-v2",
+               "Inception-v4", "AlexNet", "VGG16", "VGG19",
+               "VGG-S 224x224", "VGG-S 32x32", "YOLOv3", "TinyYolo", "C3D")
+FIG9_PLATFORMS = ("Jetson TX2", "Xeon E5-2696 v4", "GTX Titan X", "Titan Xp", "RTX 2080")
+FIG10_GEOMEAN_SPEEDUP = 2.99  # "the average speedup over Jetson TX2 ... is only 3x"
+
+# ---------------------------------------------------------- Figure 11
+# Energy per inference in joules; from Section VI-E's prose.
+FIG11_MODELS = ("ResNet-18", "ResNet-50", "MobileNet-v2", "Inception-v4")
+FIG11_ENERGY_J: dict[tuple[str, str], float] = {
+    ("GTX Titan X", "ResNet-18"): 1.0,
+    ("GTX Titan X", "Inception-v4"): 5.0,
+    ("Jetson TX2", "ResNet-18"): 0.3,
+    ("Jetson TX2", "Inception-v4"): 1.0,
+    ("Jetson Nano", "ResNet-18"): 0.084,
+    ("Jetson Nano", "Inception-v4"): 0.5,
+    ("EdgeTPU", "MobileNet-v2"): 0.011,
+    ("Movidius NCS", "MobileNet-v2"): 0.066,
+    ("Movidius NCS", "Inception-v4"): 1.0,
+}
+
+# ---------------------------------------------------------- Figure 13
+FIG13_MODELS = ("ResNet-18", "ResNet-50", "MobileNet-v2", "Inception-v4", "TinyYolo")
+FIG13_BARE_S = dict(zip(FIG13_MODELS, (1.01, 3.15, 1.07, 9.31, 0.96)))
+FIG13_DOCKER_S = dict(zip(FIG13_MODELS, (1.06, 3.18, 1.10, 9.54, 0.96)))
+FIG13_MAX_OVERHEAD = 0.05  # "within 5%, in all cases"
+
+# ---------------------------------------------------------- Figure 14
+FIG14_DEVICES = ("Raspberry Pi 3B", "Jetson Nano", "Jetson TX2", "EdgeTPU", "Movidius NCS")
+FIG14_MODEL = "Inception-v4"
+# Qualitative expectations from the figure annotations and Section VI-F.
+FIG14_EXPECTATIONS = {
+    "Raspberry Pi 3B": "device shutdown",
+    "Jetson TX2": "fan working",
+    "Jetson Nano": "fan working",
+    "EdgeTPU": "steady",
+    "Movidius NCS": "lowest variation",
+}

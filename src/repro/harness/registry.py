@@ -1,0 +1,74 @@
+"""Experiment registry: every reproduced table and figure by id."""
+
+from __future__ import annotations
+
+from repro.core.experiment import Experiment
+from repro.core.registry import Registry
+from repro.core.result import ResultTable
+from repro.harness import extensions, figures, tables
+
+EXPERIMENT_REGISTRY: Registry[Experiment] = Registry("experiment")
+
+_EXPERIMENTS = (
+    ("table1", "Table I", "Model FLOP/parameter inventory", tables.table1_models),
+    ("table2", "Table II", "Framework feature and optimization matrix", tables.table2_frameworks),
+    ("table3", "Table III", "Device specs with measured idle/average power", tables.table3_devices),
+    ("table5", "Table V", "Model x platform compatibility matrix", tables.table5_compat),
+    ("table6", "Table VI", "Cooling hardware and idle temperatures", tables.table6_cooling),
+    ("fig01", "Figure 1, Section II", "Models sorted by FLOP/Param", figures.fig01_flop_per_param),
+    ("fig02", "Figure 2, Section VI-A", "Best-framework latency per edge device", figures.fig02_best_framework),
+    ("fig03", "Figure 3, Section VI-B1", "RPi cross-framework latency", figures.fig03_rpi_frameworks),
+    ("fig04", "Figure 4, Section VI-B1", "Jetson TX2 cross-framework latency", figures.fig04_tx2_frameworks),
+    ("fig05", "Figure 5, Section VI-B3", "Software-stack profiles", figures.fig05_software_stack),
+    ("fig06", "Figure 6, Section VI-B1", "GTX Titan X: TF vs PyTorch", figures.fig06_gtx_tf_vs_pytorch),
+    ("fig07", "Figure 7, Section VI-B2", "Jetson Nano: PyTorch vs TensorRT", figures.fig07_nano_tensorrt),
+    ("fig08", "Figure 8, Section VI-B2", "RPi: TF vs PyTorch vs TFLite", figures.fig08_rpi_tflite),
+    ("fig09", "Figure 9, Section VI-C", "Edge vs HPC latency (PyTorch)", figures.fig09_edge_vs_hpc),
+    ("fig10", "Figure 10, Section VI-C", "Speedup over Jetson TX2", figures.fig10_speedup_over_tx2),
+    ("fig11", "Figure 11, Section VI-E", "Energy per inference", figures.fig11_energy),
+    ("fig12", "Figure 12, Section VI-E", "Inference time vs active power", figures.fig12_time_vs_power),
+    ("fig13", "Figure 13, Section VI-D", "Virtualization overhead", figures.fig13_virtualization),
+    ("fig14", "Figure 14, Section VI-F", "Temperature behaviour", figures.fig14_temperature),
+    ("fig14-curves", "Figure 14, Section VI-F",
+     "Temperature-vs-time curves", figures.fig14_temperature_curves),
+    # Extensions beyond the published figures (DESIGN.md ablation/extension list).
+    ("ext-batch", "Extension of Section VI-C", "Batch-size crossover, edge vs HPC",
+     extensions.ext_batch_crossover),
+    ("ext-pruning", "Extension of Table II", "Pruning exploitation across frameworks",
+     extensions.ext_pruning_exploitation),
+    ("ext-dtype", "Extension of Section III-B", "Deployment datatype sensitivity",
+     extensions.ext_dtype_sensitivity),
+    ("ext-rnn", "Extension of Section II (future work)", "Recurrent models across platforms",
+     extensions.ext_rnn_models),
+    ("ext-sustained", "Extension of Section VI-F", "Thermally-sustained throughput",
+     extensions.ext_sustained_throughput),
+    ("ext-pareto", "Extension of Section VI-E", "Pareto frontier of Figure 12",
+     extensions.ext_pareto_frontier),
+    ("ext-split", "Extension of Section VIII (related work)",
+     "Neurosurgeon-style cloud-edge split", extensions.ext_cloud_edge_split),
+    ("ext-pipeline", "Extension of Section VIII (related work)",
+     "Collaborative pipeline across Raspberry Pis", extensions.ext_collaborative_pipeline),
+    ("ext-serving", "Extension of Section I (single-batch framing)",
+     "Streaming-camera FIFO serving percentiles", extensions.ext_serving_deadlines),
+    ("ext-power-modes", "Extension of Table III",
+     "Jetson DVFS power modes", extensions.ext_power_modes),
+    ("ext-batch-serving", "Extension of Section VI-C",
+     "Dynamic batching under load", extensions.ext_batch_serving),
+)
+
+for _id, _ref, _description, _generator in _EXPERIMENTS:
+    EXPERIMENT_REGISTRY.register(
+        _id,
+        (lambda i=_id, r=_ref, d=_description, g=_generator: Experiment(
+            experiment_id=i, paper_reference=r, description=d, generator=g)),
+    )
+
+
+def run_experiment(experiment_id: str) -> ResultTable:
+    """Run one experiment and return its result table."""
+    return EXPERIMENT_REGISTRY.create(experiment_id).run()
+
+
+def list_experiments() -> list[str]:
+    """Ids of every registered experiment, paper order then extensions."""
+    return EXPERIMENT_REGISTRY.names()

@@ -1,0 +1,88 @@
+"""ASCII rendering of result tables.
+
+Every benchmark prints its table through this module so paper-vs-measured
+comparisons look identical across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.result import ResultTable
+
+LABEL_WIDTH = 22
+CELL_WIDTH = 14
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(table: ResultTable) -> str:
+    """Render a ResultTable as fixed-width ASCII with title and notes."""
+    header = f"{'':{LABEL_WIDTH}s}" + "".join(
+        f"{column:>{CELL_WIDTH}s}" for column in table.columns
+    )
+    separator = "-" * len(header)
+    lines = [table.title, separator, header, separator]
+    for row in table.rows:
+        cells = "".join(
+            f"{_format_cell(row.get(column)):>{CELL_WIDTH}s}" for column in table.columns
+        )
+        lines.append(f"{row.label[:LABEL_WIDTH]:{LABEL_WIDTH}s}" + cells)
+    lines.append(separator)
+    if table.caption:
+        lines.append(table.caption)
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def ratio_or_none(measured: float | None, reference: float | None) -> float | None:
+    """measured/reference, or None when either side is unavailable."""
+    if measured is None or reference in (None, 0):
+        return None
+    return measured / reference
+
+
+def render_markdown(table: ResultTable) -> str:
+    """Render a ResultTable as GitHub-flavoured markdown."""
+    header = "| | " + " | ".join(table.columns) + " |"
+    divider = "|---" * (len(table.columns) + 1) + "|"
+    lines = [header, divider]
+    for row in table.rows:
+        cells = " | ".join(_format_cell(row.get(column)) for column in table.columns)
+        lines.append(f"| {row.label} | {cells} |")
+    if table.caption:
+        lines.append("")
+        lines.append(f"*{table.caption}*")
+    for note in table.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    return "\n".join(lines)
+
+
+def render_csv(table: ResultTable) -> str:
+    """Render a ResultTable as CSV (label column first)."""
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["label", *table.columns])
+    for row in table.rows:
+        writer.writerow([row.label] + [
+            "" if row.get(column) is None else row.get(column)
+            for column in table.columns
+        ])
+    return buffer.getvalue()

@@ -1,0 +1,110 @@
+"""Whole-suite export and run-to-run comparison.
+
+``export_results`` snapshots every experiment's table to one JSON document;
+``compare_results`` diffs two snapshots within a tolerance.  Together they
+give the repository a regression workflow: snapshot before a change,
+compare after, and see exactly which experiment cells moved.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.harness.registry import EXPERIMENT_REGISTRY, list_experiments, run_experiment
+
+SNAPSHOT_VERSION = 1
+
+
+def export_results(experiment_ids: list[str] | None = None) -> dict[str, Any]:
+    """Run experiments and collect their tables into one JSON-safe dict."""
+    ids = experiment_ids or list_experiments()
+    experiments = {}
+    for experiment_id in ids:
+        experiment = EXPERIMENT_REGISTRY.create(experiment_id)
+        table = run_experiment(experiment_id)
+        experiments[experiment_id] = {
+            "paper_reference": experiment.paper_reference,
+            "description": experiment.description,
+            "title": table.title,
+            "columns": table.columns,
+            "rows": table.to_records(),
+            "notes": table.notes,
+        }
+    return {"snapshot_version": SNAPSHOT_VERSION, "experiments": experiments}
+
+
+def save_results(path: str | Path, experiment_ids: list[str] | None = None) -> None:
+    Path(path).write_text(json.dumps(export_results(experiment_ids), indent=1))
+
+
+def load_results(path: str | Path) -> dict[str, Any]:
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported snapshot version {version!r}")
+    return payload
+
+
+@dataclass(frozen=True)
+class CellDifference:
+    """One cell that moved between two snapshots."""
+
+    experiment_id: str
+    row_label: str
+    column: str
+    before: Any
+    after: Any
+
+    def describe(self) -> str:
+        return (f"{self.experiment_id} / {self.row_label} / {self.column}: "
+                f"{self.before!r} -> {self.after!r}")
+
+
+def compare_results(before: dict[str, Any], after: dict[str, Any],
+                    rel_tolerance: float = 0.01) -> list[CellDifference]:
+    """Cells differing beyond ``rel_tolerance`` (numeric) or at all (other).
+
+    Experiments or rows present in only one snapshot are reported as whole
+    differences with the missing side ``None``.
+    """
+    differences: list[CellDifference] = []
+    before_experiments = before["experiments"]
+    after_experiments = after["experiments"]
+    for experiment_id in sorted(set(before_experiments) | set(after_experiments)):
+        left = before_experiments.get(experiment_id)
+        right = after_experiments.get(experiment_id)
+        if left is None or right is None:
+            differences.append(CellDifference(
+                experiment_id, "(experiment)", "(presence)",
+                "present" if left else None, "present" if right else None))
+            continue
+        left_rows = {row["label"]: row for row in left["rows"]}
+        right_rows = {row["label"]: row for row in right["rows"]}
+        for label in sorted(set(left_rows) | set(right_rows)):
+            row_before = left_rows.get(label)
+            row_after = right_rows.get(label)
+            if row_before is None or row_after is None:
+                differences.append(CellDifference(
+                    experiment_id, label, "(presence)",
+                    "present" if row_before else None,
+                    "present" if row_after else None))
+                continue
+            for column in sorted((set(row_before) | set(row_after)) - {"label"}):
+                a, b = row_before.get(column), row_after.get(column)
+                if not _cells_equal(a, b, rel_tolerance):
+                    differences.append(CellDifference(experiment_id, label, column, a, b))
+    return differences
+
+
+def _cells_equal(a: Any, b: Any, rel_tolerance: float) -> bool:
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if a == b:
+            return True
+        scale = max(abs(a), abs(b))
+        return scale > 0 and abs(a - b) / scale <= rel_tolerance
+    return a == b

@@ -1,0 +1,89 @@
+"""Power instruments (Section V).
+
+Two meters, matching the paper's bench:
+
+* :class:`USBMultimeter` — for USB-powered devices; records voltage and
+  current once per second with accuracies of +/-(0.05% + 2 digits) and
+  +/-(0.1% + 4 digits) respectively.
+* :class:`PowerAnalyzer` — for outlet-powered devices; +/-0.005 W.
+
+Both sample a caller-provided ``power_fn(t) -> watts`` so the same
+instrument can watch an idle device, an inference loop, or a thermal
+soak run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+USB_VOLTAGE = 5.0
+VOLTAGE_DIGIT = 0.01  # last display digit of the voltage readout (V)
+CURRENT_DIGIT = 0.001  # last display digit of the current readout (A)
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    time_s: float
+    power_w: float
+
+
+class USBMultimeter:
+    """UM25C-style USB power meter: 1 Hz sampling, datasheet accuracy."""
+
+    sample_interval_s = 1.0
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, true_power_w: float, time_s: float = 0.0) -> PowerSample:
+        """One reading: voltage and current measured independently."""
+        if true_power_w < 0:
+            raise ValueError(f"power cannot be negative, got {true_power_w}")
+        true_current = true_power_w / USB_VOLTAGE
+        voltage = self._read(USB_VOLTAGE, relative=0.0005, digits=2 * VOLTAGE_DIGIT)
+        current = self._read(true_current, relative=0.001, digits=4 * CURRENT_DIGIT)
+        return PowerSample(time_s=time_s, power_w=voltage * current)
+
+    def record(self, power_fn: Callable[[float], float], duration_s: float) -> list[PowerSample]:
+        """Sample ``power_fn`` once per second for ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        times = np.arange(0.0, duration_s, self.sample_interval_s)
+        return [self.sample(power_fn(float(t)), float(t)) for t in times]
+
+    def _read(self, true_value: float, relative: float, digits: float) -> float:
+        """Datasheet accuracy: +/-(relative% of reading + N digits)."""
+        bound = abs(true_value) * relative + digits
+        return true_value + self._rng.uniform(-bound, bound)
+
+
+class PowerAnalyzer:
+    """Outlet power analyzer: +/-0.005 W accuracy, 10 Hz sampling."""
+
+    sample_interval_s = 0.1
+    accuracy_w = 0.005
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, true_power_w: float, time_s: float = 0.0) -> PowerSample:
+        if true_power_w < 0:
+            raise ValueError(f"power cannot be negative, got {true_power_w}")
+        noise = self._rng.uniform(-self.accuracy_w, self.accuracy_w)
+        return PowerSample(time_s=time_s, power_w=true_power_w + noise)
+
+    def record(self, power_fn: Callable[[float], float], duration_s: float) -> list[PowerSample]:
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        times = np.arange(0.0, duration_s, self.sample_interval_s)
+        return [self.sample(power_fn(float(t)), float(t)) for t in times]
+
+
+def average_power_w(samples: list[PowerSample]) -> float:
+    """Mean power over a recording."""
+    if not samples:
+        raise ValueError("cannot average an empty recording")
+    return float(np.mean([s.power_w for s in samples]))

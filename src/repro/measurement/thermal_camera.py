@@ -1,0 +1,55 @@
+"""FLIR One thermal camera model (Section V, Figure 14).
+
+The camera sees the *surface* of the processor (or heatsink), which sits
+5-10 degC below the in-package junction; readings carry the small absolute
+error of a consumer microbolometer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.thermal import ThermalSimulator
+
+
+@dataclass(frozen=True)
+class ThermalReading:
+    time_s: float
+    surface_c: float
+
+
+class ThermalCamera:
+    """Consumer thermal camera: +/-0.3 degC repeatability."""
+
+    repeatability_c = 0.3
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def read(self, simulator: ThermalSimulator) -> ThermalReading:
+        noise = self._rng.uniform(-self.repeatability_c, self.repeatability_c)
+        return ThermalReading(
+            time_s=simulator.time_s,
+            surface_c=simulator.surface_temperature_c + noise,
+        )
+
+    def record_soak(self, simulator: ThermalSimulator, power_w: float,
+                    dt_s: float = 5.0, max_time_s: float = 3600.0) -> list[ThermalReading]:
+        """Watch a device soak at constant power until steady state.
+
+        Mirrors the paper's methodology: "each experiment runs until the
+        temperature reaches steady-state in the room temperature".
+        """
+        readings = [self.read(simulator)]
+        tolerance_c = 0.02
+        while simulator.time_s < max_time_s:
+            before = simulator.temperature_c
+            simulator.step(power_w, dt_s)
+            readings.append(self.read(simulator))
+            if simulator.shutdown:
+                break
+            if abs(simulator.temperature_c - before) < tolerance_c:
+                break
+        return readings

@@ -1,0 +1,11 @@
+"""Model zoo: the DNN models of the paper's Table I.
+
+All 16 configurations are constructed layer-by-layer on the graph IR; their
+parameter and multiply-accumulate counts are validated against Table I in
+the test suite (per-model tolerances and convention notes are recorded in
+EXPERIMENTS.md).
+"""
+
+from repro.models.zoo import MODEL_REGISTRY, list_models, load_model
+
+__all__ = ["MODEL_REGISTRY", "list_models", "load_model"]

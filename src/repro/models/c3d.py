@@ -1,0 +1,40 @@
+"""C3D (Tran et al., 2015): 3-D convolutions for video recognition.
+
+Built at the paper's 12x112x112 clip size (Table I).  The 3x3x3 convolution
+stack and the 4096-4096 classifier give ~80 M parameters and ~29 GMACs —
+doubling the MACs (DarkNet/Caffe convention) lands on Table I's 57.99 GFLOP.
+Pooling uses ceil mode, matching the original Caffe deployment.
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph, GraphBuilder
+
+SPORTS_1M_CLASSES = 487
+
+
+def c3d(frames: int = 12, num_classes: int = SPORTS_1M_CLASSES) -> Graph:
+    b = GraphBuilder("C3D", metadata={"task": "video", "family": "c3d", "conv3d": True})
+    x = b.input((3, frames, 112, 112))
+    x = b.conv3d(x, 64, 3)
+    x = b.activation(x, "relu")
+    x = b.max_pool3d(x, (1, 2, 2), ceil_mode=True)
+    x = b.conv3d(x, 128, 3)
+    x = b.activation(x, "relu")
+    x = b.max_pool3d(x, (2, 2, 2), ceil_mode=True)
+    for channels in (256, 512, 512):
+        x = b.conv3d(x, channels, 3)
+        x = b.activation(x, "relu")
+        x = b.conv3d(x, channels, 3)
+        x = b.activation(x, "relu")
+        x = b.max_pool3d(x, (2, 2, 2), ceil_mode=True)
+    x = b.flatten(x)
+    x = b.dense(x, 4096)
+    x = b.activation(x, "relu")
+    x = b.dropout(x)
+    x = b.dense(x, 4096)
+    x = b.activation(x, "relu")
+    x = b.dropout(x)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()

@@ -1,0 +1,32 @@
+"""CifarNet: the small cuda-convnet-style CIFAR-10 classifier.
+
+Three 5x5 convolution + pooling stages followed by a small classifier; the
+0.01 GFLOP compute footprint matches Table I (it is the smallest model in
+the study and the FINN anchor for the PYNQ board).
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph, GraphBuilder
+
+
+def cifarnet(num_classes: int = 10) -> Graph:
+    b = GraphBuilder("CifarNet 32x32", metadata={"task": "classification", "family": "cifarnet"})
+    x = b.input((3, 32, 32))
+    x = b.conv2d(x, 32, 5, padding=2)
+    x = b.relu(x)
+    x = b.max_pool(x, 3, stride=2, padding=1)
+    x = b.conv2d(x, 32, 5, padding=2)
+    x = b.relu(x)
+    x = b.avg_pool(x, 3, stride=2, padding=1)
+    x = b.conv2d(x, 96, 5, padding=2)
+    x = b.relu(x)
+    x = b.avg_pool(x, 3, stride=2, padding=1)
+    x = b.flatten(x)
+    x = b.dense(x, 384)
+    x = b.relu(x)
+    x = b.dense(x, 192)
+    x = b.relu(x)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()

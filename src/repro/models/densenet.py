@@ -1,0 +1,57 @@
+"""DenseNet-121 (Huang et al., 2017).
+
+The paper's related work cites the DenseNet lineage (CondenseNet's
+"resource-efficient connections"); DenseNet-121 extends the zoo with the
+densely-connected pattern: every layer consumes the concatenation of all
+previous features, so activation liveness — not parameters — is its edge
+bottleneck.  Pre-activation ordering (BN -> ReLU -> conv) as published.
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph, GraphBuilder, Op
+
+GROWTH_RATE = 32
+BLOCK_LAYERS = (6, 12, 24, 16)
+
+
+def _preact_conv(b: GraphBuilder, x: Op, out_channels: int, kernel,
+                 stride: int = 1) -> Op:
+    x = b.batch_norm(x)
+    x = b.relu(x)
+    return b.conv2d(x, out_channels, kernel, stride=stride, use_bias=False)
+
+
+def _dense_layer(b: GraphBuilder, x: Op) -> Op:
+    """Bottleneck dense layer: 1x1 to 4k channels, 3x3 to k, concat."""
+    new_features = _preact_conv(b, x, 4 * GROWTH_RATE, 1)
+    new_features = _preact_conv(b, new_features, GROWTH_RATE, 3)
+    return b.concat(x, new_features)
+
+
+def _transition(b: GraphBuilder, x: Op) -> Op:
+    """Compress channels by half and halve the spatial resolution."""
+    x = _preact_conv(b, x, x.output_shape.channels // 2, 1)
+    return b.avg_pool(x, 2, stride=2)
+
+
+def densenet121(num_classes: int = 1000) -> Graph:
+    b = GraphBuilder("DenseNet-121", metadata={
+        "task": "classification", "family": "densenet", "group": "mobile-extra",
+    })
+    x = b.input((3, 224, 224))
+    x = b.conv2d(x, 2 * GROWTH_RATE, 7, stride=2, use_bias=False)
+    x = b.batch_norm(x)
+    x = b.relu(x)
+    x = b.max_pool(x, 3, stride=2, padding="same")
+    for block_index, layers in enumerate(BLOCK_LAYERS):
+        for _ in range(layers):
+            x = _dense_layer(b, x)
+        if block_index != len(BLOCK_LAYERS) - 1:
+            x = _transition(b, x)
+    x = b.batch_norm(x)
+    x = b.relu(x)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()

@@ -1,0 +1,113 @@
+"""Inception-v4 (Szegedy et al., 2017).
+
+Full stem + 4xA + ReductionA + 7xB + ReductionB + 3xC layout at the native
+299x299 input, reproducing Table I's 12.27 GFLOP / 42.71 M parameters.
+All convolutions are conv-BN-ReLU without bias.
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph, GraphBuilder, Op
+
+
+def _cba(b: GraphBuilder, x: Op, channels: int, kernel, stride=1, padding="same") -> Op:
+    return b.conv_bn_act(x, channels, kernel, stride=stride, padding=padding)
+
+
+def _stem(b: GraphBuilder, x: Op) -> Op:
+    x = _cba(b, x, 32, 3, stride=2, padding="valid")
+    x = _cba(b, x, 32, 3, padding="valid")
+    x = _cba(b, x, 64, 3)
+    pool = b.max_pool(x, 3, stride=2)
+    conv = _cba(b, x, 96, 3, stride=2, padding="valid")
+    x = b.concat(pool, conv)
+
+    left = _cba(b, x, 64, 1)
+    left = _cba(b, left, 96, 3, padding="valid")
+    right = _cba(b, x, 64, 1)
+    right = _cba(b, right, 64, (1, 7))
+    right = _cba(b, right, 64, (7, 1))
+    right = _cba(b, right, 96, 3, padding="valid")
+    x = b.concat(left, right)
+
+    conv = _cba(b, x, 192, 3, stride=2, padding="valid")
+    pool = b.max_pool(x, 3, stride=2)
+    return b.concat(conv, pool)
+
+
+def _inception_a(b: GraphBuilder, x: Op) -> Op:
+    pool = b.avg_pool(x, 3, stride=1, padding=1)
+    branch0 = _cba(b, pool, 96, 1)
+    branch1 = _cba(b, x, 96, 1)
+    branch2 = _cba(b, _cba(b, x, 64, 1), 96, 3)
+    branch3 = _cba(b, _cba(b, _cba(b, x, 64, 1), 96, 3), 96, 3)
+    return b.concat(branch0, branch1, branch2, branch3)
+
+
+def _reduction_a(b: GraphBuilder, x: Op) -> Op:
+    pool = b.max_pool(x, 3, stride=2)
+    branch1 = _cba(b, x, 384, 3, stride=2, padding="valid")
+    branch2 = _cba(b, x, 192, 1)
+    branch2 = _cba(b, branch2, 224, 3)
+    branch2 = _cba(b, branch2, 256, 3, stride=2, padding="valid")
+    return b.concat(pool, branch1, branch2)
+
+
+def _inception_b(b: GraphBuilder, x: Op) -> Op:
+    pool = b.avg_pool(x, 3, stride=1, padding=1)
+    branch0 = _cba(b, pool, 128, 1)
+    branch1 = _cba(b, x, 384, 1)
+    branch2 = _cba(b, x, 192, 1)
+    branch2 = _cba(b, branch2, 224, (1, 7))
+    branch2 = _cba(b, branch2, 256, (7, 1))
+    branch3 = _cba(b, x, 192, 1)
+    branch3 = _cba(b, branch3, 192, (7, 1))
+    branch3 = _cba(b, branch3, 224, (1, 7))
+    branch3 = _cba(b, branch3, 224, (7, 1))
+    branch3 = _cba(b, branch3, 256, (1, 7))
+    return b.concat(branch0, branch1, branch2, branch3)
+
+
+def _reduction_b(b: GraphBuilder, x: Op) -> Op:
+    pool = b.max_pool(x, 3, stride=2)
+    branch1 = _cba(b, x, 192, 1)
+    branch1 = _cba(b, branch1, 192, 3, stride=2, padding="valid")
+    branch2 = _cba(b, x, 256, 1)
+    branch2 = _cba(b, branch2, 256, (1, 7))
+    branch2 = _cba(b, branch2, 320, (7, 1))
+    branch2 = _cba(b, branch2, 320, 3, stride=2, padding="valid")
+    return b.concat(pool, branch1, branch2)
+
+
+def _inception_c(b: GraphBuilder, x: Op) -> Op:
+    pool = b.avg_pool(x, 3, stride=1, padding=1)
+    branch0 = _cba(b, pool, 256, 1)
+    branch1 = _cba(b, x, 256, 1)
+    branch2 = _cba(b, x, 384, 1)
+    branch2a = _cba(b, branch2, 256, (1, 3))
+    branch2b = _cba(b, branch2, 256, (3, 1))
+    branch3 = _cba(b, x, 384, 1)
+    branch3 = _cba(b, branch3, 448, (1, 3))
+    branch3 = _cba(b, branch3, 512, (3, 1))
+    branch3a = _cba(b, branch3, 256, (3, 1))
+    branch3b = _cba(b, branch3, 256, (1, 3))
+    return b.concat(branch0, branch1, branch2a, branch2b, branch3a, branch3b)
+
+
+def inception_v4(num_classes: int = 1000) -> Graph:
+    b = GraphBuilder("Inception-v4", metadata={"task": "classification", "family": "inception"})
+    x = b.input((3, 299, 299))
+    x = _stem(b, x)
+    for _ in range(4):
+        x = _inception_a(b, x)
+    x = _reduction_a(b, x)
+    for _ in range(7):
+        x = _inception_b(b, x)
+    x = _reduction_b(b, x)
+    for _ in range(3):
+        x = _inception_c(b, x)
+    x = b.global_avg_pool(x)
+    x = b.dropout(x, rate=0.2)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()

@@ -1,0 +1,96 @@
+"""Mobile-specific architectures from the paper's related work.
+
+Section VIII's second group of efforts "develops mobile-specific models":
+SqueezeNet (parameter reduction via fire modules) and ShuffleNet (grouped
+1x1 convolutions + channel shuffle).  They extend the zoo beyond Table I
+for studying the accelerator sweet spots the paper's discussion invites.
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph, GraphBuilder, Op
+
+
+def _fire_module(b: GraphBuilder, x: Op, squeeze: int, expand: int) -> Op:
+    """SqueezeNet fire module: 1x1 squeeze, parallel 1x1/3x3 expands."""
+    s = b.conv2d(x, squeeze, 1)
+    s = b.relu(s)
+    e1 = b.conv2d(s, expand, 1)
+    e1 = b.relu(e1)
+    e3 = b.conv2d(s, expand, 3)
+    e3 = b.relu(e3)
+    return b.concat(e1, e3)
+
+
+def squeezenet(num_classes: int = 1000) -> Graph:
+    """SqueezeNet v1.1: AlexNet-level accuracy with ~50x fewer parameters."""
+    b = GraphBuilder("SqueezeNet", metadata={
+        "task": "classification", "family": "squeezenet", "group": "mobile-extra",
+    })
+    x = b.input((3, 224, 224))
+    x = b.conv2d(x, 64, 3, stride=2, padding="valid")
+    x = b.relu(x)
+    x = b.max_pool(x, 3, stride=2)
+    x = _fire_module(b, x, 16, 64)
+    x = _fire_module(b, x, 16, 64)
+    x = b.max_pool(x, 3, stride=2)
+    x = _fire_module(b, x, 32, 128)
+    x = _fire_module(b, x, 32, 128)
+    x = b.max_pool(x, 3, stride=2)
+    x = _fire_module(b, x, 48, 192)
+    x = _fire_module(b, x, 48, 192)
+    x = _fire_module(b, x, 64, 256)
+    x = _fire_module(b, x, 64, 256)
+    x = b.dropout(x)
+    x = b.conv2d(x, num_classes, 1)
+    x = b.relu(x)
+    x = b.global_avg_pool(x)
+    x = b.softmax(x)
+    return b.build()
+
+
+# (output channels per stage, units per stage) for ShuffleNet 1x, g=3.
+_SHUFFLENET_STAGES = ((240, 4), (480, 8), (960, 4))
+_GROUPS = 3
+
+
+def _shuffle_unit(b: GraphBuilder, x: Op, out_channels: int, stride: int,
+                  first_of_network: bool = False) -> Op:
+    """ShuffleNet unit: grouped 1x1, shuffle, depthwise 3x3, grouped 1x1."""
+    in_channels = x.output_shape.channels
+    bottleneck = out_channels // 4
+    # The very first unit's 1x1 is ungrouped (24 input channels).
+    groups = 1 if first_of_network else _GROUPS
+    branch_out = out_channels - in_channels if stride == 2 else out_channels
+
+    branch = b.conv_bn_act(x, bottleneck, 1, groups=groups)
+    # Channel shuffle is a permutation: zero-cost reshape.
+    branch = b.reshape(branch, branch.output_shape.dims)
+    branch = b.dw_bn_act(branch, 3, stride=stride, act="linear")
+    branch = b.conv_bn_act(branch, branch_out, 1, groups=_GROUPS, act="linear")
+    if stride == 2:
+        shortcut = b.avg_pool(x, 3, stride=2, padding=1)
+        out = b.concat(branch, shortcut)
+    else:
+        out = b.add(branch, x)
+    return b.relu(out)
+
+
+def shufflenet(num_classes: int = 1000) -> Graph:
+    """ShuffleNet 1x (g=3)."""
+    b = GraphBuilder("ShuffleNet", metadata={
+        "task": "classification", "family": "shufflenet", "group": "mobile-extra",
+    })
+    x = b.input((3, 224, 224))
+    x = b.conv_bn_act(x, 24, 3, stride=2)
+    x = b.max_pool(x, 3, stride=2, padding="same")
+    first = True
+    for out_channels, units in _SHUFFLENET_STAGES:
+        x = _shuffle_unit(b, x, out_channels, stride=2, first_of_network=first)
+        first = False
+        for _ in range(units - 1):
+            x = _shuffle_unit(b, x, out_channels, stride=1)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()

@@ -1,0 +1,74 @@
+"""MobileNet-v1 (Howard et al., 2017) and MobileNet-v2 (Sandler et al., 2018).
+
+MobileNet-v1 is both a Table I proxy (it is the feature extractor inside the
+SSD detector) and a standalone classifier; MobileNet-v2 is the
+memory-lean model the paper uses to probe accelerator sweet spots
+(11 mJ/inference on EdgeTPU, Section VI-E).
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph, GraphBuilder, Op
+
+# (out_channels, stride) for MobileNet-v1's depthwise-separable stack.
+MOBILENET_V1_LAYOUT = [
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+    (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1),
+]
+
+# (expansion, out_channels, repeats, first_stride) per MobileNet-v2 stage.
+MOBILENET_V2_LAYOUT = [
+    (1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+    (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1),
+]
+
+
+def _separable_block(b: GraphBuilder, x: Op, out_channels: int, stride: int) -> Op:
+    x = b.dw_bn_act(x, 3, stride=stride)
+    return b.conv_bn_act(x, out_channels, 1)
+
+
+def mobilenet_v1_features(b: GraphBuilder, x: Op, width: float = 1.0) -> Op:
+    """The MobileNet-v1 convolutional trunk (shared with the SSD detector)."""
+    x = b.conv_bn_act(x, int(32 * width), 3, stride=2)
+    for out_channels, stride in MOBILENET_V1_LAYOUT:
+        x = _separable_block(b, x, int(out_channels * width), stride)
+    return x
+
+
+def mobilenet_v1(num_classes: int = 1000) -> Graph:
+    b = GraphBuilder("MobileNet-v1", metadata={"task": "classification", "family": "mobilenet"})
+    x = b.input((3, 224, 224))
+    x = mobilenet_v1_features(b, x)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()
+
+
+def _inverted_residual(b: GraphBuilder, x: Op, expansion: int, out_channels: int, stride: int) -> Op:
+    in_channels = x.output_shape.channels
+    shortcut = x
+    hidden = in_channels * expansion
+    if expansion != 1:
+        x = b.conv_bn_act(x, hidden, 1, act="relu6")
+    x = b.dw_bn_act(x, 3, stride=stride, act="relu6")
+    x = b.conv_bn_act(x, out_channels, 1, act="linear")
+    if stride == 1 and in_channels == out_channels:
+        x = b.add(x, shortcut)
+    return x
+
+
+def mobilenet_v2(num_classes: int = 1000) -> Graph:
+    b = GraphBuilder("MobileNet-v2", metadata={"task": "classification", "family": "mobilenet"})
+    x = b.input((3, 224, 224))
+    x = b.conv_bn_act(x, 32, 3, stride=2, act="relu6")
+    for expansion, out_channels, repeats, first_stride in MOBILENET_V2_LAYOUT:
+        for block_index in range(repeats):
+            stride = first_stride if block_index == 0 else 1
+            x = _inverted_residual(b, x, expansion, out_channels, stride)
+    x = b.conv_bn_act(x, 1280, 1, act="relu6")
+    x = b.global_avg_pool(x)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()

@@ -1,0 +1,61 @@
+"""ResNet family (He et al., 2016): ResNet-18/50/101.
+
+ResNet-18 uses basic blocks (two 3x3 convolutions), ResNet-50/101 use
+bottleneck blocks (1x1 reduce, 3x3, 1x1 expand).  Stage layouts follow the
+original paper; parameter counts land on Table I's 11.69 M / 25.56 M /
+44.55 M.
+"""
+
+from __future__ import annotations
+
+from repro.graphs import GraphBuilder, Graph, Op
+
+
+def _basic_block(b: GraphBuilder, x: Op, channels: int, stride: int) -> Op:
+    shortcut = x
+    out = b.conv_bn_act(x, channels, 3, stride=stride)
+    out = b.conv_bn_act(out, channels, 3, act="linear")
+    if stride != 1 or shortcut.output_shape.channels != channels:
+        shortcut = b.conv_bn_act(shortcut, channels, 1, stride=stride, act="linear")
+    out = b.add(out, shortcut)
+    return b.relu(out)
+
+
+def _bottleneck_block(b: GraphBuilder, x: Op, channels: int, stride: int) -> Op:
+    expansion = 4
+    shortcut = x
+    out = b.conv_bn_act(x, channels, 1)
+    out = b.conv_bn_act(out, channels, 3, stride=stride)
+    out = b.conv_bn_act(out, channels * expansion, 1, act="linear")
+    if stride != 1 or shortcut.output_shape.channels != channels * expansion:
+        shortcut = b.conv_bn_act(shortcut, channels * expansion, 1, stride=stride, act="linear")
+    out = b.add(out, shortcut)
+    return b.relu(out)
+
+
+def _build_resnet(name: str, block, stage_depths: list[int], num_classes: int = 1000) -> Graph:
+    b = GraphBuilder(name, metadata={"task": "classification", "family": "resnet"})
+    x = b.input((3, 224, 224))
+    x = b.conv_bn_act(x, 64, 7, stride=2)
+    x = b.max_pool(x, 3, stride=2, padding="same")
+    for stage_index, depth in enumerate(stage_depths):
+        channels = 64 * (2**stage_index)
+        for block_index in range(depth):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            x = block(b, x, channels, stride)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()
+
+
+def resnet18() -> Graph:
+    return _build_resnet("ResNet-18", _basic_block, [2, 2, 2, 2])
+
+
+def resnet50() -> Graph:
+    return _build_resnet("ResNet-50", _bottleneck_block, [3, 4, 6, 3])
+
+
+def resnet101() -> Graph:
+    return _build_resnet("ResNet-101", _bottleneck_block, [3, 4, 23, 3])

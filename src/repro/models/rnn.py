@@ -1,0 +1,60 @@
+"""Recurrent models — the paper's stated future work.
+
+Section II: "We plan to extend our models to include more varieties of DNN
+models, such as RNNs and LSTMs, in the future work."  These three models
+exercise the recurrent substrate: a character-level LSTM, the classic PTB
+word-level LSTM (Zaremba's medium configuration), and a GRU sequence
+encoder.  Their sequential recurrence exposes very little parallel work per
+timestep, so — unlike the CNNs — they barely benefit from wide GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph, GraphBuilder
+
+
+def char_lstm(seq_len: int = 128, vocab: int = 256, hidden: int = 512,
+              layers: int = 2) -> Graph:
+    """Character-level language model (char-rnn style)."""
+    b = GraphBuilder("CharRNN-LSTM", metadata={
+        "task": "language-modeling", "family": "rnn", "recurrent": True,
+    })
+    x = b.input((seq_len,))
+    x = b.embedding(x, vocab, 128)
+    for _ in range(layers):
+        x = b.lstm(x, hidden)
+        x = b.dropout(x, rate=0.3)
+    x = b.last_timestep(x)
+    x = b.dense(x, vocab)
+    b.softmax(x)
+    return b.build()
+
+
+def ptb_lstm(seq_len: int = 35, vocab: int = 10000, hidden: int = 650) -> Graph:
+    """Word-level PTB language model (Zaremba et al., medium)."""
+    b = GraphBuilder("LSTM-PTB", metadata={
+        "task": "language-modeling", "family": "rnn", "recurrent": True,
+    })
+    x = b.input((seq_len,))
+    x = b.embedding(x, vocab, hidden)
+    for _ in range(2):
+        x = b.lstm(x, hidden)
+        x = b.dropout(x, rate=0.5)
+    x = b.last_timestep(x)
+    x = b.dense(x, vocab)
+    b.softmax(x)
+    return b.build()
+
+
+def gru_encoder(seq_len: int = 64, vocab: int = 32000, hidden: int = 512) -> Graph:
+    """GRU sequence encoder (translation-encoder style)."""
+    b = GraphBuilder("GRU-Encoder", metadata={
+        "task": "sequence-encoding", "family": "rnn", "recurrent": True,
+    })
+    x = b.input((seq_len,))
+    x = b.embedding(x, vocab, 256)
+    x = b.gru(x, hidden)
+    x = b.gru(x, hidden, return_sequences=False)
+    x = b.dense(x, hidden)
+    b.activation(x, "tanh")
+    return b.build()

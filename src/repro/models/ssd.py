@@ -1,0 +1,74 @@
+"""SSD object detector with a MobileNet-v1 feature extractor (Liu et al.,
+2016 + Howard et al., 2017), at the paper's 300x300 input.
+
+The network truncates MobileNet-v1 after its final separable block, adds the
+SSD extra feature pyramid and per-scale box/class heads, and finishes with
+box decoding + NMS.  The decode/NMS stage depends on an external image
+processing library, which is what made SSD fail on Raspberry Pi in the paper
+(Table V) — the graph records that in its metadata.
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph, GraphBuilder, Op
+from repro.models.mobilenet import MOBILENET_V1_LAYOUT, _separable_block
+
+VOC_CLASSES = 21  # 20 classes + background
+
+
+def _backbone(b: GraphBuilder, x: Op) -> tuple[Op, Op]:
+    """MobileNet-v1 trunk returning the two feature taps SSD uses."""
+    x = b.conv_bn_act(x, 32, 3, stride=2)
+    tap_19x19 = None
+    for index, (out_channels, stride) in enumerate(MOBILENET_V1_LAYOUT):
+        x = _separable_block(b, x, out_channels, stride)
+        if index == 10:  # conv11 output: 512 channels at stride 16
+            tap_19x19 = x
+    assert tap_19x19 is not None
+    return tap_19x19, x
+
+
+def _extra_layer(b: GraphBuilder, x: Op, mid_channels: int, out_channels: int) -> Op:
+    """SSDLite-style extra pyramid level: 1x1 reduce, depthwise stride-2, 1x1."""
+    x = b.conv_bn_act(x, mid_channels, 1)
+    x = b.dw_bn_act(x, 3, stride=2)
+    return b.conv_bn_act(x, out_channels, 1)
+
+
+def _head(b: GraphBuilder, x: Op, anchors: int, num_classes: int) -> Op:
+    """Separable box-regression + classification head for one pyramid level."""
+    out_channels = anchors * (num_classes + 4)
+    x = b.dw_bn_act(x, 3)
+    return b.conv2d(x, out_channels, 1, use_bias=True)
+
+
+def ssd_mobilenet_v1(num_classes: int = VOC_CLASSES) -> Graph:
+    b = GraphBuilder(
+        "SSD MobileNet-v1",
+        metadata={
+            "task": "detection",
+            "family": "ssd",
+            "extra_image_library": True,
+        },
+    )
+    x = b.input((3, 300, 300))
+    tap, x = _backbone(b, x)
+
+    pyramid = [tap, x]
+    for mid_channels, out_channels in ((128, 256), (64, 128), (64, 128), (32, 64)):
+        x = _extra_layer(b, x, mid_channels, out_channels)
+        pyramid.append(x)
+
+    anchors_per_cell = (3, 6, 6, 6, 6, 6)
+    head_outputs = []
+    total_anchors = 0
+    for level, anchors in zip(pyramid, anchors_per_cell):
+        head_outputs.append(_head(b, level, anchors, num_classes))
+        __, h, w = head_outputs[-1].output_shape.dims
+        total_anchors += anchors * h * w
+
+    # Heads feed the detection stage; concat requires matching spatial dims,
+    # so the decode stage consumes the coarsest head and accounts for the
+    # full anchor set explicitly.
+    b.detection_output(head_outputs[-1], num_anchors=total_anchors, num_classes=num_classes)
+    return b.build()

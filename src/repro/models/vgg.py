@@ -1,0 +1,81 @@
+"""VGG family (Simonyan & Zisserman, 2015): VGG16, VGG19, and VGG-S.
+
+VGG16/19 are the standard configurations D and E.  VGG-S is the "slow"
+CNN-S of Chatfield et al. that the paper runs at both 224x224 and 32x32
+input; at 32x32 the fully connected stack shrinks with the collapsed feature
+map, which is why Table I lists two very different parameter counts for the
+same architecture.
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph, GraphBuilder, Op
+
+
+def _vgg_stage(b: GraphBuilder, x: Op, channels: int, convs: int) -> Op:
+    for _ in range(convs):
+        x = b.conv2d(x, channels, 3, padding="same")
+        x = b.relu(x)
+    return b.max_pool(x, 2, stride=2)
+
+
+def _build_vgg(name: str, stage_convs: list[int], num_classes: int = 1000) -> Graph:
+    b = GraphBuilder(name, metadata={"task": "classification", "family": "vgg"})
+    x = b.input((3, 224, 224))
+    for channels, convs in zip((64, 128, 256, 512, 512), stage_convs):
+        x = _vgg_stage(b, x, channels, convs)
+    x = b.flatten(x)
+    x = b.dense(x, 4096)
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.dense(x, 4096)
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()
+
+
+def vgg16() -> Graph:
+    return _build_vgg("VGG16", [2, 2, 3, 3, 3])
+
+
+def vgg19() -> Graph:
+    return _build_vgg("VGG19", [2, 2, 4, 4, 4])
+
+
+def vgg_s(input_size: int = 224, num_classes: int = 1000) -> Graph:
+    """CNN-S ("VGG-S"): 5 conv layers with aggressive early pooling.
+
+    conv1 7x7/2 (96) + 3x3/3 pool, conv2 5x5 (256) + 2x2 pool, conv3-5
+    3x3 (512), 3x3/3 pool, then the 4096-4096-1000 classifier.
+    """
+    if input_size not in (32, 224):
+        raise ValueError(f"VGG-S is characterized at 32 or 224 input, got {input_size}")
+    name = f"VGG-S {input_size}x{input_size}"
+    b = GraphBuilder(name, metadata={"task": "classification", "family": "vgg"})
+    x = b.input((3, input_size, input_size))
+    x = b.conv2d(x, 96, 7, stride=2, padding="same")
+    x = b.relu(x)
+    x = b.lrn(x)
+    x = b.max_pool(x, 3, stride=3)
+    x = b.conv2d(x, 256, 5, padding="same")
+    x = b.relu(x)
+    x = b.max_pool(x, 2, stride=2)
+    for _ in range(3):
+        x = b.conv2d(x, 512, 3, padding="same")
+        x = b.relu(x)
+    if min(x.output_shape.spatial) >= 3:
+        x = b.max_pool(x, 3, stride=3)
+    else:
+        x = b.global_avg_pool(x)
+    x = b.flatten(x)
+    x = b.dense(x, 4096)
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.dense(x, 4096)
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()

@@ -1,0 +1,64 @@
+"""Xception (Chollet, 2017): depthwise-separable convolutions with residuals.
+
+Built at the paper's 224x224 input, which reproduces Table I's 4.65 GFLOP /
+22.91 M figures (at the architecture's native 299x299 the model costs
+~8.4 GMACs; the paper evidently evaluated at 224).
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph, GraphBuilder, Op
+
+
+def _sep_conv_bn(b: GraphBuilder, x: Op, out_channels: int) -> Op:
+    """Separable conv as Keras implements it: depthwise then 1x1, one BN."""
+    x = b.depthwise_conv2d(x, 3, use_bias=False)
+    x = b.conv2d(x, out_channels, 1, use_bias=False)
+    return b.batch_norm(x)
+
+
+def _entry_block(b: GraphBuilder, x: Op, out_channels: int, relu_first: bool) -> Op:
+    shortcut = b.conv_bn_act(x, out_channels, 1, stride=2, act="linear")
+    if relu_first:
+        x = b.relu(x)
+    x = _sep_conv_bn(b, x, out_channels)
+    x = b.relu(x)
+    x = _sep_conv_bn(b, x, out_channels)
+    x = b.max_pool(x, 3, stride=2, padding="same")
+    return b.add(x, shortcut)
+
+
+def _middle_block(b: GraphBuilder, x: Op) -> Op:
+    shortcut = x
+    for _ in range(3):
+        x = b.relu(x)
+        x = _sep_conv_bn(b, x, 728)
+    return b.add(x, shortcut)
+
+
+def xception(num_classes: int = 1000) -> Graph:
+    b = GraphBuilder("Xception", metadata={"task": "classification", "family": "xception"})
+    x = b.input((3, 224, 224))
+    x = b.conv_bn_act(x, 32, 3, stride=2, padding="valid")
+    x = b.conv_bn_act(x, 64, 3, padding="valid")
+    x = _entry_block(b, x, 128, relu_first=False)
+    x = _entry_block(b, x, 256, relu_first=True)
+    x = _entry_block(b, x, 728, relu_first=True)
+    for _ in range(8):
+        x = _middle_block(b, x)
+    # Exit flow.
+    shortcut = b.conv_bn_act(x, 1024, 1, stride=2, act="linear")
+    x = b.relu(x)
+    x = _sep_conv_bn(b, x, 728)
+    x = b.relu(x)
+    x = _sep_conv_bn(b, x, 1024)
+    x = b.max_pool(x, 3, stride=2, padding="same")
+    x = b.add(x, shortcut)
+    x = _sep_conv_bn(b, x, 1536)
+    x = b.relu(x)
+    x = _sep_conv_bn(b, x, 2048)
+    x = b.relu(x)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, num_classes)
+    x = b.softmax(x)
+    return b.build()

@@ -1,0 +1,101 @@
+"""The model registry (Table I).
+
+``load_model(name)`` returns a *fresh* graph each call, annotated with the
+deployment metadata the framework layer needs: whether quantization-aware
+training checkpoints exist (the EdgeTPU conversion gate of Table V), whether
+the implementation drags in an extra image-processing library (SSD's
+Raspberry Pi failure), whether it uses 3-D convolutions (C3D's Movidius
+failure), and whether a binarized FINN variant exists (PYNQ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.registry import Registry
+from repro.graphs import Graph
+from repro.models.alexnet import alexnet
+from repro.models.c3d import c3d
+from repro.models.cifarnet import cifarnet
+from repro.models.densenet import densenet121
+from repro.models.inception import inception_v4
+from repro.models.mobile_extra import shufflenet, squeezenet
+from repro.models.mobilenet import mobilenet_v1, mobilenet_v2
+from repro.models.resnet import resnet18, resnet50, resnet101
+from repro.models.rnn import char_lstm, gru_encoder, ptb_lstm
+from repro.models.ssd import ssd_mobilenet_v1
+from repro.models.vgg import vgg16, vgg19, vgg_s
+from repro.models.xception import xception
+from repro.models.yolo import tiny_yolo, yolov3
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """Registry entry: a builder plus deployment-relevant traits."""
+
+    builder: Callable[[], Graph]
+    qat_available: bool = False
+    finn_binarized_available: bool = False
+    aliases: tuple[str, ...] = ()
+
+
+_ENTRIES: dict[str, ModelEntry] = {
+    "ResNet-18": ModelEntry(resnet18, qat_available=False,
+                            finn_binarized_available=True, aliases=("resnet18",)),
+    "ResNet-50": ModelEntry(resnet50, qat_available=True, aliases=("resnet50",)),
+    "ResNet-101": ModelEntry(resnet101, qat_available=False, aliases=("resnet101",)),
+    "Xception": ModelEntry(xception, qat_available=False),
+    "MobileNet-v1": ModelEntry(mobilenet_v1, qat_available=True, aliases=("mobilenetv1",)),
+    "MobileNet-v2": ModelEntry(mobilenet_v2, qat_available=True, aliases=("mobilenetv2",)),
+    "Inception-v4": ModelEntry(inception_v4, qat_available=True, aliases=("inceptionv4",)),
+    "AlexNet": ModelEntry(alexnet, qat_available=False),
+    "VGG16": ModelEntry(vgg16, qat_available=True),
+    "VGG19": ModelEntry(vgg19, qat_available=True),
+    "VGG-S 224x224": ModelEntry(lambda: vgg_s(224), qat_available=False,
+                                aliases=("vggs224", "vggs 224")),
+    "VGG-S 32x32": ModelEntry(lambda: vgg_s(32), qat_available=False,
+                              aliases=("vggs32", "vggs 32")),
+    "CifarNet 32x32": ModelEntry(cifarnet, qat_available=True,
+                                 finn_binarized_available=True, aliases=("cifarnet",)),
+    "SSD MobileNet-v1": ModelEntry(ssd_mobilenet_v1, qat_available=True,
+                                   aliases=("ssd", "ssdmobilenetv1")),
+    "C3D": ModelEntry(c3d, qat_available=False),
+    "YOLOv3": ModelEntry(yolov3, qat_available=False, aliases=("yolo", "yolov3")),
+    "TinyYolo": ModelEntry(tiny_yolo, qat_available=False, aliases=("tinyyolov2",)),
+    # Mobile-specific models from the paper's related work (Section VIII).
+    "SqueezeNet": ModelEntry(squeezenet, qat_available=True),
+    "ShuffleNet": ModelEntry(shufflenet, qat_available=False),
+    "DenseNet-121": ModelEntry(densenet121, qat_available=False,
+                               aliases=("densenet",)),
+    # Recurrent models: the paper's stated future work (Section II).
+    "CharRNN-LSTM": ModelEntry(char_lstm, qat_available=False, aliases=("charrnn",)),
+    "LSTM-PTB": ModelEntry(ptb_lstm, qat_available=False, aliases=("ptb",)),
+    "GRU-Encoder": ModelEntry(gru_encoder, qat_available=False, aliases=("gru",)),
+}
+
+
+def _make_factory(name: str, entry: ModelEntry) -> Callable[[], Graph]:
+    def factory() -> Graph:
+        graph = entry.builder()
+        graph.metadata.setdefault("qat_available", entry.qat_available)
+        graph.metadata.setdefault("finn_binarized_available", entry.finn_binarized_available)
+        graph.metadata.setdefault("zoo_name", name)
+        return graph
+
+    return factory
+
+
+MODEL_REGISTRY: Registry[Graph] = Registry("model")
+for _name, _entry in _ENTRIES.items():
+    MODEL_REGISTRY.register(_name, _make_factory(_name, _entry), aliases=_entry.aliases)
+
+
+def load_model(name: str) -> Graph:
+    """Build a fresh, annotated graph for the named Table I model."""
+    return MODEL_REGISTRY.create(name)
+
+
+def list_models() -> list[str]:
+    """Display names of every Table I model, in registry order."""
+    return MODEL_REGISTRY.names()

@@ -1,0 +1,6 @@
+"""Software-stack profiling (Section VI-B3, Figure 5)."""
+
+from repro.profiling.profiler import ProfileEntry, StackProfile
+from repro.profiling.stacks import profile_stack
+
+__all__ = ["ProfileEntry", "StackProfile", "profile_stack"]

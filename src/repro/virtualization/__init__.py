@@ -1,0 +1,5 @@
+"""Container virtualization overhead model (Section VI-D, Figure 13)."""
+
+from repro.virtualization.container import Container, ContainerizedSession
+
+__all__ = ["Container", "ContainerizedSession"]

@@ -1,0 +1,35 @@
+"""Request workloads and serving simulation.
+
+The paper frames edge inference as single-batch because of "the limited
+number of available requests in a given time" (Section I).  This package
+makes that workload explicit: arrival processes (periodic sensor frames,
+Poisson request streams, bursts) and a single-server FIFO serving
+simulation that turns a device's per-inference latency into the latency
+percentiles and utilization a deployment actually experiences.
+"""
+
+from repro.workloads.arrivals import (
+    BurstyArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.batch_server import (
+    BatchServerStats,
+    batched_latency_fn,
+    simulate_batch_serving,
+)
+from repro.workloads.energy_budget import EnergyBudget, duty_cycle_budget
+from repro.workloads.queueing import QueueStats, simulate_serving
+
+__all__ = [
+    "BatchServerStats",
+    "BurstyArrivals",
+    "EnergyBudget",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "QueueStats",
+    "batched_latency_fn",
+    "duty_cycle_budget",
+    "simulate_batch_serving",
+    "simulate_serving",
+]

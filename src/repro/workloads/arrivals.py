@@ -1,0 +1,90 @@
+"""Arrival processes for edge inference requests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PeriodicArrivals:
+    """Fixed-rate arrivals: a camera emitting frames at ``rate_hz``."""
+
+    rate_hz: float
+    jitter_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate must be positive")
+        if not 0 <= self.jitter_fraction < 1:
+            raise ValueError("jitter fraction must be in [0, 1)")
+
+    def generate(self, horizon_s: float) -> np.ndarray:
+        """Arrival times in [0, horizon)."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        period = 1.0 / self.rate_hz
+        times = np.arange(0.0, horizon_s, period)
+        if self.jitter_fraction:
+            rng = np.random.default_rng(self.seed)
+            times = times + rng.uniform(
+                0.0, self.jitter_fraction * period, size=times.shape)
+        return np.sort(times[times < horizon_s])
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless request stream at mean ``rate_hz`` (cloud-style load)."""
+
+    rate_hz: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate must be positive")
+
+    def generate(self, horizon_s: float) -> np.ndarray:
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        rng = np.random.default_rng(self.seed)
+        expected = self.rate_hz * horizon_s
+        # Oversample interarrival gaps, then trim to the horizon.
+        count = max(16, int(expected * 1.5) + 8 * int(expected**0.5))
+        gaps = rng.exponential(1.0 / self.rate_hz, size=count)
+        times = np.cumsum(gaps)
+        while times[-1] < horizon_s:
+            extra = rng.exponential(1.0 / self.rate_hz, size=count)
+            times = np.concatenate([times, times[-1] + np.cumsum(extra)])
+        return times[times < horizon_s]
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Bursts of ``burst_size`` back-to-back requests at ``burst_rate_hz``.
+
+    Models event-triggered cameras: motion wakes the sensor and several
+    frames arrive at once.
+    """
+
+    burst_rate_hz: float
+    burst_size: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.burst_rate_hz <= 0:
+            raise ValueError("burst rate must be positive")
+        if self.burst_size < 1:
+            raise ValueError("burst size must be >= 1")
+
+    @property
+    def rate_hz(self) -> float:
+        return self.burst_rate_hz * self.burst_size
+
+    def generate(self, horizon_s: float) -> np.ndarray:
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        bursts = PoissonArrivals(self.burst_rate_hz, seed=self.seed).generate(horizon_s)
+        times = np.repeat(bursts, self.burst_size)
+        return times[times < horizon_s]

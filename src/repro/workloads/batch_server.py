@@ -1,0 +1,111 @@
+"""Dynamic-batching server simulation.
+
+The paper's Section VI-C contrast — single-batch edge vs batched cloud —
+meets the request stream here: a server that, whenever it frees up, grabs
+every queued request (up to ``max_batch``) and runs them as one batch.
+Batching raises throughput via the engine's weight-amortization and
+unit-fill effects, at the cost of queueing the requests that form the
+batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.executor import EngineConfig, InferenceSession
+from repro.frameworks.base import DeployedModel
+
+
+@dataclass(frozen=True)
+class BatchServerStats:
+    """Outcome of a dynamic-batching run."""
+
+    requests: int
+    batches: int
+    mean_batch_size: float
+    max_batch_observed: int
+    throughput_rps: float
+    mean_sojourn_s: float
+    p99_sojourn_s: float
+    utilization: float
+
+
+def batched_latency_fn(deployed: DeployedModel,
+                       max_batch: int) -> Callable[[int], float]:
+    """Per-BATCH wall time as a function of batch size, engine-backed.
+
+    Sessions are built lazily per batch size and cached; the returned
+    callable gives the time to finish a whole batch (per-inference latency
+    times the batch size).
+    """
+    cache: dict[int, float] = {}
+
+    def batch_time(batch_size: int) -> float:
+        if batch_size not in cache:
+            session = InferenceSession(
+                deployed, config=EngineConfig(batch_size=batch_size))
+            cache[batch_size] = session.latency_s * batch_size
+        return cache[batch_size]
+
+    # Pre-validate the largest batch so OOM surfaces at setup, not mid-run.
+    batch_time(max_batch)
+    return batch_time
+
+
+def simulate_batch_serving(
+    arrival_times: np.ndarray,
+    batch_time_fn: Callable[[int], float],
+    max_batch: int,
+) -> BatchServerStats:
+    """Greedy dynamic batching: when free, serve everything queued (<= max).
+
+    Args:
+        arrival_times: sorted arrival instants.
+        batch_time_fn: batch size -> seconds to complete that batch.
+        max_batch: upper bound on one batch.
+    """
+    arrivals = np.asarray(arrival_times, dtype=float)
+    if arrivals.size == 0:
+        raise ValueError("no arrivals to serve")
+    if np.any(np.diff(arrivals) < 0):
+        raise ValueError("arrival times must be sorted")
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+
+    index = 0
+    now = 0.0
+    busy_s = 0.0
+    sojourns: list[float] = []
+    batch_sizes: list[int] = []
+    n = arrivals.size
+    while index < n:
+        if arrivals[index] > now:
+            now = float(arrivals[index])  # idle until work exists
+        # Everything that has arrived by `now` is queued; grab up to max.
+        queued_end = int(np.searchsorted(arrivals, now, side="right"))
+        batch = min(max_batch, queued_end - index)
+        batch = max(batch, 1)
+        duration = batch_time_fn(batch)
+        finish = now + duration
+        for i in range(index, index + batch):
+            sojourns.append(finish - float(arrivals[i]))
+        busy_s += duration
+        batch_sizes.append(batch)
+        index += batch
+        now = finish
+
+    horizon = max(now, float(arrivals[-1]))
+    sojourn_array = np.asarray(sojourns)
+    return BatchServerStats(
+        requests=n,
+        batches=len(batch_sizes),
+        mean_batch_size=float(np.mean(batch_sizes)),
+        max_batch_observed=max(batch_sizes),
+        throughput_rps=n / horizon,
+        mean_sojourn_s=float(sojourn_array.mean()),
+        p99_sojourn_s=float(np.percentile(sojourn_array, 99)),
+        utilization=float(busy_s / horizon),
+    )

@@ -1,0 +1,128 @@
+"""Single-server FIFO serving simulation.
+
+An edge device runs one inference at a time (the single-batch regime);
+requests that arrive while it is busy queue up.  Completion times follow
+the Lindley recursion ``finish_i = max(arrival_i, finish_{i-1}) + service``,
+so the whole simulation is a vectorizable scan.  For Poisson arrivals and
+deterministic service this is the M/D/1 queue, and the property tests check
+the simulated waiting time against the Pollaczek-Khinchine formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Outcome of one serving simulation."""
+
+    requests: int
+    completed: int
+    dropped: int
+    utilization: float
+    mean_sojourn_s: float
+    p50_sojourn_s: float
+    p95_sojourn_s: float
+    p99_sojourn_s: float
+    max_queue_depth: int
+    mean_wait_s: float
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.dropped / self.requests if self.requests else 0.0
+
+    def meets_deadline(self, deadline_s: float, percentile: float = 0.99) -> bool:
+        """True when the given sojourn percentile fits the deadline and no
+        request was dropped."""
+        if self.dropped:
+            return False
+        target = {0.5: self.p50_sojourn_s, 0.95: self.p95_sojourn_s,
+                  0.99: self.p99_sojourn_s}.get(percentile)
+        if target is None:
+            raise ValueError(f"unsupported percentile {percentile}")
+        return target <= deadline_s
+
+
+def simulate_serving(
+    arrival_times: np.ndarray,
+    service_time_s: float,
+    queue_capacity: int | None = None,
+    service_jitter_fraction: float = 0.0,
+    seed: int = 0,
+) -> QueueStats:
+    """Serve ``arrival_times`` FIFO on one server.
+
+    Args:
+        arrival_times: sorted arrival instants (seconds).
+        service_time_s: per-request service time (a session's latency).
+        queue_capacity: maximum requests waiting (not counting the one in
+            service); arrivals beyond it are dropped.  ``None`` = unbounded.
+        service_jitter_fraction: lognormal sigma on service times.
+        seed: RNG seed for the jitter.
+    """
+    arrivals = np.asarray(arrival_times, dtype=float)
+    if arrivals.size == 0:
+        raise ValueError("no arrivals to serve")
+    if np.any(np.diff(arrivals) < 0):
+        raise ValueError("arrival times must be sorted")
+    if service_time_s <= 0:
+        raise ValueError("service time must be positive")
+
+    rng = np.random.default_rng(seed)
+    if service_jitter_fraction:
+        services = service_time_s * rng.lognormal(
+            0.0, service_jitter_fraction, size=arrivals.size)
+    else:
+        services = np.full(arrivals.size, service_time_s)
+
+    finish = 0.0
+    sojourns: list[float] = []
+    waits: list[float] = []
+    finish_times: list[float] = []  # completions of admitted requests
+    dropped = 0
+    busy_s = 0.0
+    max_depth = 0
+    import bisect
+
+    for arrival, service in zip(arrivals, services):
+        # Queue depth seen on arrival: admitted requests not yet finished.
+        # FIFO service keeps finish_times sorted, so count by bisection.
+        pending = len(finish_times) - bisect.bisect_right(finish_times, arrival)
+        waiting = max(0, pending - 1)
+        # Dropped only when the request would have to wait AND the waiting
+        # room is full; an idle server always admits.
+        if queue_capacity is not None and pending > 0 and waiting >= queue_capacity:
+            dropped += 1
+            continue
+        start = max(arrival, finish)
+        finish = start + service
+        finish_times.append(finish)
+        waits.append(start - arrival)
+        sojourns.append(finish - arrival)
+        busy_s += service
+        max_depth = max(max_depth, waiting + 1)
+
+    if not sojourns:
+        return QueueStats(
+            requests=arrivals.size, completed=0, dropped=dropped,
+            utilization=0.0, mean_sojourn_s=0.0, p50_sojourn_s=0.0,
+            p95_sojourn_s=0.0, p99_sojourn_s=0.0, max_queue_depth=0,
+            mean_wait_s=0.0,
+        )
+    horizon = max(finish, arrivals[-1])
+    sojourn_array = np.asarray(sojourns)
+    return QueueStats(
+        requests=int(arrivals.size),
+        completed=len(sojourns),
+        dropped=dropped,
+        utilization=float(busy_s / horizon),
+        mean_sojourn_s=float(sojourn_array.mean()),
+        p50_sojourn_s=float(np.percentile(sojourn_array, 50)),
+        p95_sojourn_s=float(np.percentile(sojourn_array, 95)),
+        p99_sojourn_s=float(np.percentile(sojourn_array, 99)),
+        max_queue_depth=max_depth,
+        mean_wait_s=float(np.mean(waits)),
+    )

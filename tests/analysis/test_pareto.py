@@ -1,0 +1,61 @@
+"""Pareto-frontier extraction."""
+
+import pytest
+
+from repro.analysis.pareto import ParetoPoint, dominated_by, pareto_frontier
+
+
+def _p(label, latency, power) -> ParetoPoint:
+    return ParetoPoint(label=label, latency_s=latency, power_w=power)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert _p("a", 1, 1).dominates(_p("b", 2, 2))
+
+    def test_better_on_one_axis_equal_other(self):
+        assert _p("a", 1, 2).dominates(_p("b", 2, 2))
+
+    def test_tradeoff_does_not_dominate(self):
+        fast_hungry = _p("a", 1, 10)
+        slow_frugal = _p("b", 10, 1)
+        assert not fast_hungry.dominates(slow_frugal)
+        assert not slow_frugal.dominates(fast_hungry)
+
+    def test_identical_points_do_not_dominate(self):
+        assert not _p("a", 1, 1).dominates(_p("b", 1, 1))
+
+
+class TestFrontier:
+    def test_extracts_non_dominated(self):
+        points = [_p("fast", 1, 10), _p("frugal", 10, 1),
+                  _p("dominated", 5, 5), _p("middle", 3, 3)]
+        frontier = pareto_frontier(points)
+        labels = [p.label for p in frontier]
+        assert labels == ["fast", "middle", "frugal"]
+
+    def test_sorted_by_latency(self):
+        points = [_p("b", 2, 2), _p("a", 1, 3)]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["a", "b"]
+
+    def test_single_point(self):
+        assert pareto_frontier([_p("only", 1, 1)]) == [_p("only", 1, 1)]
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_all_identical_all_kept(self):
+        points = [_p("a", 1, 1), _p("b", 1, 1)]
+        assert len(pareto_frontier(points)) == 2
+
+
+class TestDominatedBy:
+    def test_explanation(self):
+        points = [_p("fast", 1, 1), _p("slow", 5, 5)]
+        explainers = dominated_by(points[1], points)
+        assert explainers == [points[0]]
+
+    def test_frontier_point_has_no_explainers(self):
+        points = [_p("fast", 1, 10), _p("frugal", 10, 1)]
+        assert dominated_by(points[0], points) == []

@@ -1,0 +1,63 @@
+"""Parameter sweeps: batch size, sparsity, datatype."""
+
+import pytest
+
+from repro.analysis import batch_size_sweep, dtype_sweep, sparsity_sweep
+
+
+class TestBatchSweep:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return batch_size_sweep("ResNet-50", ("Jetson TX2", "RTX 2080"),
+                                batches=(1, 8, 64))
+
+    def test_rows_per_device(self, table):
+        assert table.labels() == ["Jetson TX2", "RTX 2080"]
+
+    def test_latency_monotone_in_batch(self, table):
+        for row in table:
+            values = [row[c] for c in table.columns if row[c] is not None]
+            assert values == sorted(values, reverse=True)
+
+    def test_oom_marked_as_none(self):
+        table = batch_size_sweep("VGG16", ("Jetson Nano",), batches=(1, 512))
+        assert table.row("Jetson Nano")["batch 1"] is not None
+        assert table.row("Jetson Nano")["batch 512"] is None
+
+
+class TestSparsitySweep:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return sparsity_sweep("ResNet-50", "Raspberry Pi 3B",
+                              framework_names=("TensorFlow", "PyTorch"),
+                              sparsities=(0.0, 0.5, 0.9))
+
+    def test_exploiters_accelerate(self, table):
+        row = table.row("TensorFlow")
+        assert row["90% sparse"] < row["50% sparse"] < row["0% sparse"]
+
+    def test_non_exploiters_flat(self, table):
+        row = table.row("PyTorch")
+        assert row["90% sparse"] == pytest.approx(row["0% sparse"], rel=1e-6)
+
+    def test_incompatible_framework_marked(self):
+        table = sparsity_sweep("ResNet-50", "Raspberry Pi 3B",
+                               framework_names=("TensorRT",), sparsities=(0.0,))
+        assert table.row("TensorRT")["0% sparse"] is None  # no GPU on RPi
+
+
+class TestDtypeSweep:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return dtype_sweep("ResNet-50", "Jetson Nano", "TensorRT")
+
+    def test_weights_shrink_with_narrow_types(self, table):
+        weights = table.column("weights_mib")
+        assert weights[0] > weights[1] > weights[2]  # fp32 > fp16 > int8
+
+    def test_fp16_fastest_on_maxwell(self, table):
+        """The Nano's Maxwell GPU doubles fp16 rate but has no INT8 path,
+        so fp16 wins despite int8's smaller footprint."""
+        latencies = {row.label: row["latency_ms"] for row in table}
+        assert latencies["fp16"] < latencies["fp32"]
+        assert latencies["fp16"] < latencies["int8"]

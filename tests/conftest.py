@@ -1,0 +1,72 @@
+"""Shared fixtures.
+
+Devices and frameworks are cheap to construct; model graphs are rebuilt per
+test to guarantee isolation (transforms clone, but tests may annotate).
+Session-scoped fixtures exist only for read-only heavyweight objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import InferenceSession
+from repro.frameworks import load_framework
+from repro.hardware import load_device
+from repro.models import load_model
+
+
+@pytest.fixture
+def rpi():
+    return load_device("Raspberry Pi 3B")
+
+
+@pytest.fixture
+def tx2():
+    return load_device("Jetson TX2")
+
+
+@pytest.fixture
+def nano():
+    return load_device("Jetson Nano")
+
+
+@pytest.fixture
+def edgetpu():
+    return load_device("EdgeTPU")
+
+
+@pytest.fixture
+def movidius():
+    return load_device("Movidius NCS")
+
+
+@pytest.fixture
+def pynq():
+    return load_device("PYNQ-Z1")
+
+
+@pytest.fixture
+def resnet18():
+    return load_model("ResNet-18")
+
+
+@pytest.fixture
+def mobilenet_v2():
+    return load_model("MobileNet-v2")
+
+
+@pytest.fixture
+def vgg16():
+    return load_model("VGG16")
+
+
+def make_session(model_name: str, device_name: str, framework_name: str) -> InferenceSession:
+    """Deploy + build a session; helper shared by many tests."""
+    framework = load_framework(framework_name)
+    deployed = framework.deploy(load_model(model_name), load_device(device_name))
+    return InferenceSession(deployed)
+
+
+@pytest.fixture
+def session_factory():
+    return make_session

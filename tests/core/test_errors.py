@@ -1,0 +1,46 @@
+"""Error-hierarchy contracts the compat layer relies on."""
+
+import pytest
+
+from repro.core.errors import (
+    CompatibilityError,
+    ConversionError,
+    DeploymentError,
+    IncompatibleModelError,
+    OutOfMemoryError,
+    ReproError,
+    ThermalShutdownError,
+    UnknownEntryError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        CompatibilityError, ConversionError, DeploymentError,
+        IncompatibleModelError, OutOfMemoryError, ThermalShutdownError,
+        UnknownEntryError,
+    ])
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize("exc", [ConversionError, IncompatibleModelError, OutOfMemoryError])
+    def test_deployment_failures(self, exc):
+        assert issubclass(exc, DeploymentError)
+
+    def test_unknown_entry_is_key_error(self):
+        assert issubclass(UnknownEntryError, KeyError)
+
+    def test_unknown_entry_message_unquoted(self):
+        err = UnknownEntryError("unknown model: 'x'")
+        assert str(err) == "unknown model: 'x'"
+
+
+class TestPayloads:
+    def test_oom_carries_byte_counts(self):
+        err = OutOfMemoryError("too big", required_bytes=10, available_bytes=5)
+        assert err.required_bytes == 10
+        assert err.available_bytes == 5
+
+    def test_thermal_shutdown_carries_temperature(self):
+        err = ThermalShutdownError("hot", temperature_c=71.5)
+        assert err.temperature_c == 71.5

@@ -1,0 +1,73 @@
+"""Registry behaviour: lookup, aliasing, suggestions, isolation."""
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.core.registry import Registry, canonical_name
+
+
+class TestCanonicalName:
+    @pytest.mark.parametrize("variant", ["ResNet-18", "resnet18", "ResNet_18", "resnet 18"])
+    def test_variants_collapse(self, variant):
+        assert canonical_name(variant) == "resnet18"
+
+    def test_case_insensitive(self):
+        assert canonical_name("TensorRT") == canonical_name("tensorrt")
+
+
+class TestRegistry:
+    def _registry(self) -> Registry[dict]:
+        registry: Registry[dict] = Registry("widget")
+        registry.register("Alpha One", lambda: {"name": "alpha"}, aliases=("a1",))
+        registry.register("Beta", lambda: {"name": "beta"})
+        return registry
+
+    def test_create_returns_fresh_instances(self):
+        registry = self._registry()
+        first = registry.create("Alpha One")
+        second = registry.create("alpha one")
+        assert first == second
+        assert first is not second
+
+    def test_alias_lookup(self):
+        assert self._registry().create("a1")["name"] == "alpha"
+
+    def test_unknown_raises_with_suggestion(self):
+        registry = self._registry()
+        with pytest.raises(UnknownEntryError, match="Beta"):
+            registry.create("beta2")
+
+    def test_unknown_far_from_everything_has_no_suggestion(self):
+        registry = self._registry()
+        with pytest.raises(UnknownEntryError):
+            registry.create("zzzzzzz")
+
+    def test_duplicate_name_rejected(self):
+        registry = self._registry()
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register("alpha-one", lambda: {})
+
+    def test_names_lists_primary_names_only(self):
+        assert self._registry().names() == ["Alpha One", "Beta"]
+
+    def test_contains_and_len(self):
+        registry = self._registry()
+        assert "a1" in registry
+        assert "gamma" not in registry
+        assert len(registry) == 2
+
+    def test_display_name_resolves_alias(self):
+        assert self._registry().display_name("a1") == "Alpha One"
+
+    def test_alias_equal_to_primary_is_tolerated(self):
+        registry: Registry[int] = Registry("num")
+        registry.register("One-Two", lambda: 12, aliases=("one two", "onetwo"))
+        assert registry.create("ONETWO") == 12
+
+    def test_iteration_yields_names(self):
+        assert list(self._registry()) == ["Alpha One", "Beta"]
+
+    def test_unknown_entry_error_is_key_error(self):
+        registry = self._registry()
+        with pytest.raises(KeyError):
+            registry.create("missing")

@@ -1,0 +1,102 @@
+"""Bootstrap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    ConfidenceInterval,
+    bootstrap_median,
+    compare_speedup,
+)
+
+
+class TestConfidenceInterval:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(point=5.0, low=6.0, high=7.0, confidence=0.95)
+
+    def test_contains_and_width(self):
+        ci = ConfidenceInterval(point=2.0, low=1.0, high=3.0, confidence=0.95)
+        assert ci.contains(2.5)
+        assert not ci.contains(0.5)
+        assert ci.half_width == 1.0
+
+    def test_str(self):
+        ci = ConfidenceInterval(point=2.0, low=1.0, high=3.0, confidence=0.95)
+        assert "95%" in str(ci)
+
+
+class TestBootstrapMedian:
+    def test_point_is_sample_median(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 100.0]
+        ci = bootstrap_median(samples, seed=1)
+        assert ci.point == 3.0
+
+    def test_interval_narrows_with_more_samples(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_median(rng.normal(10, 1, size=20), seed=2)
+        large = bootstrap_median(rng.normal(10, 1, size=2000), seed=2)
+        assert large.half_width < small.half_width
+
+    def test_coverage_on_known_distribution(self):
+        """~95% of CIs should contain the true median."""
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 100
+        for trial in range(trials):
+            samples = rng.normal(5.0, 1.0, size=60)
+            ci = bootstrap_median(samples, seed=trial)
+            hits += ci.contains(5.0)
+        assert hits >= 85  # generous to keep the test stable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_median([])
+        with pytest.raises(ValueError):
+            bootstrap_median([1.0], confidence=1.5)
+
+    def test_deterministic_per_seed(self):
+        samples = list(np.random.default_rng(4).exponential(1.0, 50))
+        assert bootstrap_median(samples, seed=9).low == bootstrap_median(samples, seed=9).low
+
+
+class TestCompareSpeedup:
+    def test_clear_speedup_is_significant(self):
+        rng = np.random.default_rng(5)
+        slow = rng.normal(0.10, 0.005, size=200)
+        fast = rng.normal(0.05, 0.005, size=200)
+        comparison = compare_speedup(slow, fast, seed=6)
+        assert comparison.speedup == pytest.approx(2.0, rel=0.1)
+        assert comparison.significant
+        assert "significant" in str(comparison)
+
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(0.10, 0.01, size=100)
+        b = rng.normal(0.10, 0.01, size=100)
+        comparison = compare_speedup(a, b, seed=8)
+        assert not comparison.significant
+
+    def test_direction(self):
+        comparison = compare_speedup([2.0] * 10, [1.0] * 10, seed=9)
+        assert comparison.speedup == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_speedup([], [1.0])
+        with pytest.raises(ValueError):
+            compare_speedup([1.0], [-1.0])
+
+    def test_works_with_timer_output(self, session_factory):
+        from repro.measurement import InferenceTimer
+
+        timer = InferenceTimer(seed=10, jitter_fraction=0.05)
+        pt = session_factory("ResNet-18", "Jetson Nano", "PyTorch")
+        trt = session_factory("ResNet-18", "Jetson Nano", "TensorRT")
+        pt_samples = [pt.latency_s * j for j in
+                      np.random.default_rng(0).lognormal(0, 0.05, 200)]
+        trt_samples = [trt.latency_s * j for j in
+                       np.random.default_rng(1).lognormal(0, 0.05, 200)]
+        comparison = compare_speedup(pt_samples, trt_samples, seed=11)
+        assert comparison.significant
+        assert comparison.speedup > 4

@@ -1,0 +1,52 @@
+"""Network link model."""
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.distribution.network import LINK_PRESETS, NetworkLink, load_link
+
+
+class TestNetworkLink:
+    def test_transfer_time(self):
+        link = NetworkLink("test", bandwidth_bytes_per_s=1e6, latency_s=0.01)
+        assert link.transfer_time_s(1e6) == pytest.approx(1.01)
+
+    def test_zero_payload_costs_latency(self):
+        link = NetworkLink("test", bandwidth_bytes_per_s=1e6, latency_s=0.01)
+        assert link.transfer_time_s(0) == pytest.approx(0.01)
+
+    def test_reliability_inflates_time(self):
+        perfect = NetworkLink("a", 1e6, 0.0, reliability=1.0)
+        lossy = NetworkLink("b", 1e6, 0.0, reliability=0.5)
+        assert lossy.transfer_time_s(1e6) == pytest.approx(2 * perfect.transfer_time_s(1e6))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"bandwidth_bytes_per_s": 0, "latency_s": 0},
+        {"bandwidth_bytes_per_s": 1e6, "latency_s": -1},
+        {"bandwidth_bytes_per_s": 1e6, "latency_s": 0, "reliability": 0.0},
+        {"bandwidth_bytes_per_s": 1e6, "latency_s": 0, "reliability": 1.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkLink("bad", **kwargs)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            load_link("wifi").transfer_time_s(-1)
+
+
+class TestPresets:
+    def test_expected_presets_exist(self):
+        for name in ("wifi", "ethernet", "lte", "bluetooth", "loopback"):
+            assert name in LINK_PRESETS
+
+    def test_speed_ordering(self):
+        assert (load_link("loopback").bandwidth_bytes_per_s
+                > load_link("ethernet").bandwidth_bytes_per_s
+                > load_link("wifi").bandwidth_bytes_per_s
+                > load_link("lte").bandwidth_bytes_per_s
+                > load_link("bluetooth").bandwidth_bytes_per_s)
+
+    def test_unknown_preset(self):
+        with pytest.raises(UnknownEntryError, match="options"):
+            load_link("carrier-pigeon")

@@ -1,0 +1,99 @@
+"""EngineConfig: batching and ablation switches."""
+
+import pytest
+
+from repro.core.errors import OutOfMemoryError
+from repro.engine import EngineConfig, InferenceSession
+from repro.frameworks import load_framework
+from repro.hardware import load_device
+from repro.models import load_model
+
+
+def _session(model="ResNet-50", device="Jetson TX2", framework="PyTorch",
+             **config_kwargs) -> InferenceSession:
+    deployed = load_framework(framework).deploy(load_model(model), load_device(device))
+    return InferenceSession(deployed, config=EngineConfig(**config_kwargs))
+
+
+class TestConfigValidation:
+    def test_default_is_single_batch_full_model(self):
+        config = EngineConfig()
+        assert config.batch_size == 1
+        assert config.include_memory_term
+        assert config.include_framework_overheads
+        assert config.respect_fusion
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(batch_size=0)
+
+
+class TestBatching:
+    def test_per_inference_latency_decreases_with_batch(self):
+        latencies = [_session(batch_size=b).latency_s for b in (1, 4, 16)]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_batching_helps_hpc_more_than_edge(self):
+        """Section VI-C's thesis quantified: the HPC speedup over TX2 grows
+        with batch size."""
+        def speedup(batch):
+            tx2 = _session(device="Jetson TX2", batch_size=batch).latency_s
+            hpc = _session(device="RTX 2080", batch_size=batch).latency_s
+            return tx2 / hpc
+
+        assert speedup(32) > speedup(1)
+
+    def test_xeon_crosses_tx2_with_batching(self):
+        """Xeon loses at batch 1 but wins once batching amortizes."""
+        assert (_session(device="Xeon E5-2696 v4").latency_s
+                > _session(device="Jetson TX2").latency_s)
+        assert (_session(device="Xeon E5-2696 v4", batch_size=32).latency_s
+                < _session(device="Jetson TX2", batch_size=32).latency_s)
+
+    def test_oversized_batch_raises_oom(self):
+        deployed = load_framework("TFLite").deploy(
+            load_model("Inception-v4"), load_device("Raspberry Pi 3B"))
+        with pytest.raises(OutOfMemoryError, match="batch"):
+            InferenceSession(deployed, config=EngineConfig(batch_size=4096))
+
+    def test_batch_one_never_oom_checks(self):
+        # Deployment already validated batch 1; the session must not re-raise.
+        _session(model="VGG16", device="Raspberry Pi 3B", framework="PyTorch")
+
+
+class TestAblationSwitches:
+    def test_memory_term_ablation_zeroes_memory(self):
+        ablated = _session(include_memory_term=False)
+        assert ablated.plan.memory_s == 0.0
+        assert ablated.latency_s <= _session().latency_s
+
+    def test_memory_ablation_breaks_vgg_xeon_story(self):
+        """Without the memory term the Xeon's VGG16 parity with TX2
+        degrades — the crossover is a memory phenomenon."""
+        def ratio(**kwargs):
+            xeon = _session("VGG16", "Xeon E5-2696 v4", **kwargs).latency_s
+            tx2 = _session("VGG16", "Jetson TX2", **kwargs).latency_s
+            return xeon / tx2
+
+        assert ratio(include_memory_term=False) >= ratio()
+
+    def test_overhead_ablation_removes_framework_costs(self):
+        full = _session("MobileNet-v2")
+        bare = _session("MobileNet-v2", include_framework_overheads=False)
+        assert bare.plan.session_overhead_s == 0.0
+        assert bare.latency_s < full.latency_s
+
+    def test_fusion_ablation_restores_all_dispatches(self):
+        deployed = load_framework("TensorRT").deploy(
+            load_model("ResNet-50"), load_device("Jetson Nano"))
+        fused = InferenceSession(deployed)
+        unfused = InferenceSession(deployed, config=EngineConfig(respect_fusion=False))
+        assert len(unfused.plan.timings) > len(fused.plan.timings)
+        assert unfused.latency_s > fused.latency_s
+
+    def test_fusion_ablation_noop_for_unfused_frameworks(self):
+        deployed = load_framework("PyTorch").deploy(
+            load_model("ResNet-50"), load_device("Jetson TX2"))
+        fused = InferenceSession(deployed)
+        unfused = InferenceSession(deployed, config=EngineConfig(respect_fusion=False))
+        assert len(unfused.plan.timings) == len(fused.plan.timings)

@@ -1,0 +1,72 @@
+"""Per-layer tables and Chrome traces."""
+
+import json
+
+import pytest
+
+from repro.engine.trace import chrome_trace, layer_table, save_chrome_trace
+
+
+@pytest.fixture
+def session(session_factory):
+    return session_factory("ResNet-18", "Jetson TX2", "PyTorch")
+
+
+class TestLayerTable:
+    def test_sorted_slowest_first(self, session):
+        table = layer_table(session)
+        latencies = table.column("latency_us")
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_covers_every_scheduled_op(self, session):
+        assert len(layer_table(session)) == len(session.plan.timings)
+
+    def test_top_n(self, session):
+        assert len(layer_table(session, top=5)) == 5
+
+    def test_shares_sum_to_one(self, session):
+        shares = layer_table(session).column("share")
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_bound_labels(self, session):
+        assert set(layer_table(session).column("bound")) <= {"compute", "memory"}
+
+
+class TestChromeTrace:
+    def test_events_are_contiguous(self, session):
+        trace = chrome_trace(session)
+        events = trace["traceEvents"]
+        cursor = 0.0
+        for event in events:
+            assert event["ts"] == pytest.approx(cursor, abs=0.01)
+            cursor = event["ts"] + event["dur"]
+
+    def test_total_duration_matches_latency(self, session):
+        trace = chrome_trace(session)
+        last = trace["traceEvents"][-1]
+        end_ms = (last["ts"] + last["dur"]) / 1e3
+        assert end_ms == pytest.approx(session.latency_s * 1e3, rel=0.001)
+
+    def test_metadata(self, session):
+        other = chrome_trace(session)["otherData"]
+        assert other["model"] == "ResNet-18"
+        assert other["device"] == "Jetson TX2"
+        assert other["framework"] == "PyTorch"
+
+    def test_op_args_recorded(self, session):
+        events = chrome_trace(session)["traceEvents"]
+        conv = next(e for e in events if e["name"] == "conv_1")
+        assert conv["args"]["type"] == "Conv2D"
+        assert conv["args"]["macs"] > 0
+
+    def test_save_round_trips_as_json(self, session, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(session, path)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["traceEvents"]
+
+    def test_transfer_slice_for_linked_devices(self, session_factory):
+        session = session_factory("MobileNet-v2", "Movidius NCS", "NCSDK")
+        names = [e["name"] for e in chrome_trace(session)["traceEvents"]]
+        assert "input transfer" in names

@@ -1,0 +1,99 @@
+"""Table II: framework capability matrix."""
+
+import pytest
+
+from repro.frameworks import list_frameworks, load_framework
+
+# Optimization rows of Table II: framework -> (quantization, mixed
+# precision, dynamic graph, pruning exploitation, fusion, auto tuning,
+# half precision).
+TABLE2_OPTIMIZATIONS = {
+    "TensorFlow": (True, False, False, True, True, False, True),
+    "TFLite": (True, False, False, True, True, False, True),
+    "Caffe": (True, False, False, False, False, False, True),
+    "NCSDK": (True, False, False, False, True, False, True),
+    "PyTorch": (True, False, True, False, False, False, True),
+    "TensorRT": (True, True, True, True, True, True, True),
+    "DarkNet": (False, False, False, False, False, False, False),
+}
+
+
+class TestRegistry:
+    def test_all_paper_frameworks_present(self):
+        names = set(list_frameworks())
+        for expected in ("TensorFlow", "TFLite", "Keras", "Caffe", "PyTorch",
+                         "TensorRT", "DarkNet", "NCSDK", "TVM VTA", "FINN"):
+            assert expected in names
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("TF", "TensorFlow"),
+        ("T-Lite", "TFLite"),
+        ("PT", "PyTorch"),
+        ("T-RT", "TensorRT"),
+        ("TVM", "TVM VTA"),
+    ])
+    def test_paper_abbreviations(self, alias, canonical):
+        assert load_framework(alias).name == canonical
+
+
+class TestTable2Optimizations:
+    @pytest.mark.parametrize("framework_name", sorted(TABLE2_OPTIMIZATIONS))
+    def test_optimization_row(self, framework_name):
+        caps = load_framework(framework_name).capabilities
+        expected = TABLE2_OPTIMIZATIONS[framework_name]
+        actual = (caps.quantization, caps.mixed_precision, caps.dynamic_graph,
+                  caps.pruning_exploit, caps.fusion, caps.auto_tuning,
+                  caps.half_precision)
+        assert actual == expected
+
+
+class TestTable2GeneralRows:
+    def test_darknet_is_the_only_c_framework(self):
+        for name in TABLE2_OPTIMIZATIONS:
+            language = load_framework(name).capabilities.language
+            assert (language == "C") == (name == "DarkNet")
+
+    def test_darknet_not_industry_backed(self):
+        assert not load_framework("DarkNet").capabilities.industry_backed
+        assert load_framework("TensorFlow").capabilities.industry_backed
+
+    def test_inference_only_frameworks(self):
+        for name in ("TFLite", "TensorRT", "NCSDK"):
+            assert not load_framework(name).capabilities.training_framework
+        for name in ("TensorFlow", "PyTorch", "Caffe", "DarkNet"):
+            assert load_framework(name).capabilities.training_framework
+
+    def test_extra_steps_frameworks(self):
+        """TFLite and Movidius require extra deployment steps (Table II)."""
+        for name in ("TFLite", "NCSDK"):
+            assert not load_framework(name).capabilities.no_extra_steps
+        for name in ("TensorFlow", "PyTorch", "TensorRT", "DarkNet", "Caffe"):
+            assert load_framework(name).capabilities.no_extra_steps
+
+    def test_only_tflite_deploys_to_mobile(self):
+        assert load_framework("TFLite").capabilities.mobile_deployment
+        assert not load_framework("TensorFlow").capabilities.mobile_deployment
+
+    def test_darknet_best_for_low_level_work(self):
+        scores = {name: load_framework(name).capabilities.low_level_modifications
+                  for name in TABLE2_OPTIMIZATIONS}
+        assert scores["DarkNet"] == max(scores.values())
+
+    def test_tensorrt_most_compatible(self):
+        scores = {name: load_framework(name).capabilities.compatibility_with_others
+                  for name in TABLE2_OPTIMIZATIONS}
+        assert scores["TensorRT"] == max(scores.values())
+
+    def test_star_ratings_in_range(self):
+        for name in list_frameworks():
+            caps = load_framework(name).capabilities
+            for attribute in ("usability", "adding_new_models", "predefined_models",
+                              "documentation", "low_level_modifications",
+                              "compatibility_with_others"):
+                assert 1 <= getattr(caps, attribute) <= 3, (name, attribute)
+
+    def test_keras_shares_tensorflow_engine(self):
+        keras = load_framework("Keras")
+        tensorflow = load_framework("TensorFlow")
+        assert keras.kernel_quality == tensorflow.kernel_quality
+        assert keras.overheads.graph_setup_base_s > tensorflow.overheads.graph_setup_base_s

@@ -1,0 +1,61 @@
+"""Table V reproduction: the full compatibility matrix must match."""
+
+import pytest
+
+from repro.frameworks.compat import (
+    CompatStatus,
+    TABLE_V_FRAMEWORKS,
+    TABLE_V_MODELS,
+    check_compatibility,
+    compatibility_matrix,
+)
+from repro.harness.paper_data import TABLE5_EXPECTED
+
+
+class TestTableV:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return compatibility_matrix()
+
+    @pytest.mark.parametrize("model_name", TABLE_V_MODELS)
+    def test_row_matches_paper(self, matrix, model_name):
+        expected = TABLE5_EXPECTED[model_name]
+        actual = {device: result.status.symbol
+                  for device, result in matrix[model_name].items()}
+        assert actual == expected
+
+    def test_matrix_is_complete(self, matrix):
+        assert set(matrix) == set(TABLE_V_MODELS)
+        for row in matrix.values():
+            assert set(row) == set(TABLE_V_FRAMEWORKS)
+
+    def test_failures_carry_details(self, matrix):
+        ssd_rpi = matrix["SSD MobileNet-v1"]["Raspberry Pi 3B"]
+        assert ssd_rpi.status is CompatStatus.CODE_INCOMPATIBILITY
+        assert "image-processing" in ssd_rpi.detail
+
+    def test_dynamic_graph_entries_name_pytorch(self, matrix):
+        vgg_rpi = matrix["VGG16"]["Raspberry Pi 3B"]
+        assert vgg_rpi.status is CompatStatus.DYNAMIC_GRAPH
+        assert vgg_rpi.framework == "PyTorch"
+
+
+class TestCheckCompatibility:
+    def test_explicit_framework(self):
+        result = check_compatibility("VGG16", "Raspberry Pi 3B", "TensorFlow")
+        assert result.status is CompatStatus.MEMORY_ERROR
+
+    def test_fallback_chain_reaches_pytorch(self):
+        result = check_compatibility("VGG16", "Raspberry Pi 3B")
+        assert result.status is CompatStatus.DYNAMIC_GRAPH
+
+    def test_runnable_classification(self):
+        assert CompatStatus.OK.runnable
+        assert CompatStatus.DYNAMIC_GRAPH.runnable
+        assert CompatStatus.FABRIC_SPILL.runnable
+        assert not CompatStatus.MEMORY_ERROR.runnable
+        assert not CompatStatus.CONVERSION_BARRIER.runnable
+
+    def test_symbols_are_unique(self):
+        symbols = [status.symbol for status in CompatStatus]
+        assert len(symbols) == len(set(symbols))

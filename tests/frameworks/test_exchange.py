@@ -1,0 +1,74 @@
+"""Framework model exchange (Section III-B compatibility)."""
+
+import pytest
+
+from repro.core.errors import ConversionError
+from repro.frameworks.exchange import (
+    can_convert,
+    compatibility_scores,
+    convert,
+    supported_sources,
+)
+from repro.models import load_model
+
+
+class TestMatrix:
+    def test_identity_is_native(self):
+        path = can_convert("PyTorch", "PyTorch")
+        assert path is not None and path.via == "native"
+
+    def test_tensorrt_imports_broadly(self):
+        for source in ("TensorFlow", "Caffe", "PyTorch"):
+            assert can_convert(source, "TensorRT") is not None
+
+    def test_darknet_imports_nothing(self):
+        assert supported_sources("DarkNet") == []
+        assert can_convert("TensorFlow", "DarkNet") is None
+
+    def test_tflite_needs_tf_family_source(self):
+        assert can_convert("TensorFlow", "TFLite") is not None
+        assert can_convert("PyTorch", "TFLite") is None
+
+    def test_ncsdk_accepts_tf_and_caffe_only(self):
+        assert sorted(supported_sources("NCSDK")) == ["Caffe", "TensorFlow"]
+
+    def test_tensorrt_is_the_most_compatible(self):
+        """Table II gives TensorRT the best compatibility stars; the
+        importer matrix must agree."""
+        scores = compatibility_scores()
+        assert scores["TensorRT"] == max(scores.values())
+
+    def test_pytorch_reaches_tensorrt_via_onnx(self):
+        path = can_convert("PyTorch", "TensorRT")
+        assert path.via == "onnx"
+
+
+class TestConvert:
+    def test_conversion_preserves_model(self):
+        graph = load_model("ResNet-50")
+        converted = convert(graph, "PyTorch", "TensorRT")
+        assert converted.total_params == graph.total_params
+        assert converted.total_macs == graph.total_macs
+
+    def test_provenance_recorded(self):
+        converted = convert(load_model("ResNet-18"), "Caffe", "TensorRT")
+        assert converted.metadata["converted_from"] == "Caffe"
+        assert converted.metadata["conversion_via"] == "caffe-parser"
+
+    def test_unsupported_route_raises_with_options(self):
+        with pytest.raises(ConversionError, match="imports from"):
+            convert(load_model("ResNet-18"), "PyTorch", "NCSDK")
+
+    def test_original_untouched(self):
+        graph = load_model("ResNet-18")
+        convert(graph, "TensorFlow", "TFLite")
+        assert "converted_from" not in graph.metadata
+
+    def test_converted_model_deploys(self):
+        from repro.engine import InferenceSession
+        from repro.frameworks import load_framework
+        from repro.hardware import load_device
+
+        converted = convert(load_model("ResNet-50"), "PyTorch", "TensorRT")
+        deployed = load_framework("TensorRT").deploy(converted, load_device("Jetson Nano"))
+        assert InferenceSession(deployed).latency_s > 0

@@ -1,0 +1,132 @@
+"""Per-framework behavioural details beyond the deployment pipeline tests."""
+
+import pytest
+
+from repro.engine import InferenceSession
+from repro.frameworks import load_framework
+from repro.frameworks.ncsdk import _FAMILY_TUNING, NCSDK
+from repro.hardware import ComputeKind, load_device
+from repro.models import load_model
+
+
+class TestTensorFlowFamily:
+    def test_keras_setup_slower_than_tensorflow(self, rpi):
+        model = load_model("ResNet-18")
+        tf = load_framework("TensorFlow").deploy(model, rpi)
+        keras = load_framework("Keras").deploy(model, rpi)
+        assert keras.graph_setup_s > tf.graph_setup_s
+        assert keras.library_load_s > tf.library_load_s
+
+    def test_keras_matches_tensorflow_inference_speed(self, rpi):
+        """Same engine, same kernels: per-inference latency tracks TF."""
+        model = load_model("ResNet-18")
+        tf = InferenceSession(load_framework("TensorFlow").deploy(model, rpi))
+        keras = InferenceSession(load_framework("Keras").deploy(model, rpi))
+        assert keras.latency_s == pytest.approx(tf.latency_s, rel=0.05)
+
+    def test_tflite_frozen_graph_halves_setup(self, rpi):
+        model = load_model("ResNet-18")
+        tf = load_framework("TensorFlow").deploy(model, rpi)
+        tflite = load_framework("TFLite").deploy(model, rpi)
+        assert tflite.graph_setup_s < tf.graph_setup_s / 2
+
+    def test_tflite_flatbuffer_maps_weights(self, rpi):
+        """weight_memory_factor ~1: the flatbuffer is mmapped, not copied,
+        so TFLite fits models TensorFlow cannot."""
+        tflite = load_framework("TFLite")
+        tf = load_framework("TensorFlow")
+        assert (tflite.overheads.weight_memory_factor
+                < tf.overheads.weight_memory_factor)
+
+
+class TestNCSDK:
+    def test_tuning_map_ordering(self):
+        """Classic convnets are tuned; MobileNet-class is the sore spot."""
+        assert _FAMILY_TUNING["resnet"] == max(_FAMILY_TUNING.values())
+        assert _FAMILY_TUNING["mobilenet"] == min(_FAMILY_TUNING.values())
+
+    def test_unknown_family_uses_default(self):
+        assert NCSDK.tuning_quality(None) == pytest.approx(0.7)
+
+    def test_deploy_notes_tuning(self, movidius):
+        deployed = load_framework("NCSDK").deploy(load_model("ResNet-50"), movidius)
+        assert any("hand-tuning quality" in note for note in deployed.notes)
+
+    def test_no_python_dispatch_on_stick(self, movidius):
+        deployed = load_framework("NCSDK").deploy(load_model("ResNet-50"), movidius)
+        assert deployed.per_op_overhead_s == 0.0  # blob runs on-stick
+
+
+class TestTensorRT:
+    def test_engine_build_is_expensive_setup(self, nano):
+        model = load_model("ResNet-50")
+        tensorrt = load_framework("TensorRT").deploy(model, nano)
+        pytorch = load_framework("PyTorch").deploy(model, nano)
+        assert tensorrt.graph_setup_s > pytorch.graph_setup_s
+
+    def test_per_op_dispatch_cheapest(self, nano):
+        tensorrt = load_framework("TensorRT")
+        pytorch = load_framework("PyTorch")
+        assert (tensorrt.overheads.python_per_op_s
+                < pytorch.overheads.python_per_op_s)
+
+    def test_maxwell_picks_fp16_over_int8(self, nano):
+        """deploy_dtypes prefers FP16 first; Maxwell's INT8 has no speedup."""
+        deployed = load_framework("TensorRT").deploy(load_model("ResNet-50"), nano)
+        unit = deployed.unit
+        from repro.graphs.tensor import DType
+
+        assert unit.peak(DType.FP16) > unit.peak(DType.INT8)
+        assert deployed.weight_dtype is DType.FP16
+
+
+class TestDarkNet:
+    def test_minimal_overheads(self):
+        darknet = load_framework("DarkNet")
+        for other_name in ("TensorFlow", "PyTorch", "Caffe"):
+            other = load_framework(other_name)
+            assert (darknet.overheads.library_load_s
+                    < other.overheads.library_load_s)
+            assert (darknet.overheads.runtime_memory_bytes
+                    < other.overheads.runtime_memory_bytes)
+
+    def test_no_fp16_deployment(self, tx2):
+        from repro.graphs.tensor import DType
+
+        deployed = load_framework("DarkNet").deploy(load_model("YOLOv3"), tx2)
+        assert deployed.weight_dtype is DType.FP32  # Table II: no half precision
+
+
+class TestFPGA:
+    def test_finn_binary_weights_fit_bram(self, pynq):
+        deployed = load_framework("FINN").deploy(load_model("CifarNet 32x32"), pynq)
+        assert deployed.graph.weight_bytes() <= deployed.unit.on_chip_buffer_bytes
+
+    def test_vta_setup_includes_bitstream(self, pynq):
+        vta = load_framework("TVM VTA").deploy(load_model("ResNet-18"), pynq)
+        pytorch_tx2 = load_framework("PyTorch").deploy(
+            load_model("ResNet-18"), load_device("Jetson TX2"))
+        assert vta.graph_setup_s > pytorch_tx2.graph_setup_s
+
+
+class TestCrossFrameworkConsistency:
+    @pytest.mark.parametrize("framework_name", [
+        "TensorFlow", "TFLite", "Caffe", "PyTorch", "DarkNet"])
+    def test_fusion_capability_matches_behaviour(self, framework_name, rpi, tx2):
+        """Frameworks claiming fusion must actually shrink the op count."""
+        framework = load_framework(framework_name)
+        device = rpi if framework_name in ("TensorFlow", "TFLite") else tx2
+        model = load_model("ResNet-18")
+        deployed = framework.deploy(model, device)
+        fused_away = any(op.is_fused_away for op in deployed.graph.ops)
+        if framework_name == "TFLite":
+            assert fused_away  # the only one fusing out of the box here
+        else:
+            assert not fused_away
+
+    @pytest.mark.parametrize("framework_name", ["TensorFlow", "PyTorch", "Caffe"])
+    def test_overheads_positive_and_bounded(self, framework_name):
+        over = load_framework(framework_name).overheads
+        assert 0 < over.session_base_s < 1e-2
+        assert 0 <= over.python_per_op_s < 1e-3
+        assert over.runtime_memory_bytes > 0

@@ -1,0 +1,183 @@
+"""Graph container and builder behaviour."""
+
+import pytest
+
+from repro.graphs import Graph, GraphBuilder, Input, TensorShape
+from repro.graphs import ops as O
+from repro.graphs.tensor import DType
+
+
+def _tiny_graph() -> Graph:
+    b = GraphBuilder("tiny")
+    x = b.input((3, 8, 8))
+    x = b.conv2d(x, 4, 3, use_bias=False)
+    x = b.relu(x)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, 10)
+    b.softmax(x)
+    return b.build()
+
+
+class TestGraphStructure:
+    def test_topological_order_enforced(self):
+        inp = O.Input("in", TensorShape(3, 8, 8))
+        conv = O.Conv2D("c", [inp], 4, 3)
+        with pytest.raises(ValueError, match="topologically"):
+            Graph("bad", [conv, inp])
+
+    def test_duplicate_names_rejected(self):
+        inp = O.Input("x", TensorShape(4))
+        dense = O.Dense("x", [inp], 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph("bad", [inp, dense])
+
+    def test_requires_an_input(self):
+        with pytest.raises(ValueError, match="no Input"):
+            Graph("bad", [])
+
+    def test_inputs_and_outputs(self):
+        graph = _tiny_graph()
+        assert len(graph.inputs) == 1
+        outputs = graph.outputs
+        assert len(outputs) == 1
+        assert isinstance(outputs[0], O.Softmax)
+
+    def test_op_lookup(self):
+        graph = _tiny_graph()
+        assert isinstance(graph.op("dense_1"), O.Dense)
+        with pytest.raises(KeyError):
+            graph.op("nonexistent")
+
+    def test_len_and_iter(self):
+        graph = _tiny_graph()
+        assert len(graph) == len(list(graph)) == 6
+
+
+class TestGraphAccounting:
+    def test_totals(self):
+        graph = _tiny_graph()
+        conv_params = 3 * 3 * 3 * 4
+        dense_params = 4 * 10 + 10
+        assert graph.total_params == conv_params + dense_params
+        assert graph.total_macs > 0
+
+    def test_flop_per_param(self):
+        graph = _tiny_graph()
+        assert graph.flop_per_param == pytest.approx(graph.total_macs / graph.total_params)
+
+    def test_flop_per_param_requires_params(self):
+        b = GraphBuilder("noparams")
+        x = b.input((4,))
+        b.relu(x)
+        with pytest.raises(ValueError, match="no parameters"):
+            b.build().flop_per_param
+
+    def test_weight_bytes_override_dtype(self):
+        graph = _tiny_graph()
+        assert graph.weight_bytes(DType.INT8) * 4 == pytest.approx(
+            graph.weight_bytes(DType.FP32), abs=4)
+
+    def test_footprint_includes_weights_and_activations(self):
+        graph = _tiny_graph()
+        assert graph.inference_footprint_bytes() == (
+            graph.weight_bytes() + graph.peak_activation_bytes()
+        )
+
+    def test_clone_is_independent(self):
+        graph = _tiny_graph()
+        clone = graph.clone()
+        clone.op("conv_1").weight_sparsity = 0.9
+        assert graph.op("conv_1").weight_sparsity == 0.0
+
+    def test_ops_by_category(self):
+        grouped = _tiny_graph().ops_by_category()
+        assert len(grouped[O.OpCategory.CONV]) == 1
+        assert len(grouped[O.OpCategory.DENSE]) == 1
+
+    def test_schedulable_excludes_inputs(self):
+        graph = _tiny_graph()
+        assert all(not isinstance(op, Input) for op in graph.schedulable_ops())
+
+    def test_summary_mentions_name(self):
+        assert "tiny" in _tiny_graph().summary()
+
+
+class TestLiveness:
+    def test_sequential_chain_peak_is_two_tensors(self):
+        b = GraphBuilder("chain")
+        x = b.input((1, 4, 4))  # 64 B
+        x = b.conv2d(x, 1, 1, use_bias=False)  # 64 B
+        x = b.relu(x)
+        b.build()
+        graph = b.build()
+        # At any point only producer + consumer tensors are live.
+        assert graph.peak_activation_bytes() == 2 * 64
+
+    def test_residual_keeps_shortcut_alive(self):
+        b = GraphBuilder("res")
+        x = b.input((1, 4, 4))
+        branch = b.conv2d(x, 1, 1, use_bias=False)
+        branch = b.conv2d(branch, 1, 1, use_bias=False)
+        b.add(branch, x)
+        graph = b.build()
+        # Input stays live across both convs: 3 tensors at the peak.
+        assert graph.peak_activation_bytes() == 3 * 64
+
+    def test_fused_chain_materializes_one_buffer(self):
+        from repro.graphs.transforms import fuse_graph
+
+        b = GraphBuilder("fuse")
+        x = b.input((1, 4, 4))
+        x = b.conv_bn_act(x, 1, 1)
+        x = b.conv_bn_act(x, 1, 1)
+        graph = b.build()
+        fused = fuse_graph(graph)
+        # Unfused peak: conv out + bn out live simultaneously (+input);
+        # fused peak: one buffer per chain (+input).
+        assert fused.peak_activation_bytes() <= graph.peak_activation_bytes()
+        total_io_fused = sum(op.output_bytes() for op in fused.schedulable_ops())
+        total_io = sum(op.output_bytes() for op in graph.schedulable_ops())
+        assert total_io_fused < total_io
+
+
+class TestBuilder:
+    def test_auto_names_are_unique(self):
+        b = GraphBuilder("names")
+        x = b.input((3, 8, 8))
+        first = b.conv2d(x, 4, 3)
+        second = b.conv2d(first, 4, 3)
+        assert first.name != second.name
+
+    def test_explicit_name_respected(self):
+        b = GraphBuilder("names")
+        x = b.input((3, 8, 8))
+        conv = b.conv2d(x, 4, 3, name="stem")
+        assert conv.name == "stem"
+
+    def test_conv_bn_act_composite(self):
+        b = GraphBuilder("composite")
+        x = b.input((3, 8, 8))
+        out = b.conv_bn_act(x, 8, 3)
+        graph_ops = b.build().ops
+        assert isinstance(out, O.Activation)
+        assert any(isinstance(op, O.BatchNorm) for op in graph_ops)
+        conv = next(op for op in graph_ops if isinstance(op, O.Conv2D))
+        assert not conv.use_bias  # bias folds into BN
+
+    def test_conv_bn_act_linear_skips_activation(self):
+        b = GraphBuilder("composite")
+        x = b.input((3, 8, 8))
+        out = b.conv_bn_act(x, 8, 3, act="linear")
+        assert isinstance(out, O.BatchNorm)
+
+    def test_dw_bn_act_composite(self):
+        b = GraphBuilder("composite")
+        x = b.input((8, 8, 8))
+        out = b.dw_bn_act(x, 3)
+        assert isinstance(out, O.Activation)
+        assert out.output_shape.channels == 8
+
+    def test_metadata_propagates(self):
+        b = GraphBuilder("meta", metadata={"task": "demo"})
+        b.input((4,))
+        assert b.build().metadata["task"] == "demo"

@@ -1,0 +1,200 @@
+"""Operator cost accounting: shapes, parameters and MAC counts."""
+
+import pytest
+
+from repro.graphs import ops as O
+from repro.graphs.tensor import DType, TensorShape
+
+
+def _input(shape=(3, 224, 224)) -> O.Input:
+    return O.Input("in", TensorShape(*shape))
+
+
+class TestConv2D:
+    def test_params_and_macs(self):
+        conv = O.Conv2D("c", [_input((3, 32, 32))], out_channels=16, kernel=3)
+        assert conv.output_shape.dims == (16, 32, 32)
+        assert conv.params == 3 * 3 * 3 * 16 + 16
+        assert conv.macs == 3 * 3 * 3 * 16 * 32 * 32
+
+    def test_no_bias(self):
+        conv = O.Conv2D("c", [_input((3, 8, 8))], 4, 1, use_bias=False)
+        assert conv.params == 3 * 4
+
+    def test_stride_halves_output(self):
+        conv = O.Conv2D("c", [_input()], 64, 7, stride=2, padding="same")
+        assert conv.output_shape.dims == (64, 112, 112)
+
+    def test_grouped_conv_divides_weights(self):
+        full = O.Conv2D("c", [_input((8, 4, 4))], 8, 3, use_bias=False)
+        grouped = O.Conv2D("g", [_input((8, 4, 4))], 8, 3, groups=4, use_bias=False)
+        assert grouped.params == full.params // 4
+        assert grouped.macs == full.macs // 4
+
+    def test_invalid_groups_rejected(self):
+        with pytest.raises(ValueError, match="groups"):
+            O.Conv2D("c", [_input((3, 8, 8))], 4, 3, groups=2)
+
+    def test_rank_mismatch_rejected(self):
+        flat = O.Input("f", TensorShape(100))
+        with pytest.raises(ValueError, match="C, H, W"):
+            O.Conv2D("c", [flat], 4, 3)
+
+    def test_asymmetric_kernel(self):
+        conv = O.Conv2D("c", [_input((64, 17, 17))], 64, (1, 7), use_bias=False)
+        assert conv.params == 1 * 7 * 64 * 64
+        assert conv.output_shape.dims == (64, 17, 17)
+
+
+class TestDepthwiseConv2D:
+    def test_one_filter_per_channel(self):
+        dw = O.DepthwiseConv2D("d", [_input((32, 16, 16))], 3, use_bias=False)
+        assert dw.params == 3 * 3 * 32
+        assert dw.output_shape.channels == 32
+        assert dw.groups == 32
+
+    def test_channel_multiplier(self):
+        dw = O.DepthwiseConv2D("d", [_input((8, 4, 4))], 3, channel_multiplier=2,
+                               use_bias=False)
+        assert dw.output_shape.channels == 16
+
+
+class TestConv3D:
+    def test_video_shape_and_macs(self):
+        video = O.Input("v", TensorShape(3, 12, 112, 112))
+        conv = O.Conv3D("c", [video], 64, 3, use_bias=False)
+        assert conv.output_shape.dims == (64, 12, 112, 112)
+        assert conv.macs == 27 * 3 * 64 * 12 * 112 * 112
+
+    def test_requires_rank4(self):
+        with pytest.raises(ValueError, match="C, T, H, W"):
+            O.Conv3D("c", [_input()], 64, 3)
+
+
+class TestDense:
+    def test_params_and_macs(self):
+        flat = O.Input("f", TensorShape(512))
+        dense = O.Dense("d", [flat], 1000)
+        assert dense.params == 512 * 1000 + 1000
+        assert dense.macs == 512 * 1000
+
+    def test_flattens_input_features(self):
+        dense = O.Dense("d", [_input((2, 3, 4))], 10, use_bias=False)
+        assert dense.params == 24 * 10
+
+
+class TestBatchNorm:
+    def test_learnable_vs_buffer_params(self):
+        bn = O.BatchNorm("b", [_input((64, 8, 8))])
+        assert bn.params == 128  # scale + shift
+        assert bn.buffer_params == 128  # running mean + var
+        assert bn.macs == 64 * 8 * 8
+
+
+class TestActivation:
+    def test_pointwise_cost(self):
+        act = O.Activation("a", [_input((4, 4, 4))], "relu")
+        assert act.macs == 64
+        assert act.output_shape.dims == (4, 4, 4)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="activation kind"):
+            O.Activation("a", [_input()], "quantum")
+
+
+class TestPooling:
+    def test_max_pool_shape(self):
+        pool = O.Pool2D("p", [_input((64, 112, 112))], 3, stride=2, padding="same")
+        assert pool.output_shape.dims == (64, 56, 56)
+
+    def test_stride_defaults_to_kernel(self):
+        pool = O.Pool2D("p", [_input((8, 8, 8))], 2)
+        assert pool.output_shape.dims == (8, 4, 4)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="max.*avg"):
+            O.Pool2D("p", [_input()], 2, kind="median")
+
+    def test_global_pool_collapses_spatial(self):
+        gap = O.GlobalPool2D("g", [_input((512, 7, 7))])
+        assert gap.output_shape.dims == (512,)
+        assert gap.macs == 512 * 49
+
+    def test_pool3d_ceil_mode(self):
+        video = O.Input("v", TensorShape(512, 2, 7, 7))
+        pool = O.Pool3D("p", [video], (2, 2, 2), ceil_mode=True)
+        assert pool.output_shape.dims == (512, 1, 4, 4)
+
+
+class TestStructuralOps:
+    def test_add_requires_matching_shapes(self):
+        a, b = _input((4, 8, 8)), _input((4, 8, 8))
+        add = O.Add("s", [a, b])
+        assert add.output_shape.dims == (4, 8, 8)
+        with pytest.raises(ValueError, match="share a shape"):
+            O.Add("bad", [a, _input((2, 8, 8))])
+
+    def test_add_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            O.Add("s", [_input()])
+
+    def test_concat_sums_channels(self):
+        cat = O.Concat("c", [_input((3, 8, 8)), _input((5, 8, 8))])
+        assert cat.output_shape.dims == (8, 8, 8)
+
+    def test_concat_requires_matching_spatial(self):
+        with pytest.raises(ValueError, match="spatial"):
+            O.Concat("c", [_input((3, 8, 8)), _input((3, 4, 4))])
+
+    def test_flatten(self):
+        flat = O.Flatten("f", [_input((2, 3, 4))])
+        assert flat.output_shape.dims == (24,)
+
+    def test_reshape_checks_element_count(self):
+        reshaped = O.Reshape("r", [_input((2, 3, 4))], TensorShape(6, 4))
+        assert reshaped.output_shape.dims == (6, 4)
+        with pytest.raises(ValueError, match="reshape"):
+            O.Reshape("bad", [_input((2, 3, 4))], TensorShape(5, 5))
+
+    def test_dropout_is_free_identity(self):
+        drop = O.Dropout("d", [_input((10,))], rate=0.5)
+        assert drop.macs == 0
+        assert drop.output_shape.dims == (10,)
+        with pytest.raises(ValueError):
+            O.Dropout("bad", [_input((10,))], rate=1.0)
+
+    def test_upsample_scales_spatial(self):
+        up = O.Upsample2D("u", [_input((16, 7, 7))], factor=2)
+        assert up.output_shape.dims == (16, 14, 14)
+
+    def test_pad_grows_spatial(self):
+        pad = O.Pad("p", [_input((3, 10, 10))], (1, 2))
+        assert pad.output_shape.dims == (3, 12, 14)
+
+
+class TestAnnotations:
+    def test_weight_bytes_follow_dtype(self):
+        conv = O.Conv2D("c", [_input((3, 8, 8))], 8, 3, use_bias=False)
+        fp32 = conv.weight_bytes()
+        conv.weight_dtype = DType.INT8
+        assert conv.weight_bytes() == fp32 // 4
+
+    def test_sparsity_reduces_effective_costs(self):
+        conv = O.Conv2D("c", [_input((3, 8, 8))], 8, 3, use_bias=False)
+        conv.weight_sparsity = 0.75
+        assert conv.effective_macs(exploit_sparsity=True) == pytest.approx(conv.macs * 0.25, abs=1)
+        assert conv.effective_weight_bytes(exploit_sparsity=True) == pytest.approx(
+            conv.weight_bytes() * 0.25, abs=1)
+        # A framework that cannot exploit sparsity pays full cost.
+        assert conv.effective_macs(exploit_sparsity=False) == conv.macs
+
+    def test_io_bytes_follow_act_dtype(self):
+        conv = O.Conv2D("c", [_input((3, 8, 8))], 8, 3, use_bias=False)
+        fp32_out = conv.output_bytes()
+        conv.act_dtype = DType.FP16
+        assert conv.output_bytes() == fp32_out // 2
+
+    def test_detection_output_cost_scales_with_anchors(self):
+        head = _input((75, 10, 10))
+        det = O.DetectionOutput("d", [head], num_anchors=1917, num_classes=21)
+        assert det.macs == 1917 * O.DetectionOutput.MACS_PER_ANCHOR

@@ -1,0 +1,106 @@
+"""Recurrent/embedding operators (the future-work substrate)."""
+
+import pytest
+
+from repro.graphs import GraphBuilder
+from repro.graphs import ops as O
+from repro.graphs.tensor import DType, TensorShape
+
+
+def _tokens(seq_len=32) -> O.Input:
+    return O.Input("tokens", TensorShape(seq_len))
+
+
+class TestEmbedding:
+    def test_shapes_and_params(self):
+        emb = O.Embedding("e", [_tokens(32)], vocab_size=1000, dim=64)
+        assert emb.output_shape.dims == (32, 64)
+        assert emb.params == 1000 * 64
+        assert emb.macs == 0
+
+    def test_traffic_only_touched_rows(self):
+        emb = O.Embedding("e", [_tokens(32)], vocab_size=1000, dim=64)
+        assert emb.traffic_weight_bytes(False) == 32 * 64 * 4
+        assert emb.weight_bytes() == 1000 * 64 * 4  # full table resident
+
+    def test_traffic_follows_dtype(self):
+        emb = O.Embedding("e", [_tokens(10)], vocab_size=100, dim=8)
+        emb.weight_dtype = DType.FP16
+        assert emb.traffic_weight_bytes(False) == 10 * 8 * 2
+
+    def test_requires_token_sequence(self):
+        image = O.Input("img", TensorShape(3, 8, 8))
+        with pytest.raises(ValueError, match="token sequence"):
+            O.Embedding("e", [image], vocab_size=10, dim=4)
+
+    def test_positive_dims_required(self):
+        with pytest.raises(ValueError):
+            O.Embedding("e", [_tokens()], vocab_size=0, dim=4)
+
+
+class TestLSTM:
+    def _lstm(self, seq=35, features=650, hidden=650, **kw) -> O.LSTM:
+        emb = O.Embedding("e", [_tokens(seq)], vocab_size=100, dim=features)
+        return O.LSTM("l", [emb], hidden=hidden, **kw)
+
+    def test_four_gate_params(self):
+        lstm = self._lstm(features=128, hidden=256)
+        assert lstm.params == 4 * (128 * 256 + 256 * 256 + 256)
+
+    def test_macs_scale_with_sequence_length(self):
+        short = self._lstm(seq=10)
+        long = self._lstm(seq=20)
+        assert long.macs == 2 * short.macs
+
+    def test_return_sequences_shapes(self):
+        assert self._lstm().output_shape.dims == (35, 650)
+        assert self._lstm(return_sequences=False).output_shape.dims == (650,)
+
+    def test_parallel_macs_is_one_timestep(self):
+        lstm = self._lstm(seq=35)
+        assert lstm.parallel_macs == pytest.approx(lstm.macs / 35, abs=1)
+
+    def test_category(self):
+        assert self._lstm().category is O.OpCategory.RECURRENT
+
+    def test_requires_sequence_input(self):
+        flat = O.Input("f", TensorShape(100))
+        with pytest.raises(ValueError, match="T, features"):
+            O.LSTM("l", [flat], hidden=10)
+
+    def test_positive_hidden(self):
+        with pytest.raises(ValueError):
+            self._lstm(hidden=0)
+
+
+class TestGRU:
+    def test_three_gates_vs_lstm_four(self):
+        emb = O.Embedding("e", [_tokens(8)], vocab_size=10, dim=16)
+        gru = O.GRU("g", [emb], hidden=32)
+        lstm = O.LSTM("l", [emb], hidden=32)
+        assert gru.params == pytest.approx(lstm.params * 3 / 4)
+
+
+class TestLastTimestep:
+    def test_selects_hidden_vector(self):
+        emb = O.Embedding("e", [_tokens(8)], vocab_size=10, dim=16)
+        lstm = O.LSTM("l", [emb], hidden=32)
+        last = O.LastTimestep("last", [lstm])
+        assert last.output_shape.dims == (32,)
+
+    def test_requires_rank_two(self):
+        with pytest.raises(ValueError, match="T, H"):
+            O.LastTimestep("last", [_tokens(8)])
+
+
+class TestBuilderIntegration:
+    def test_rnn_builder_chain(self):
+        b = GraphBuilder("rnn")
+        x = b.input((16,))
+        x = b.embedding(x, 100, 32)
+        x = b.lstm(x, 64)
+        x = b.gru(x, 64, return_sequences=False)
+        x = b.dense(x, 100)
+        graph = b.build()
+        assert graph.total_params > 0
+        assert graph.outputs[0].output_shape.dims == (100,)

@@ -1,0 +1,113 @@
+"""Graph serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.graphs import GraphBuilder
+from repro.graphs.serialize import (
+    FORMAT_VERSION,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.graphs.tensor import DType
+from repro.graphs.transforms import fuse_graph, prune_graph, quantize_graph
+from repro.models import list_models, load_model
+
+
+def _assert_equivalent(original, restored):
+    assert restored.name == original.name
+    assert [op.name for op in restored.ops] == [op.name for op in original.ops]
+    assert [type(op).__name__ for op in restored.ops] == [
+        type(op).__name__ for op in original.ops]
+    assert restored.total_params == original.total_params
+    assert restored.total_macs == original.total_macs
+    assert restored.peak_activation_bytes() == original.peak_activation_bytes()
+    for a, b in zip(restored.ops, original.ops):
+        assert a.output_shape == b.output_shape
+        assert a.weight_dtype is b.weight_dtype
+        assert a.weight_sparsity == b.weight_sparsity
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("model_name", list_models())
+    def test_every_zoo_model(self, model_name):
+        original = load_model(model_name)
+        restored = graph_from_dict(graph_to_dict(original))
+        _assert_equivalent(original, restored)
+
+    def test_annotations_survive(self):
+        graph = prune_graph(quantize_graph(load_model("ResNet-18"), DType.INT8), 0.5)
+        restored = graph_from_dict(graph_to_dict(graph))
+        _assert_equivalent(graph, restored)
+        assert restored.weight_bytes() == graph.weight_bytes()
+
+    def test_fusion_links_survive(self):
+        graph = fuse_graph(load_model("ResNet-18"))
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert (len(restored.schedulable_ops())
+                == len(graph.schedulable_ops()))
+        conv = restored.op("conv_1")
+        assert conv.absorbed  # bn/relu re-attached
+
+    def test_metadata_survives(self):
+        graph = load_model("SSD MobileNet-v1")
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.metadata["extra_image_library"] is True
+
+    def test_payload_is_json_safe(self):
+        payload = graph_to_dict(load_model("C3D"))
+        json.dumps(payload)  # must not raise
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        graph = load_model("MobileNet-v2")
+        path = tmp_path / "mnv2.json"
+        save_graph(graph, path)
+        _assert_equivalent(graph, load_graph(path))
+
+    def test_file_is_readable_json(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_graph(load_model("CifarNet 32x32"), path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+
+
+class TestErrors:
+    def test_wrong_version_rejected(self):
+        payload = graph_to_dict(load_model("ResNet-18"))
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            graph_from_dict(payload)
+
+    def test_unknown_op_type_rejected(self):
+        payload = graph_to_dict(load_model("ResNet-18"))
+        payload["ops"][1]["type"] = "QuantumConv"
+        with pytest.raises(ValueError, match="unknown op type"):
+            graph_from_dict(payload)
+
+    def test_dangling_producer_rejected(self):
+        payload = graph_to_dict(load_model("ResNet-18"))
+        payload["ops"][1]["inputs"] = ["nonexistent"]
+        with pytest.raises(ValueError, match="undefined producer"):
+            graph_from_dict(payload)
+
+
+class TestDeploymentEquivalence:
+    def test_reloaded_graph_deploys_identically(self, tmp_path):
+        from repro.engine import InferenceSession
+        from repro.frameworks import load_framework
+        from repro.hardware import load_device
+
+        original = load_model("ResNet-50")
+        path = tmp_path / "r50.json"
+        save_graph(original, path)
+        restored = load_graph(path)
+        device = load_device("Jetson TX2")
+        framework = load_framework("PyTorch")
+        first = InferenceSession(framework.deploy(original, device)).latency_s
+        second = InferenceSession(framework.deploy(restored, device)).latency_s
+        assert first == pytest.approx(second, rel=1e-12)

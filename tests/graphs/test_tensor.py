@@ -1,0 +1,109 @@
+"""TensorShape, DType and spatial arithmetic."""
+
+import pytest
+
+from repro.graphs.tensor import (
+    DType,
+    TensorShape,
+    conv_output_length,
+    pool_output_length,
+)
+
+
+class TestTensorShape:
+    def test_basic_properties(self):
+        shape = TensorShape(3, 224, 224)
+        assert shape.rank == 3
+        assert shape.numel == 3 * 224 * 224
+        assert shape.channels == 3
+        assert shape.spatial == (224, 224)
+
+    def test_tuple_constructor(self):
+        assert TensorShape((64, 56, 56)).dims == (64, 56, 56)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TensorShape()
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_nonpositive_dims(self, bad):
+        with pytest.raises(ValueError):
+            TensorShape(3, bad, 224)
+
+    def test_bytes_per_dtype(self):
+        shape = TensorShape(10)
+        assert shape.bytes(DType.FP32) == 40
+        assert shape.bytes(DType.FP16) == 20
+        assert shape.bytes(DType.INT8) == 10
+        assert shape.bytes(DType.BINARY) == 2  # ceil(10/8)
+
+    def test_with_channels(self):
+        assert TensorShape(3, 8, 8).with_channels(64).dims == (64, 8, 8)
+
+    def test_flattened(self):
+        assert TensorShape(2, 3, 4).flattened().dims == (24,)
+
+    def test_iteration_and_indexing(self):
+        shape = TensorShape(1, 2, 3)
+        assert list(shape) == [1, 2, 3]
+        assert shape[1] == 2
+        assert len(shape) == 3
+
+    def test_equality_and_hash(self):
+        assert TensorShape(3, 4) == TensorShape(3, 4)
+        assert hash(TensorShape(3, 4)) == hash(TensorShape(3, 4))
+
+
+class TestDType:
+    def test_bits(self):
+        assert DType.FP32.bits == 32
+        assert DType.BINARY.bits == 1
+
+    def test_bytes_fractional_for_binary(self):
+        assert DType.BINARY.bytes == pytest.approx(0.125)
+
+
+class TestConvOutputLength:
+    def test_same_padding_matches_ceil(self):
+        assert conv_output_length(224, 7, 2, "same") == 112
+        assert conv_output_length(35, 3, 1, "same") == 35
+
+    def test_valid_padding(self):
+        assert conv_output_length(299, 3, 2, "valid") == 149
+        assert conv_output_length(147, 3, 1, "valid") == 145
+
+    def test_explicit_padding_matches_pytorch(self):
+        # AlexNet conv1: 224 input, k=11, s=4, pad=2 -> 55
+        assert conv_output_length(224, 11, 4, 2) == 55
+
+    def test_dilation_shrinks_output(self):
+        assert conv_output_length(32, 3, 1, "valid", dilation=2) == 28
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValueError):
+            conv_output_length(10, 3, 1, -1)
+
+    def test_collapsed_output_rejected(self):
+        with pytest.raises(ValueError):
+            conv_output_length(2, 7, 1, "valid")
+
+    def test_unknown_padding_spec_rejected(self):
+        with pytest.raises(ValueError):
+            conv_output_length(10, 3, 1, "weird")
+
+
+class TestPoolOutputLength:
+    def test_floor_mode(self):
+        assert pool_output_length(112, 3, 3, 0) == 37
+
+    def test_ceil_mode_c3d_spatial_path(self):
+        # C3D: 7 -> 4 with 2x2 stride-2 ceil pooling.
+        assert pool_output_length(7, 2, 2, 0, ceil_mode=True) == 4
+        assert pool_output_length(7, 2, 2, 0, ceil_mode=False) == 3
+
+    def test_same_padding(self):
+        assert pool_output_length(112, 3, 2, "same") == 56
+
+    def test_collapse_rejected(self):
+        with pytest.raises(ValueError):
+            pool_output_length(1, 3, 2, 0)

@@ -1,0 +1,113 @@
+"""Device catalog: Table III and Table VI fidelity."""
+
+import pytest
+
+from repro.graphs.tensor import DType
+from repro.hardware import ComputeKind, DeviceCategory, list_devices, load_device
+from repro.harness.paper_data import TABLE3_POWER_W, TABLE6_COOLING
+
+
+class TestCatalogCompleteness:
+    def test_all_ten_platforms_present(self):
+        assert len(list_devices()) == 10
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("RPi", "Raspberry Pi 3B"),
+        ("TX2", "Jetson TX2"),
+        ("Nano", "Jetson Nano"),
+        ("Movidius", "Movidius NCS"),
+        ("Xeon", "Xeon E5-2696 v4"),
+        ("2080", "RTX 2080"),
+    ])
+    def test_paper_aliases(self, alias, canonical):
+        assert load_device(alias).name == canonical
+
+
+class TestTable3Power:
+    @pytest.mark.parametrize("device_name", sorted(TABLE3_POWER_W))
+    def test_idle_power_matches(self, device_name):
+        device = load_device(device_name)
+        assert device.power.idle_w == pytest.approx(TABLE3_POWER_W[device_name][0])
+
+    @pytest.mark.parametrize("device_name", sorted(TABLE3_POWER_W))
+    def test_average_power_matches(self, device_name):
+        device = load_device(device_name)
+        assert device.average_power_w() == pytest.approx(
+            TABLE3_POWER_W[device_name][1], rel=0.01)
+
+
+class TestTable6Thermal:
+    @pytest.mark.parametrize("device_name", sorted(TABLE6_COOLING))
+    def test_cooling_inventory(self, device_name):
+        heatsink, fan, _idle = TABLE6_COOLING[device_name]
+        spec = load_device(device_name).thermal
+        assert spec.has_heatsink == heatsink
+        assert spec.has_fan == fan
+
+    @pytest.mark.parametrize("device_name", sorted(TABLE6_COOLING))
+    def test_idle_surface_temperature(self, device_name):
+        device = load_device(device_name)
+        spec = device.thermal
+        idle_surface = spec.steady_state_c(device.power.idle_w) - spec.surface_offset_c
+        tolerance = 4.0 if device_name == "Movidius NCS" else 1.0
+        assert idle_surface == pytest.approx(TABLE6_COOLING[device_name][2], abs=tolerance)
+
+    def test_only_rpi_can_shut_down(self):
+        assert load_device("Raspberry Pi 3B").thermal.shutdown_c is not None
+        for name in ("Jetson TX2", "Jetson Nano", "EdgeTPU", "Movidius NCS"):
+            assert load_device(name).thermal.shutdown_c is None
+
+    def test_hpc_platforms_have_no_thermal_model(self):
+        with pytest.raises(ValueError, match="no thermal model"):
+            load_device("Xeon").thermal_simulator()
+
+
+class TestDeviceStructure:
+    def test_categories(self):
+        assert load_device("RPi").category is DeviceCategory.EDGE_CPU
+        assert load_device("TX2").category is DeviceCategory.EDGE_GPU
+        assert load_device("EdgeTPU").category is DeviceCategory.EDGE_ACCELERATOR
+        assert load_device("PYNQ").category is DeviceCategory.FPGA
+        assert load_device("Xeon").category is DeviceCategory.HPC_CPU
+        assert load_device("GTX").category is DeviceCategory.HPC_GPU
+
+    def test_is_edge_flag(self):
+        assert load_device("RPi").category.is_edge
+        assert not load_device("Xeon").category.is_edge
+
+    def test_primary_unit_preference(self):
+        assert load_device("EdgeTPU").primary_unit.kind is ComputeKind.ASIC
+        assert load_device("TX2").primary_unit.kind is ComputeKind.GPU
+        assert load_device("RPi").primary_unit.kind is ComputeKind.CPU
+
+    def test_unit_lookup_failure(self):
+        with pytest.raises(ValueError, match="no gpu"):
+            load_device("RPi").unit(ComputeKind.GPU)
+
+    def test_edgetpu_is_int8_only(self):
+        asic = load_device("EdgeTPU").unit(ComputeKind.ASIC)
+        assert asic.supports(DType.INT8)
+        assert not asic.supports(DType.FP32)
+
+    def test_jetson_memory_is_shared(self):
+        assert load_device("TX2").memory.shared_with_host
+        assert load_device("TX2").transfer is None
+
+    def test_movidius_hangs_off_usb(self):
+        device = load_device("Movidius")
+        assert device.transfer is not None
+        assert "USB" in device.transfer.name
+
+    def test_hpc_gpus_use_pcie(self):
+        assert "PCIe" in load_device("RTX 2080").transfer.name
+
+    def test_framework_locks(self):
+        assert load_device("EdgeTPU").supports_framework("TFLite")
+        assert not load_device("EdgeTPU").supports_framework("PyTorch")
+        assert load_device("TX2").supports_framework("PyTorch")  # open platform
+
+    def test_transfer_time_model(self):
+        link = load_device("Movidius").transfer
+        assert link.transfer_time_s(0) == pytest.approx(link.latency_s)
+        assert link.transfer_time_s(link.bandwidth_bytes_per_s) == pytest.approx(
+            link.latency_s + 1.0)

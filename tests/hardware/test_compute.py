@@ -1,0 +1,61 @@
+"""Compute-unit model tests."""
+
+import pytest
+
+from repro.core.quantity import GIGA
+from repro.graphs.tensor import DType
+from repro.hardware.compute import ComputeKind, ComputeUnit, cpu_unit, gpu_unit
+
+
+class TestCpuUnit:
+    def test_peak_from_cores_clock_simd(self):
+        unit = cpu_unit("test", cores=4, clock_hz=1.2 * GIGA, macs_per_cycle_per_core=2.0)
+        assert unit.peak(DType.FP32) == pytest.approx(9.6 * GIGA)
+        assert unit.kind is ComputeKind.CPU
+        assert unit.cores == 4
+
+    def test_narrow_types_default_to_fp32_rate(self):
+        unit = cpu_unit("a53", 4, 1.2 * GIGA, 2.0)
+        assert unit.peak(DType.INT8) == unit.peak(DType.FP32)
+
+    def test_per_core_rate(self):
+        unit = cpu_unit("xeon", 44, 2.2 * GIGA, 16.0)
+        assert unit.per_core_macs_per_s == pytest.approx(35.2 * GIGA)
+
+
+class TestGpuUnit:
+    def test_one_mac_per_core_cycle(self):
+        unit = gpu_unit("pascal", cuda_cores=256, clock_hz=1.3 * GIGA)
+        assert unit.peak(DType.FP32) == pytest.approx(332.8 * GIGA)
+
+    def test_fp16_ratio(self):
+        unit = gpu_unit("pascal", 256, 1.3 * GIGA, fp16_ratio=2.0)
+        assert unit.peak(DType.FP16) == 2 * unit.peak(DType.FP32)
+
+
+class TestComputeUnit:
+    def _asic(self) -> ComputeUnit:
+        return ComputeUnit(
+            name="edgetpu", kind=ComputeKind.ASIC,
+            peak_macs_per_s={DType.INT8: 2000 * GIGA},
+        )
+
+    def test_supports(self):
+        asic = self._asic()
+        assert asic.supports(DType.INT8)
+        assert not asic.supports(DType.FP32)
+
+    def test_unsupported_peak_raises(self):
+        with pytest.raises(ValueError, match="does not support"):
+            self._asic().peak(DType.FP32)
+
+    def test_best_dtype_prefers_fastest(self):
+        unit = ComputeUnit(
+            name="vpu", kind=ComputeKind.VPU,
+            peak_macs_per_s={DType.FP16: 100 * GIGA, DType.FP32: 50 * GIGA},
+        )
+        assert unit.best_dtype((DType.FP16, DType.FP32)) is DType.FP16
+
+    def test_best_dtype_requires_overlap(self):
+        with pytest.raises(ValueError, match="supports none"):
+            self._asic().best_dtype((DType.FP32, DType.FP16))

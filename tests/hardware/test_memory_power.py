@@ -1,0 +1,57 @@
+"""Memory and power model tests."""
+
+import pytest
+
+from repro.core.quantity import GIBI, GIGA, MEBI
+from repro.hardware.memory import MemorySpec
+from repro.hardware.power import PowerModel
+
+
+class TestMemorySpec:
+    def _spec(self) -> MemorySpec:
+        return MemorySpec(
+            capacity_bytes=1 * GIBI,
+            bandwidth_bytes_per_s=2.0 * GIGA,
+            usable_fraction=0.6,
+        )
+
+    def test_usable_bytes(self):
+        assert self._spec().usable_bytes == int(0.6 * GIBI)
+
+    def test_fits(self):
+        spec = self._spec()
+        assert spec.fits(500 * MEBI)
+        assert not spec.fits(700 * MEBI)
+
+    def test_describe(self):
+        assert "1.0 GiB" in self._spec().describe()
+
+    def test_default_storage_bandwidth_is_sd_class(self):
+        assert self._spec().storage_bandwidth_bytes_per_s == 80 * MEBI
+
+
+class TestPowerModel:
+    def test_idle_at_zero_utilization(self):
+        model = PowerModel(idle_w=1.33, active_w=3.0)
+        assert model.power(0.0) == 1.33
+
+    def test_linear_interpolation(self):
+        model = PowerModel(idle_w=1.0, active_w=3.0)
+        assert model.power(0.5) == pytest.approx(2.0)
+        assert model.power(1.0) == pytest.approx(3.0)
+
+    def test_utilization_bounds(self):
+        model = PowerModel(idle_w=1.0, active_w=2.0)
+        with pytest.raises(ValueError):
+            model.power(-0.1)
+        with pytest.raises(ValueError):
+            model.power(1.1)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_w=5.0, active_w=2.0)
+        with pytest.raises(ValueError):
+            PowerModel(idle_w=-1.0, active_w=2.0)
+
+    def test_dynamic_range(self):
+        assert PowerModel(1.0, 4.0).dynamic_range_w == 3.0

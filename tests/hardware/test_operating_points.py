@@ -1,0 +1,88 @@
+"""DVFS operating points."""
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.engine import InferenceSession
+from repro.frameworks import load_framework
+from repro.graphs.tensor import DType
+from repro.hardware import (
+    OperatingPoint,
+    apply_operating_point,
+    list_operating_points,
+    load_device,
+)
+from repro.models import load_model
+
+
+class TestOperatingPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint("bad", clock_scale=0.0, dynamic_power_scale=1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint("bad", clock_scale=1.0, dynamic_power_scale=2.0)
+
+    def test_jetsons_have_documented_modes(self):
+        assert [p.name for p in list_operating_points("Jetson TX2")] == ["Max-N", "Max-Q"]
+        assert [p.name for p in list_operating_points("Jetson Nano")] == ["10W", "5W"]
+
+    def test_unlisted_devices_get_default(self):
+        points = list_operating_points("Raspberry Pi 3B")
+        assert len(points) == 1
+        assert points[0].clock_scale == 1.0
+
+
+class TestApply:
+    def test_scales_peaks_and_power(self):
+        tx2 = load_device("Jetson TX2")
+        maxq = apply_operating_point(tx2, "Max-Q")
+        assert maxq.operating_point == "Max-Q"
+        assert maxq.name == tx2.name  # anchors still apply
+        assert maxq.primary_unit.peak(DType.FP32) == pytest.approx(
+            0.70 * tx2.primary_unit.peak(DType.FP32))
+        assert maxq.power.idle_w == tx2.power.idle_w
+        assert maxq.power.dynamic_range_w == pytest.approx(
+            0.55 * tx2.power.dynamic_range_w)
+
+    def test_original_untouched(self):
+        tx2 = load_device("Jetson TX2")
+        apply_operating_point(tx2, "Max-Q")
+        assert tx2.operating_point == "default"
+
+    def test_by_name_case_insensitive(self):
+        nano = apply_operating_point(load_device("Jetson Nano"), "5w")
+        assert nano.operating_point == "5W"
+
+    def test_unknown_mode(self):
+        with pytest.raises(UnknownEntryError, match="options"):
+            apply_operating_point(load_device("Jetson TX2"), "turbo")
+
+    def test_explicit_point_object(self):
+        point = OperatingPoint("custom", 0.5, 0.3)
+        device = apply_operating_point(load_device("Jetson Nano"), point)
+        assert device.operating_point == "custom"
+
+
+class TestPerformanceEffect:
+    def test_budget_mode_slower_but_lower_power(self):
+        tx2 = load_device("Jetson TX2")
+        maxq = apply_operating_point(tx2, "Max-Q")
+        framework = load_framework("PyTorch")
+        fast = InferenceSession(framework.deploy(load_model("ResNet-50"), tx2))
+        slow = InferenceSession(framework.deploy(load_model("ResNet-50"), maxq))
+        assert slow.latency_s > fast.latency_s
+        assert (maxq.power.power(slow.utilization)
+                < tx2.power.power(fast.utilization))
+
+    def test_maxq_improves_energy_per_inference(self):
+        """The mode exists because volts-squared beats stretched runtime."""
+        from repro.measurement.energy import measure_energy_per_inference
+
+        tx2 = load_device("Jetson TX2")
+        maxq = apply_operating_point(tx2, "Max-Q")
+        framework = load_framework("PyTorch")
+        base = measure_energy_per_inference(
+            InferenceSession(framework.deploy(load_model("ResNet-50"), tx2)))
+        budget = measure_energy_per_inference(
+            InferenceSession(framework.deploy(load_model("ResNet-50"), maxq)))
+        assert float(budget) < float(base)

@@ -1,0 +1,120 @@
+"""Lumped-RC thermal model tests (Figure 14 mechanics)."""
+
+import pytest
+
+from repro.hardware.thermal import ThermalSimulator, ThermalSpec
+
+
+def _passive_spec(**overrides) -> ThermalSpec:
+    defaults = dict(
+        r_passive_c_per_w=10.0, r_active_c_per_w=10.0, c_j_per_c=5.0,
+        has_heatsink=False, has_fan=False, surface_offset_c=2.0,
+    )
+    defaults.update(overrides)
+    return ThermalSpec(**defaults)
+
+
+def _fan_spec(**overrides) -> ThermalSpec:
+    defaults = dict(
+        r_passive_c_per_w=10.0, r_active_c_per_w=3.0, c_j_per_c=5.0,
+        has_heatsink=True, has_fan=True, fan_trigger_c=50.0, fan_stop_c=40.0,
+        surface_offset_c=6.0,
+    )
+    defaults.update(overrides)
+    return ThermalSpec(**defaults)
+
+
+class TestThermalSpec:
+    def test_steady_state(self):
+        spec = _passive_spec()
+        assert spec.steady_state_c(2.0, ambient_c=22.0) == pytest.approx(42.0)
+
+    def test_fan_resistance_used_when_on(self):
+        spec = _fan_spec()
+        assert spec.steady_state_c(10.0, ambient_c=22.0, fan_on=True) == pytest.approx(52.0)
+
+    def test_invalid_resistances_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalSpec(r_passive_c_per_w=3.0, r_active_c_per_w=5.0, c_j_per_c=1.0)
+
+    def test_invalid_hysteresis_rejected(self):
+        with pytest.raises(ValueError):
+            _fan_spec(fan_trigger_c=40.0, fan_stop_c=45.0)
+
+
+class TestSimulator:
+    def test_starts_at_ambient(self):
+        sim = ThermalSimulator(_passive_spec(), ambient_c=25.0)
+        assert sim.temperature_c == 25.0
+
+    def test_exponential_approach(self):
+        sim = ThermalSimulator(_passive_spec())
+        sim.step(2.0, dt_s=1e6)  # effectively infinite time
+        assert sim.temperature_c == pytest.approx(42.0, abs=0.01)
+
+    def test_monotone_heating(self):
+        sim = ThermalSimulator(_passive_spec())
+        temps = [sim.step(2.0, 5.0) for _ in range(20)]
+        assert temps == sorted(temps)
+        assert temps[-1] <= 42.0 + 1e-9
+
+    def test_cooling_after_load_removed(self):
+        sim = ThermalSimulator(_passive_spec())
+        sim.step(5.0, 1e6)
+        hot = sim.temperature_c
+        sim.step(0.0, 30.0)
+        assert sim.temperature_c < hot
+
+    def test_surface_reads_below_junction(self):
+        sim = ThermalSimulator(_passive_spec())
+        sim.step(3.0, 100.0)
+        assert sim.surface_temperature_c == sim.temperature_c - 2.0
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            ThermalSimulator(_passive_spec()).step(1.0, 0.0)
+
+    def test_fan_turns_on_with_event(self):
+        sim = ThermalSimulator(_fan_spec())
+        sim.run_to_steady_state(10.0, dt_s=1.0)
+        kinds = [e.kind for e in sim.events]
+        assert "fan_on" in kinds
+        assert sim.fan_on
+
+    def test_fan_steady_state_uses_active_resistance(self):
+        sim = ThermalSimulator(_fan_spec())
+        sim.run_to_steady_state(10.0, dt_s=1.0)
+        assert sim.temperature_c == pytest.approx(22.0 + 10.0 * 3.0, abs=0.5)
+
+    def test_fan_hysteresis_off_event(self):
+        sim = ThermalSimulator(_fan_spec())
+        sim.run_to_steady_state(10.0, dt_s=1.0)
+        sim.run_to_steady_state(0.5, dt_s=1.0)  # cool down
+        kinds = [e.kind for e in sim.events]
+        assert "fan_off" in kinds
+
+    def test_shutdown_trips_and_latches(self):
+        sim = ThermalSimulator(_passive_spec(shutdown_c=40.0))
+        trace = sim.run_to_steady_state(5.0, dt_s=1.0)
+        assert sim.shutdown
+        assert any(e.kind == "shutdown" for e in sim.events)
+        # After shutdown the device stops drawing compute power and cools.
+        sim.step(5.0, 1e6)
+        assert sim.temperature_c == pytest.approx(22.0, abs=0.1)
+        assert trace[-1][1] >= 40.0
+
+    def test_no_shutdown_when_threshold_absent(self):
+        sim = ThermalSimulator(_passive_spec())
+        sim.run_to_steady_state(10.0, dt_s=1.0)
+        assert not sim.shutdown
+
+    def test_trace_returns_time_series(self):
+        sim = ThermalSimulator(_passive_spec())
+        trace = sim.run_to_steady_state(2.0, dt_s=1.0)
+        times = [t for t, _ in trace]
+        assert times == sorted(times)
+        assert trace[0][1] == pytest.approx(22.0)
+
+    def test_idle_temperature(self):
+        sim = ThermalSimulator(_passive_spec())
+        assert sim.idle_temperature_c(1.0) == pytest.approx(32.0)

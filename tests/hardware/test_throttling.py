@@ -1,0 +1,69 @@
+"""DVFS thermal throttling (extension of Figure 14)."""
+
+import pytest
+
+from repro.hardware.thermal import ThermalSimulator, ThermalSpec
+
+
+def _throttling_spec(**overrides) -> ThermalSpec:
+    defaults = dict(
+        r_passive_c_per_w=15.0, r_active_c_per_w=15.0, c_j_per_c=5.0,
+        has_heatsink=False, has_fan=False,
+        throttle_c=60.0, throttle_stop_c=55.0, throttle_clock_factor=0.6,
+        surface_offset_c=2.0,
+    )
+    defaults.update(overrides)
+    return ThermalSpec(**defaults)
+
+
+class TestThrottleSpec:
+    def test_factor_bounds(self):
+        with pytest.raises(ValueError, match="clock_factor"):
+            _throttling_spec(throttle_clock_factor=1.5)
+        with pytest.raises(ValueError, match="clock_factor"):
+            _throttling_spec(throttle_clock_factor=0.0)
+
+    def test_hysteresis_ordering(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            _throttling_spec(throttle_stop_c=65.0)
+
+
+class TestThrottleBehaviour:
+    def test_throttles_above_limit_with_event(self):
+        sim = ThermalSimulator(_throttling_spec())
+        sim.run_to_steady_state(4.0, dt_s=1.0)  # target 82 C, crosses 60
+        assert sim.throttled
+        assert any(e.kind == "throttle_on" for e in sim.events)
+        assert sim.clock_factor == 0.6
+
+    def test_recovers_with_hysteresis(self):
+        sim = ThermalSimulator(_throttling_spec())
+        sim.run_to_steady_state(4.0, dt_s=1.0)
+        sim.run_to_steady_state(0.1, dt_s=1.0)  # cool down
+        assert not sim.throttled
+        assert any(e.kind == "throttle_off" for e in sim.events)
+        assert sim.clock_factor == 1.0
+
+    def test_no_throttle_without_limit(self):
+        spec = _throttling_spec(throttle_c=None, throttle_stop_c=None)
+        sim = ThermalSimulator(spec)
+        sim.run_to_steady_state(4.0, dt_s=1.0)
+        assert not sim.throttled
+        assert sim.clock_factor == 1.0
+
+    def test_shutdown_zeroes_clock(self):
+        spec = _throttling_spec(throttle_c=None, throttle_stop_c=None, shutdown_c=50.0)
+        sim = ThermalSimulator(spec)
+        sim.run_to_steady_state(4.0, dt_s=1.0)
+        assert sim.shutdown
+        assert sim.clock_factor == 0.0
+
+    def test_default_hysteresis_five_degrees(self):
+        spec = _throttling_spec(throttle_stop_c=None)
+        sim = ThermalSimulator(spec)
+        sim.run_to_steady_state(4.0, dt_s=1.0)
+        assert sim.throttled
+        # Cool until just above throttle_c - 5: still throttled.
+        sim.temperature_c = 56.0
+        sim.step(2.5, 0.1)
+        assert sim.throttled

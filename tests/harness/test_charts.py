@@ -1,0 +1,120 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.core.result import ResultTable
+from repro.harness.charts import bar_chart, scatter_loglog
+
+
+def _table() -> ResultTable:
+    table = ResultTable("Latency", ["ms"])
+    table.add_row("fast", ms=10.0)
+    table.add_row("slow", ms=100.0)
+    table.add_row("missing", ms=None)
+    return table
+
+
+class TestBarChart:
+    def test_longest_bar_for_largest_value(self):
+        chart = bar_chart(_table(), "ms", unit="ms")
+        lines = chart.splitlines()
+        fast = next(line for line in lines if line.startswith("fast"))
+        slow = next(line for line in lines if line.startswith("slow"))
+        assert slow.count("#") > fast.count("#")
+
+    def test_none_rendered_as_na(self):
+        chart = bar_chart(_table(), "ms")
+        assert "n/a" in chart
+
+    def test_log_scale_compresses(self):
+        table = ResultTable("t", ["v"])
+        table.add_row("small", v=1.0)
+        table.add_row("mid", v=10.0)
+        table.add_row("big", v=100.0)
+
+        def bars(chart, label):
+            return next(l for l in chart.splitlines() if l.startswith(label)).count("#")
+
+        linear = bar_chart(table, "v")
+        log = bar_chart(table, "v", log_scale=True)
+        # Linear: mid is 10% of big. Log: mid is half of big.
+        assert bars(linear, "big") / bars(linear, "mid") > 5
+        assert bars(log, "big") / bars(log, "mid") < 3
+
+    def test_values_printed(self):
+        assert "100" in bar_chart(_table(), "ms")
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            bar_chart(_table(), "watts")
+
+    def test_log_scale_rejects_nonpositive(self):
+        table = ResultTable("t", ["v"])
+        table.add_row("zero", v=0.0)
+        with pytest.raises(ValueError):
+            bar_chart(table, "v", log_scale=True)
+
+    def test_experiment_table_renders(self):
+        from repro.harness import run_experiment
+
+        chart = bar_chart(run_experiment("fig07"), "speedup")
+        assert "AlexNet" in chart
+
+
+class TestRoofline:
+    def test_renders_with_ridge_summary(self):
+        from repro.harness.charts import roofline_chart
+        from repro.models import load_model
+
+        chart = roofline_chart(load_model("ResNet-50"), 333e9, 35e9)
+        assert "ridge at" in chart
+        assert "compute-bound" in chart
+        assert "legend:" in chart
+
+    def test_markers_split_by_ridge(self):
+        from repro.harness.charts import roofline_chart
+        from repro.models import load_model
+
+        chart = roofline_chart(load_model("VGG16"), 1548e9, 70e9)
+        legend = chart.splitlines()[-1]
+        assert "C=" in legend  # compute-bound convs
+        assert "M=" in legend  # memory-bound FC layers
+
+    def test_rejects_zero_compute(self):
+        from repro.graphs import GraphBuilder
+        from repro.harness.charts import roofline_chart
+
+        b = GraphBuilder("empty")
+        x = b.input((4,))
+        b.flatten(x)
+        with pytest.raises(ValueError, match="no compute"):
+            roofline_chart(b.build(), 1e9, 1e9)
+
+
+class TestScatter:
+    def _points(self):
+        return [("EdgeTPU", 4.0, 3.0), ("Movidius", 1.5, 50.0), ("GTX", 100.0, 8.0)]
+
+    def test_markers_and_legend(self):
+        chart = scatter_loglog(self._points(), x_label="W", y_label="ms")
+        assert "E=EdgeTPU" in chart
+        assert "M=Movidius" in chart
+        assert chart.count("E") >= 1
+
+    def test_axes_labelled(self):
+        chart = scatter_loglog(self._points(), x_label="power", y_label="time")
+        assert "power (log)" in chart
+        assert "time (log)" in chart
+
+    def test_extremes_land_on_edges(self):
+        chart = scatter_loglog(self._points())
+        rows = chart.splitlines()[1:-2]
+        # Movidius (lowest x, highest y) in the top-left region.
+        top_half = "\n".join(rows[: len(rows) // 2])
+        assert "M" in top_half
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_loglog([])
+        with pytest.raises(ValueError):
+            scatter_loglog([("a", 0.0, 1.0)])

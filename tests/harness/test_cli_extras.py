@@ -1,0 +1,50 @@
+"""CLI verbs added after the core set: formats, charts, recommend."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunFormats:
+    def test_markdown_output(self, capsys):
+        assert main(["run", "table6", "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "|---" in out
+        assert "| Raspberry Pi 3B |" in out
+
+    def test_csv_output(self, capsys):
+        assert main(["run", "table6", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("label,")
+
+    def test_chart_flag(self, capsys):
+        assert main(["run", "fig07", "--chart", "speedup"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "speedup" in out
+
+    def test_chart_unknown_column(self, capsys):
+        assert main(["run", "fig07", "--chart", "nonsense"]) == 2
+        assert "no column" in capsys.readouterr().err
+
+
+class TestRecommend:
+    def test_feasible_run(self, capsys):
+        assert main(["recommend", "MobileNet-v2", "--deadline-ms", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "satisfy" in out
+
+    def test_infeasible_returns_one(self, capsys):
+        assert main(["recommend", "Inception-v4", "--deadline-ms", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "0/" in out
+
+    def test_unknown_model(self, capsys):
+        assert main(["recommend", "NoSuchNet"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_top_limits_rows(self, capsys):
+        assert main(["recommend", "MobileNet-v2", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if " via " in line]
+        assert len(rows) == 2

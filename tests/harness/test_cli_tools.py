@@ -1,0 +1,51 @@
+"""CLI calibration/summary verbs and the verbose graph summary."""
+
+import pytest
+
+from repro.cli import main
+from repro.models import load_model
+
+
+class TestCalibrationVerb:
+    def test_prints_all_anchors_unclamped(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "0 clamped anchors" in out
+        assert "TensorRT" in out and "Jetson Nano" in out
+        assert out.count("ms") > 20
+
+
+class TestSummaryVerb:
+    def test_per_layer_listing(self, capsys):
+        assert main(["summary", "CifarNet"]) == 0
+        out = capsys.readouterr().out
+        assert "conv_1" in out
+        assert "total" in out
+
+    def test_unknown_model(self, capsys):
+        assert main(["summary", "NoNet"]) == 2
+        assert capsys.readouterr().err
+
+
+class TestVerboseSummary:
+    def test_totals_row_matches_graph(self):
+        graph = load_model("CifarNet 32x32")
+        text = graph.summary(verbose=True)
+        assert f"{graph.total_params:,d}" in text
+        assert f"{graph.total_macs:,d}" in text
+
+    def test_every_op_listed(self):
+        graph = load_model("CifarNet 32x32")
+        text = graph.summary(verbose=True)
+        for op in graph.ops:
+            assert op.name[:24] in text
+
+    def test_fused_ops_marked(self):
+        from repro.graphs.transforms import fuse_graph
+
+        fused = fuse_graph(load_model("ResNet-18"))
+        assert "(fused)" in fused.summary(verbose=True)
+
+    def test_terse_by_default(self):
+        graph = load_model("CifarNet 32x32")
+        assert "\n" not in graph.summary()

@@ -1,0 +1,76 @@
+"""Curve-level Figure 14 reproduction."""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_experiment("fig14-curves")
+
+
+def _series(table, device):
+    rows = [row for row in table if row["device"] == device]
+    return sorted(rows, key=lambda r: r["time_s"])
+
+
+class TestCurveShapes:
+    def test_all_devices_present(self, table):
+        devices = {row["device"] for row in table}
+        assert devices == {"Raspberry Pi 3B", "Jetson TX2", "Jetson Nano",
+                           "EdgeTPU", "Movidius NCS"}
+
+    @pytest.mark.parametrize("device", ["Jetson TX2", "Jetson Nano", "EdgeTPU",
+                                        "Movidius NCS"])
+    def test_monotone_warmup(self, table, device):
+        temps = [row["surface_c"] for row in _series(table, device)]
+        # Camera noise is +/-0.3 C; the trend must rise.
+        assert all(b >= a - 0.7 for a, b in zip(temps, temps[1:]))
+        assert temps[-1] > temps[0]
+
+    def test_curves_start_at_idle_temperature(self, table):
+        from repro.harness.paper_data import TABLE6_COOLING
+
+        for device, (_hs, _fan, idle_c) in TABLE6_COOLING.items():
+            first = _series(table, device)[0]
+            tolerance = 4.0 if device == "Movidius NCS" else 1.5
+            assert first["surface_c"] == pytest.approx(idle_c, abs=tolerance)
+
+    def test_fan_kink_slows_the_rise(self, table):
+        """After the TX2 fan engages, the warming rate drops sharply."""
+        series = _series(table, "Jetson TX2")
+        pre = [r for r in series if not r["fan_on"]]
+        post = [r for r in series if r["fan_on"]]
+        assert pre and len(post) >= 3
+
+        def rate(rows):
+            dt = rows[-1]["time_s"] - rows[0]["time_s"]
+            return (rows[-1]["surface_c"] - rows[0]["surface_c"]) / max(dt, 1)
+
+        assert rate(post) < rate(pre) / 2
+
+    def test_rpi_curve_ends_in_shutdown(self, table):
+        series = _series(table, "Raspberry Pi 3B")
+        assert series[-1]["shutdown"]
+        assert not series[0]["shutdown"]
+        # Final reading is near the shutdown threshold, surface side.
+        assert series[-1]["surface_c"] > 60.0
+
+    def test_passive_devices_never_fan(self, table):
+        for device in ("EdgeTPU", "Movidius NCS", "Raspberry Pi 3B"):
+            assert not any(row["fan_on"] for row in _series(table, device))
+
+    def test_accelerator_sticks_have_the_flattest_curves(self, table):
+        """At curve granularity the +/-0.3 degC camera noise blurs the
+        Movidius-vs-EdgeTPU tie (the noiseless fig14 endpoints resolve it);
+        both must sit far below every SBC's swing."""
+        spans = {}
+        for device in ("Raspberry Pi 3B", "Jetson TX2", "Jetson Nano",
+                       "EdgeTPU", "Movidius NCS"):
+            temps = [row["surface_c"] for row in _series(table, device)]
+            spans[device] = max(temps) - min(temps)
+        assert spans["Movidius NCS"] < 4.0
+        assert spans["EdgeTPU"] < 4.0
+        for device in ("Raspberry Pi 3B", "Jetson TX2", "Jetson Nano"):
+            assert spans[device] > 2 * spans["Movidius NCS"]

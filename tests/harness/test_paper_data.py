@@ -1,0 +1,57 @@
+"""Sanity of the transcribed paper reference data."""
+
+from repro.harness import paper_data as paper
+
+
+class TestTable1Data:
+    def test_sixteen_configurations(self):
+        assert len(paper.TABLE1_MODELS) == 16
+
+    def test_positive_values(self):
+        for name, (input_size, gflop, params) in paper.TABLE1_MODELS.items():
+            assert gflop > 0 and params > 0, name
+            assert "x" in input_size
+
+
+class TestFigureData:
+    def test_fig2_devices_cover_table_v(self):
+        assert set(paper.FIG2_BEST_S) == set(paper.TABLE5_EXPECTED["ResNet-18"])
+
+    def test_fig2_rows_cover_all_models(self):
+        for device, row in paper.FIG2_BEST_S.items():
+            assert set(row) == set(paper.FIG2_MODELS), device
+
+    def test_fig7_rows_aligned(self):
+        assert set(paper.FIG7_NANO_S["PyTorch"]) == set(paper.FIG7_NANO_S["TensorRT"])
+
+    def test_fig7_paper_average_speedup_consistent(self):
+        """The 4.1x headline must follow from the per-model bars."""
+        speedups = [paper.FIG7_NANO_S["PyTorch"][m] / paper.FIG7_NANO_S["TensorRT"][m]
+                    for m in paper.FIG7_MODELS]
+        average = sum(speedups) / len(speedups)
+        assert abs(average - paper.FIG7_AVG_SPEEDUP) < 0.6
+
+    def test_fig8_speedup_headlines_consistent(self):
+        tf = [paper.FIG8_RPI_S["TensorFlow"][m] / paper.FIG8_RPI_S["TFLite"][m]
+              for m in paper.FIG8_MODELS]
+        pt = [paper.FIG8_RPI_S["PyTorch"][m] / paper.FIG8_RPI_S["TFLite"][m]
+              for m in paper.FIG8_MODELS]
+        assert abs(sum(tf) / len(tf) - paper.FIG8_SPEEDUP_OVER_TF) < 0.3
+        assert abs(sum(pt) / len(pt) - paper.FIG8_SPEEDUP_OVER_PT) < 2.0
+
+    def test_fig13_overhead_within_published_bound(self):
+        for model in paper.FIG13_MODELS:
+            bare = paper.FIG13_BARE_S[model]
+            docker = paper.FIG13_DOCKER_S[model]
+            assert (docker - bare) / bare <= paper.FIG13_MAX_OVERHEAD + 1e-9
+
+    def test_fig5_fractions_are_probabilities(self):
+        for targets in paper.FIG5_FRACTIONS.values():
+            assert all(0 < f < 1 for f in targets.values())
+            # OCR'd pie labels carry rounding error; allow a whisker over 1.
+            assert sum(targets.values()) <= 1.0 + 5e-3
+
+    def test_table5_matrix_is_rectangular(self):
+        devices = set(next(iter(paper.TABLE5_EXPECTED.values())))
+        for model, row in paper.TABLE5_EXPECTED.items():
+            assert set(row) == devices, model

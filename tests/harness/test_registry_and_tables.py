@@ -1,0 +1,78 @@
+"""Experiment registry and the Table I/II/III/VI generators."""
+
+import pytest
+
+from repro.harness import list_experiments, run_experiment
+from repro.harness.paper_data import TABLE1_MODELS, TABLE3_POWER_W
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(list_experiments())
+        expected = {"table1", "table2", "table3", "table5", "table6"} | {
+            f"fig{n:02d}" for n in range(1, 15)
+        }
+        assert expected <= ids
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("table1")
+
+    def test_all_models_present(self, table):
+        assert set(table.labels()) == set(TABLE1_MODELS)
+
+    def test_paper_columns_filled(self, table):
+        for row in table:
+            assert row["paper_gflop"] > 0
+            assert row["paper_params_m"] > 0
+
+    def test_exact_models_within_tolerance(self, table):
+        for name in ("ResNet-50", "VGG16", "Inception-v4", "MobileNet-v2"):
+            row = table.row(name)
+            assert row["gflop"] == pytest.approx(row["paper_gflop"], rel=0.05)
+            assert row["params_m"] == pytest.approx(row["paper_params_m"], rel=0.02)
+
+
+class TestTable2:
+    def test_structure(self):
+        table = run_experiment("table2")
+        assert "TensorRT" in table.columns
+        assert "Auto tuning" in table.labels()
+        # TensorRT is the only auto-tuning framework (Table II).
+        auto_row = table.row("Auto tuning")
+        assert auto_row["TensorRT"] is True
+        assert sum(1 for c in table.columns if auto_row[c]) == 1
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("table3")
+
+    def test_all_devices(self, table):
+        assert set(table.labels()) == set(TABLE3_POWER_W)
+
+    def test_measured_power_matches_paper(self, table):
+        for row in table:
+            assert row["idle_w"] == pytest.approx(row["paper_idle_w"], rel=0.05)
+            assert row["average_w"] == pytest.approx(row["paper_average_w"], rel=0.05)
+
+
+class TestTable5:
+    def test_every_row_matches_paper(self):
+        table = run_experiment("table5")
+        assert all(row["matches_paper"] for row in table)
+
+
+class TestTable6:
+    def test_idle_temperatures(self):
+        table = run_experiment("table6")
+        for row in table:
+            tolerance = 4.0 if row.label == "Movidius NCS" else 1.0
+            assert row["idle_surface_c"] == pytest.approx(row["paper_idle_c"], abs=tolerance)

@@ -1,0 +1,57 @@
+"""ASCII table rendering."""
+
+from repro.core.result import ResultTable
+from repro.harness.report import ratio_or_none, render_table
+
+
+def _table() -> ResultTable:
+    table = ResultTable("Demo Table", ["measured", "paper"], caption="a caption")
+    table.add_row("row-a", measured=1.5, paper=2.0)
+    table.add_row("row-b", measured=None, paper=0.123456)
+    table.add_note("a note")
+    return table
+
+
+class TestRenderTable:
+    def test_contains_title_rows_caption_notes(self):
+        text = render_table(_table())
+        assert "Demo Table" in text
+        assert "row-a" in text and "row-b" in text
+        assert "a caption" in text
+        assert "note: a note" in text
+
+    def test_none_rendered_as_dash(self):
+        text = render_table(_table())
+        row_b = next(line for line in text.splitlines() if line.startswith("row-b"))
+        assert "-" in row_b.split()[1]
+
+    def test_booleans_render_yes_no(self):
+        table = ResultTable("t", ["flag"])
+        table.add_row("x", flag=True)
+        table.add_row("y", flag=False)
+        text = render_table(table)
+        assert "yes" in text and "no" in text
+
+    def test_large_and_small_floats_compact(self):
+        table = ResultTable("t", ["v"])
+        table.add_row("big", v=16485.2)
+        table.add_row("tiny", v=0.0029)
+        text = render_table(table)
+        assert "1.65e+04" in text
+        assert "0.0029" in text
+
+    def test_columns_aligned(self):
+        lines = render_table(_table()).splitlines()
+        header = next(line for line in lines if "measured" in line)
+        row = next(line for line in lines if line.startswith("row-a"))
+        assert len(header) == len(row)
+
+
+class TestRatioOrNone:
+    def test_ratio(self):
+        assert ratio_or_none(2.0, 4.0) == 0.5
+
+    def test_none_propagates(self):
+        assert ratio_or_none(None, 4.0) is None
+        assert ratio_or_none(2.0, None) is None
+        assert ratio_or_none(2.0, 0.0) is None

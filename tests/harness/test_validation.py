@@ -1,0 +1,55 @@
+"""The claims validator (and its CLI verb)."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.validation import ClaimResult, list_claims, validate_claims
+
+
+class TestValidateClaims:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return validate_claims()
+
+    def test_eleven_claims(self, results):
+        assert len(results) == 11
+        assert len(list_claims()) == 11
+
+    def test_all_claims_hold(self, results):
+        failing = [r.claim_id for r in results if not r.passed]
+        assert not failing, failing
+
+    def test_evidence_is_populated(self, results):
+        for result in results:
+            assert result.evidence
+            assert result.section.startswith("VI")
+
+    def test_subset_selection(self):
+        results = validate_claims(["docker-overhead"])
+        assert len(results) == 1
+        assert results[0].claim_id == "docker-overhead"
+
+    def test_unknown_claim(self):
+        with pytest.raises(KeyError, match="unknown claims"):
+            validate_claims(["flat-earth"])
+
+    def test_result_is_frozen(self):
+        result = ClaimResult("x", "VI", "s", True, "e")
+        with pytest.raises(AttributeError):
+            result.passed = False
+
+
+class TestCliVerb:
+    def test_validate_all(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "11/11 claims hold" in out
+        assert "[PASS]" in out
+
+    def test_validate_subset(self, capsys):
+        assert main(["validate", "table5-exact"]) == 0
+        assert "1/1 claims hold" in capsys.readouterr().out
+
+    def test_validate_unknown(self, capsys):
+        assert main(["validate", "nonsense"]) == 2
+        assert "unknown" in capsys.readouterr().err

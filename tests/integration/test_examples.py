@@ -1,0 +1,84 @@
+"""Every example script must run end-to-end.
+
+Examples are a deliverable, not decoration: each is imported and its
+``main`` executed with defaults, and key output markers are asserted.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Time per inference" in out
+        assert "Energy per inference" in out
+
+    def test_drone_obstacle_detection(self, capsys):
+        _load("drone_obstacle_detection").main()
+        out = capsys.readouterr().out
+        assert "feasible deployments" in out
+        assert "EdgeTPU" in out
+
+    def test_smart_camera_thermal_budget(self, capsys):
+        _load("smart_camera_thermal_budget").main()
+        out = capsys.readouterr().out
+        assert "THERMAL SHUTDOWN" in out
+        assert "fan running" in out
+
+    def test_batch_crossover_study(self, capsys):
+        _load("batch_crossover_study").main()
+        out = capsys.readouterr().out
+        assert "Crossover vs Jetson TX2" in out
+        assert "batch" in out
+
+    def test_rnn_language_model_edge(self, capsys):
+        _load("rnn_language_model_edge").main()
+        out = capsys.readouterr().out
+        assert "UNDEPLOYABLE" in out
+        assert "% of peak" in out
+
+    def test_collaborative_robots(self, capsys):
+        _load("collaborative_robots").main()
+        out = capsys.readouterr().out
+        assert "Offloading decision" in out
+        assert "robot(s)" in out
+
+    def test_model_exchange(self, capsys):
+        _load("model_exchange").main()
+        out = capsys.readouterr().out
+        assert "NO IMPORT PATH" in out
+        assert "via onnx" in out
+
+    def test_profile_deep_dive(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        _load("profile_deep_dive").main()
+        out = capsys.readouterr().out
+        assert "Stack profile" in out
+        assert (tmp_path / "inference_trace.json").exists()
+
+    def test_reproduce_paper_subset(self, capsys):
+        _load("reproduce_paper").main(["table6", "fig13"])
+        out = capsys.readouterr().out
+        assert "Table VI" in out and "Figure 13" in out
+        assert "Reproduced 2 artifacts" in out
+
+    def test_every_example_has_a_docstring_and_main(self):
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            module = _load(path.stem)
+            assert module.__doc__, path.name
+            assert hasattr(module, "main"), path.name

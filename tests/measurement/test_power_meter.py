@@ -1,0 +1,67 @@
+"""Power instrument accuracy models."""
+
+import pytest
+
+from repro.measurement.power_meter import (
+    PowerAnalyzer,
+    USBMultimeter,
+    average_power_w,
+)
+
+
+class TestUSBMultimeter:
+    def test_reading_within_datasheet_bounds(self):
+        meter = USBMultimeter(seed=0)
+        true_power = 2.73
+        for _ in range(200):
+            sample = meter.sample(true_power)
+            # Worst case: voltage and current bounds compound.
+            assert sample.power_w == pytest.approx(true_power, abs=0.05)
+
+    def test_one_hertz_sampling(self):
+        samples = USBMultimeter(seed=0).record(lambda t: 1.0, duration_s=10.0)
+        assert len(samples) == 10
+        assert [s.time_s for s in samples] == pytest.approx(list(range(10)))
+
+    def test_tracks_time_varying_power(self):
+        samples = USBMultimeter(seed=0).record(lambda t: 1.0 + t, duration_s=5.0)
+        powers = [s.power_w for s in samples]
+        assert powers == sorted(powers)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            USBMultimeter().sample(-1.0)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            USBMultimeter().record(lambda t: 1.0, duration_s=0.0)
+
+    def test_seeded_reproducibility(self):
+        a = USBMultimeter(seed=5).sample(2.0).power_w
+        b = USBMultimeter(seed=5).sample(2.0).power_w
+        assert a == b
+
+
+class TestPowerAnalyzer:
+    def test_five_milliwatt_accuracy(self):
+        meter = PowerAnalyzer(seed=0)
+        for _ in range(200):
+            assert meter.sample(100.0).power_w == pytest.approx(100.0, abs=0.005)
+
+    def test_ten_hertz_sampling(self):
+        samples = PowerAnalyzer(seed=0).record(lambda t: 1.0, duration_s=1.0)
+        assert len(samples) == 10
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            PowerAnalyzer().sample(-0.1)
+
+
+class TestAveragePower:
+    def test_mean_of_recording(self):
+        samples = PowerAnalyzer(seed=0).record(lambda t: 10.0, duration_s=5.0)
+        assert average_power_w(samples) == pytest.approx(10.0, abs=0.01)
+
+    def test_empty_recording_rejected(self):
+        with pytest.raises(ValueError):
+            average_power_w([])

@@ -1,0 +1,45 @@
+"""Thermal camera model tests (Figure 14 instrumentation)."""
+
+import pytest
+
+from repro.hardware import load_device
+from repro.measurement.thermal_camera import ThermalCamera
+
+
+class TestThermalCamera:
+    def test_reads_surface_not_junction(self):
+        device = load_device("Jetson TX2")
+        sim = device.thermal_simulator()
+        sim.temperature_c = 50.0
+        reading = ThermalCamera(seed=0).read(sim)
+        assert reading.surface_c == pytest.approx(
+            50.0 - device.thermal.surface_offset_c, abs=ThermalCamera.repeatability_c)
+
+    def test_noise_bounded_by_repeatability(self):
+        device = load_device("Jetson Nano")
+        sim = device.thermal_simulator()
+        camera = ThermalCamera(seed=1)
+        for _ in range(100):
+            reading = camera.read(sim)
+            assert abs(reading.surface_c - sim.surface_temperature_c) <= camera.repeatability_c
+
+    def test_soak_reaches_steady_state(self):
+        device = load_device("EdgeTPU")
+        sim = device.thermal_simulator()
+        readings = ThermalCamera(seed=2).record_soak(sim, device.average_power_w())
+        assert len(readings) > 2
+        steady = device.thermal.steady_state_c(device.average_power_w())
+        assert sim.temperature_c == pytest.approx(steady, abs=1.0)
+
+    def test_soak_stops_on_shutdown(self):
+        device = load_device("Raspberry Pi 3B")
+        sim = device.thermal_simulator()
+        ThermalCamera(seed=3).record_soak(sim, device.average_power_w())
+        assert sim.shutdown
+
+    def test_readings_carry_timestamps(self):
+        device = load_device("Movidius NCS")
+        sim = device.thermal_simulator()
+        readings = ThermalCamera(seed=4).record_soak(sim, device.average_power_w())
+        times = [r.time_s for r in readings]
+        assert times == sorted(times)

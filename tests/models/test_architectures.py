@@ -1,0 +1,150 @@
+"""Structural checks of the model definitions."""
+
+import pytest
+
+from repro.graphs import ops as O
+from repro.models import load_model
+from repro.models.resnet import resnet18, resnet50
+from repro.models.vgg import vgg_s
+from repro.models.yolo import tiny_yolo, yolov3
+
+
+def _count(graph, op_type):
+    return sum(1 for op in graph.ops if isinstance(op, op_type))
+
+
+class TestResNet:
+    def test_resnet18_conv_count(self):
+        # 1 stem + 16 block convs + 3 downsample 1x1 convs = 20.
+        assert _count(resnet18(), O.Conv2D) == 20
+
+    def test_resnet50_uses_bottlenecks(self):
+        # 1 stem + 16 blocks x 3 convs + 4 downsample convs = 53.
+        assert _count(resnet50(), O.Conv2D) == 53
+
+    def test_residual_adds_present(self):
+        assert _count(resnet18(), O.Add) == 8
+        assert _count(resnet50(), O.Add) == 16
+
+    def test_final_spatial_is_7x7(self):
+        graph = resnet18()
+        gap = next(op for op in graph.ops if isinstance(op, O.GlobalPool2D))
+        assert gap.inputs[0].output_shape.dims == (512, 7, 7)
+
+    def test_classifier_width(self):
+        dense = next(op for op in resnet50().ops if isinstance(op, O.Dense))
+        assert dense.inputs[0].output_shape.numel == 2048
+
+
+class TestVGG:
+    def test_vgg16_has_13_convs_3_dense(self):
+        graph = load_model("VGG16")
+        assert _count(graph, O.Conv2D) == 13
+        assert _count(graph, O.Dense) == 3
+
+    def test_vgg19_has_16_convs(self):
+        assert _count(load_model("VGG19"), O.Conv2D) == 16
+
+    def test_no_batch_norm_in_vgg(self):
+        assert _count(load_model("VGG16"), O.BatchNorm) == 0
+
+    def test_vgg_s_rejects_other_inputs(self):
+        with pytest.raises(ValueError):
+            vgg_s(128)
+
+    def test_vgg_s_32_collapses_to_global_pool(self):
+        graph = vgg_s(32)
+        assert _count(graph, O.GlobalPool2D) == 1
+
+    def test_vgg_s_224_keeps_6x6_feature_map(self):
+        graph = vgg_s(224)
+        dense = next(op for op in graph.ops if isinstance(op, O.Dense))
+        assert dense.inputs[0].output_shape.numel == 6 * 6 * 512
+
+
+class TestMobileNets:
+    def test_mobilenet_v1_has_13_depthwise(self):
+        assert _count(load_model("MobileNet-v1"), O.DepthwiseConv2D) == 13
+
+    def test_mobilenet_v2_has_17_blocks(self):
+        assert _count(load_model("MobileNet-v2"), O.DepthwiseConv2D) == 17
+
+    def test_mobilenet_v2_residuals(self):
+        # Stride-1 same-channel blocks: 1+2+3+2+0 = 10 skip connections.
+        assert _count(load_model("MobileNet-v2"), O.Add) == 10
+
+    def test_relu6_used(self):
+        kinds = {op.kind for op in load_model("MobileNet-v2").ops
+                 if isinstance(op, O.Activation)}
+        assert kinds == {"relu6"}
+
+
+class TestInceptionXception:
+    def test_inception_v4_concat_blocks(self):
+        graph = load_model("Inception-v4")
+        # Stem has 3 concats; 4 A + 7 B + 3 C blocks + 2 reductions = 16 more.
+        assert _count(graph, O.Concat) == 19
+
+    def test_inception_final_channels(self):
+        gap = next(op for op in load_model("Inception-v4").ops
+                   if isinstance(op, O.GlobalPool2D))
+        assert gap.inputs[0].output_shape.channels == 1536
+
+    def test_xception_middle_flow(self):
+        graph = load_model("Xception")
+        # Entry 6 + middle 8x3 + exit 4 separable convs = 34 depthwise.
+        assert _count(graph, O.DepthwiseConv2D) == 34
+
+    def test_xception_residuals(self):
+        assert _count(load_model("Xception"), O.Add) == 12
+
+
+class TestDetectionAndVideo:
+    def test_yolov3_detection_scales(self):
+        graph = yolov3()
+        heads = [op for op in graph.ops
+                 if isinstance(op, O.Conv2D) and op.out_channels == 255]
+        assert len(heads) == 3
+        strides = {op.output_shape.spatial for op in heads}
+        assert strides == {(10, 10), (20, 20), (40, 40)}  # 320 input
+
+    def test_yolov3_upsample_path(self):
+        assert _count(yolov3(), O.Upsample2D) == 2
+        assert _count(yolov3(), O.Concat) == 2
+
+    def test_tiny_yolo_is_shallow(self):
+        graph = tiny_yolo()
+        assert _count(graph, O.Conv2D) == 9
+        assert _count(graph, O.Add) == 0
+
+    def test_ssd_has_detection_output(self):
+        graph = load_model("SSD MobileNet-v1")
+        det = [op for op in graph.ops if isinstance(op, O.DetectionOutput)]
+        assert len(det) == 1
+        assert det[0].num_anchors > 1000  # full anchor set accounted
+
+    def test_c3d_conv3d_stack(self):
+        graph = load_model("C3D")
+        assert _count(graph, O.Conv3D) == 8
+        assert _count(graph, O.Pool3D) == 5
+
+    def test_c3d_classifier_input_8192(self):
+        dense = next(op for op in load_model("C3D").ops if isinstance(op, O.Dense))
+        assert dense.inputs[0].output_shape.numel == 8192
+
+
+class TestAlexNetCifarNet:
+    def test_alexnet_layer_counts(self):
+        graph = load_model("AlexNet")
+        assert _count(graph, O.Conv2D) == 5
+        assert _count(graph, O.Dense) == 3
+        assert _count(graph, O.LocalResponseNorm) == 2
+
+    def test_alexnet_fc6_input(self):
+        dense = next(op for op in load_model("AlexNet").ops if isinstance(op, O.Dense))
+        assert dense.inputs[0].output_shape.numel == 256 * 6 * 6
+
+    def test_cifarnet_small(self):
+        graph = load_model("CifarNet 32x32")
+        assert _count(graph, O.Conv2D) == 3
+        assert graph.total_params < 1e6

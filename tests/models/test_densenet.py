@@ -1,0 +1,49 @@
+"""DenseNet-121."""
+
+import pytest
+
+from repro.graphs import ops as O
+from repro.models import load_model
+
+
+class TestDenseNet121:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_model("DenseNet-121")
+
+    def test_published_counts(self, graph):
+        assert graph.total_params / 1e6 == pytest.approx(7.98, rel=0.01)
+        assert graph.total_macs / 1e9 == pytest.approx(2.87, rel=0.01)
+
+    def test_121_weighted_layers(self, graph):
+        convs = sum(1 for op in graph.ops if isinstance(op, O.Conv2D))
+        dense = sum(1 for op in graph.ops if isinstance(op, O.Dense))
+        # 1 stem + 58x2 block convs + 3 transitions + classifier = 121.
+        assert convs + dense == 121
+
+    def test_dense_connectivity_via_concats(self, graph):
+        concats = sum(1 for op in graph.ops if isinstance(op, O.Concat))
+        assert concats == sum((6, 12, 24, 16))
+
+    def test_channel_growth(self, graph):
+        gap = next(op for op in graph.ops if isinstance(op, O.GlobalPool2D))
+        assert gap.inputs[0].output_shape.channels == 1024
+
+    def test_preactivation_order(self, graph):
+        """BN precedes the convolutions it feeds (pre-activation)."""
+        first_bn = next(op for op in graph.ops if isinstance(op, O.BatchNorm))
+        stem = graph.op("conv_1")
+        assert first_bn.inputs[0] is stem
+
+    def test_liveness_dominates_weights_early(self, graph):
+        """The densely-concatenated features make activations, not weights,
+        the memory story — unlike VGG."""
+        vgg = load_model("VGG16")
+        densenet_ratio = graph.peak_activation_bytes() / graph.weight_bytes()
+        vgg_ratio = vgg.peak_activation_bytes() / vgg.weight_bytes()
+        assert densenet_ratio > 4 * vgg_ratio
+
+    def test_deploys_everywhere_general(self, session_factory):
+        for device, framework in (("Raspberry Pi 3B", "TensorFlow"),
+                                  ("Jetson TX2", "PyTorch")):
+            assert session_factory("DenseNet-121", device, framework).latency_s > 0

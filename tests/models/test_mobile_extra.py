@@ -1,0 +1,67 @@
+"""SqueezeNet / ShuffleNet (related-work mobile models)."""
+
+import pytest
+
+from repro.graphs import ops as O
+from repro.models import load_model
+
+
+class TestSqueezeNet:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_model("SqueezeNet")
+
+    def test_published_parameter_count(self, graph):
+        # SqueezeNet v1.1: 1.23 M parameters (the "50x fewer" headline).
+        assert graph.total_params / 1e6 == pytest.approx(1.235, rel=0.02)
+
+    def test_eight_fire_modules(self, graph):
+        # Each fire module contributes one concat.
+        concats = [op for op in graph.ops if isinstance(op, O.Concat)]
+        assert len(concats) == 8
+
+    def test_no_dense_layers(self, graph):
+        """SqueezeNet's classifier is a 1x1 conv + GAP, not an FC stack."""
+        assert not any(isinstance(op, O.Dense) for op in graph.ops)
+
+    def test_far_smaller_than_alexnet_similar_compute(self, graph):
+        alexnet = load_model("AlexNet")
+        assert graph.total_params < alexnet.total_params / 40
+        assert graph.total_macs == pytest.approx(alexnet.total_macs, rel=0.6)
+
+
+class TestShuffleNet:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_model("ShuffleNet")
+
+    def test_published_scale(self, graph):
+        # ShuffleNet 1x (g=3): ~1.9 M params, ~140 MMACs.
+        assert graph.total_params / 1e6 == pytest.approx(1.87, rel=0.05)
+        assert graph.total_macs / 1e6 == pytest.approx(146, rel=0.10)
+
+    def test_sixteen_shuffle_units(self, graph):
+        assert sum(1 for op in graph.ops if isinstance(op, O.DepthwiseConv2D)) == 16
+
+    def test_grouped_pointwise_convs(self, graph):
+        grouped = [op for op in graph.ops
+                   if isinstance(op, O.Conv2D)
+                   and not isinstance(op, O.DepthwiseConv2D)
+                   and op.groups == 3]
+        assert len(grouped) >= 16
+
+    def test_stride2_units_concat_shortcut(self, graph):
+        assert sum(1 for op in graph.ops if isinstance(op, O.Concat)) == 3
+
+    def test_cheapest_imagenet_model_in_the_zoo(self, graph):
+        for other in ("MobileNet-v2", "SqueezeNet", "ResNet-18"):
+            assert graph.total_macs < load_model(other).total_macs
+
+
+class TestDeployability:
+    @pytest.mark.parametrize("model_name", ["SqueezeNet", "ShuffleNet"])
+    def test_runs_on_edge_stacks(self, model_name, session_factory):
+        for device, framework in (("Raspberry Pi 3B", "TFLite"),
+                                  ("Jetson TX2", "PyTorch")):
+            session = session_factory(model_name, device, framework)
+            assert session.latency_s > 0

@@ -1,0 +1,90 @@
+"""Recurrent model zoo entries (future-work extension)."""
+
+import pytest
+
+from repro.core.errors import IncompatibleModelError
+from repro.frameworks import load_framework
+from repro.hardware import load_device
+from repro.models import list_models, load_model
+from repro.models.rnn import char_lstm, gru_encoder, ptb_lstm
+
+RNN_MODELS = ("CharRNN-LSTM", "LSTM-PTB", "GRU-Encoder")
+
+
+class TestZooRegistration:
+    def test_registered(self):
+        names = set(list_models())
+        assert set(RNN_MODELS) <= names
+
+    def test_metadata(self):
+        for name in RNN_MODELS:
+            graph = load_model(name)
+            assert graph.metadata["recurrent"] is True
+            assert graph.metadata["family"] == "rnn"
+
+
+class TestParameterCounts:
+    def test_char_lstm(self):
+        graph = char_lstm()
+        # emb 256x128 + LSTM(128->512) + LSTM(512->512) + fc 512x256.
+        expected = (256 * 128
+                    + 4 * (128 * 512 + 512 * 512 + 512)
+                    + 4 * (512 * 512 + 512 * 512 + 512)
+                    + 512 * 256 + 256)
+        assert graph.total_params == expected
+
+    def test_ptb_lstm_medium_scale(self):
+        graph = ptb_lstm()
+        assert graph.total_params / 1e6 == pytest.approx(19.8, rel=0.02)
+
+    def test_gru_encoder(self):
+        graph = gru_encoder()
+        assert graph.total_params / 1e6 == pytest.approx(11.2, rel=0.02)
+
+    def test_macs_linear_in_sequence_length(self):
+        assert char_lstm(seq_len=256).total_macs == pytest.approx(
+            2 * char_lstm(seq_len=128).total_macs, rel=0.01)
+
+
+class TestDeploymentGates:
+    def test_ncsdk_rejects_recurrent(self):
+        with pytest.raises(IncompatibleModelError, match="recurrent"):
+            load_framework("NCSDK").deploy(load_model("LSTM-PTB"),
+                                           load_device("Movidius NCS"))
+
+    def test_caffe_rejects_recurrent(self):
+        with pytest.raises(IncompatibleModelError, match="recurrent"):
+            load_framework("Caffe").deploy(load_model("LSTM-PTB"),
+                                           load_device("Jetson TX2"))
+
+    def test_darknet_rejects_recurrent(self):
+        with pytest.raises(IncompatibleModelError):
+            load_framework("DarkNet").deploy(load_model("CharRNN-LSTM"),
+                                             load_device("Jetson TX2"))
+
+    @pytest.mark.parametrize("framework_name", ["TensorFlow", "PyTorch", "TensorRT"])
+    def test_modern_stacks_deploy_rnns(self, framework_name):
+        device = load_device("Jetson TX2" if framework_name != "TensorRT" else "Jetson Nano")
+        deployed = load_framework(framework_name).deploy(load_model("LSTM-PTB"), device)
+        assert deployed.storage_mode == "resident"
+
+
+class TestRecurrentPerformanceShape:
+    def test_rnns_fill_gpus_poorly(self, session_factory):
+        """Effective peak fraction collapses vs a CNN on the same stack."""
+        rnn = session_factory("LSTM-PTB", "Jetson TX2", "PyTorch")
+        cnn = session_factory("ResNet-50", "Jetson TX2", "PyTorch")
+
+        def peak_fraction(session):
+            rate = session.deployed.graph.total_macs / session.latency_s
+            return rate / session.deployed.unit.peak(session.deployed.weight_dtype)
+
+        assert peak_fraction(rnn) < peak_fraction(cnn) / 3
+
+    def test_embedding_traffic_not_whole_table(self, session_factory):
+        session = session_factory("LSTM-PTB", "Jetson TX2", "PyTorch")
+        emb_timing = next(t for t in session.plan.timings
+                          if t.op.category.value == "embedding")
+        full_table_s = (session.deployed.graph.op("embedding_1").weight_bytes()
+                        / session.deployed.device.memory.bandwidth_bytes_per_s)
+        assert emb_timing.memory_s < full_table_s / 10

@@ -1,0 +1,52 @@
+"""Model registry behaviour."""
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.models import list_models, load_model
+
+
+class TestRegistry:
+    def test_all_table1_models_present(self):
+        names = set(list_models())
+        for expected in ("ResNet-18", "ResNet-50", "ResNet-101", "Xception",
+                         "MobileNet-v1", "MobileNet-v2", "Inception-v4",
+                         "AlexNet", "VGG16", "VGG19", "VGG-S 224x224",
+                         "VGG-S 32x32", "CifarNet 32x32", "SSD MobileNet-v1",
+                         "C3D", "YOLOv3", "TinyYolo"):
+            assert expected in names
+
+    def test_loads_are_fresh_instances(self):
+        first = load_model("ResNet-18")
+        second = load_model("ResNet-18")
+        assert first is not second
+        first.op("conv_1").weight_sparsity = 0.5
+        assert second.op("conv_1").weight_sparsity == 0.0
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("resnet18", "ResNet-18"),
+        ("ssd", "SSD MobileNet-v1"),
+        ("yolo", "YOLOv3"),
+        ("cifarnet", "CifarNet 32x32"),
+    ])
+    def test_aliases(self, alias, canonical):
+        assert load_model(alias).metadata["zoo_name"] == canonical
+
+    def test_unknown_model_suggests(self):
+        with pytest.raises(UnknownEntryError):
+            load_model("ResNet-1800")
+
+    def test_metadata_flags(self):
+        assert load_model("C3D").metadata["conv3d"] is True
+        assert load_model("SSD MobileNet-v1").metadata["extra_image_library"] is True
+        assert load_model("ResNet-18").metadata["finn_binarized_available"] is True
+        assert load_model("ResNet-50").metadata["qat_available"] is True
+        assert load_model("AlexNet").metadata["qat_available"] is False
+
+    def test_every_model_builds_and_validates(self):
+        for name in list_models():
+            graph = load_model(name)
+            assert graph.total_params > 0, name
+            assert graph.total_macs > 0, name
+            assert graph.inputs, name
+            assert graph.outputs, name

@@ -1,0 +1,49 @@
+"""StackProfile container behaviour."""
+
+import pytest
+
+from repro.profiling.profiler import ProfileEntry, StackProfile
+
+
+def _profile() -> StackProfile:
+    profile = StackProfile("TF", "RPi", "ResNet-18", 30)
+    profile.add("conv2d", "per-inference", 8.0, calls=30)
+    profile.add("import", "one-time", 2.0)
+    return profile
+
+
+class TestStackProfile:
+    def test_total(self):
+        assert _profile().total_s == 10.0
+
+    def test_fractions_sum_to_one(self):
+        fractions = _profile().fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["conv2d"] == pytest.approx(0.8)
+
+    def test_fraction_of_missing_bucket_is_zero(self):
+        assert _profile().fraction("nonexistent") == 0.0
+
+    def test_zero_time_entries_hidden(self):
+        profile = _profile()
+        profile.add("never_ran", "one-time", 0.0)
+        assert "never_ran" not in profile.fractions()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            _profile().add("bad", "one-time", -1.0)
+
+    def test_top_sorted_descending(self):
+        top = _profile().top(2)
+        assert [e.function for e in top] == ["conv2d", "import"]
+
+    def test_per_call_time(self):
+        entry = ProfileEntry("conv2d", "per-inference", 9.0, calls=30)
+        assert entry.per_call_s == pytest.approx(0.3)
+
+    def test_render_mentions_buckets(self):
+        text = _profile().render()
+        assert "conv2d" in text and "80.0%" in text
+
+    def test_empty_profile_fractions(self):
+        assert StackProfile("x", "y", "z", 1).fractions() == {}

@@ -1,0 +1,86 @@
+"""Framework stack-profile builders (Figure 5)."""
+
+import pytest
+
+from repro.profiling import profile_stack
+
+
+class TestDispatch:
+    def test_rejects_nonpositive_runs(self, session_factory):
+        session = session_factory("ResNet-18", "Jetson TX2", "PyTorch")
+        with pytest.raises(ValueError):
+            profile_stack(session, 0)
+
+    def test_metadata_recorded(self, session_factory):
+        session = session_factory("ResNet-18", "Jetson TX2", "PyTorch")
+        profile = profile_stack(session, 100)
+        assert profile.framework == "PyTorch"
+        assert profile.device == "Jetson TX2"
+        assert profile.model == "ResNet-18"
+        assert profile.n_inferences == 100
+
+
+class TestPyTorchStack:
+    def test_rpi_buckets(self, session_factory):
+        session = session_factory("ResNet-18", "Raspberry Pi 3B", "PyTorch")
+        fractions = profile_stack(session, 30).fractions()
+        assert "conv2d" in fractions and "batch_norm" in fractions
+        assert "_C._TensorBase.to()" not in fractions  # no GPU on RPi
+
+    def test_tx2_has_staging_bucket(self, session_factory):
+        session = session_factory("ResNet-18", "Jetson TX2", "PyTorch")
+        fractions = profile_stack(session, 1000).fractions()
+        assert fractions["_C._TensorBase.to()"] > 0.2
+
+    def test_conv2d_dominates_rpi_runtime(self, session_factory):
+        """Section VI-B3: conv2d accounts for ~81% of the PyTorch RPi run."""
+        session = session_factory("ResNet-18", "Raspberry Pi 3B", "PyTorch")
+        profile = profile_stack(session, 30)
+        assert profile.fraction("conv2d") > 0.55
+
+    def test_per_inference_buckets_scale_with_runs(self, session_factory):
+        session = session_factory("ResNet-18", "Jetson TX2", "PyTorch")
+        few = profile_stack(session, 10)
+        many = profile_stack(session, 1000)
+        conv_few = next(e for e in few.entries if e.function == "conv2d")
+        conv_many = next(e for e in many.entries if e.function == "conv2d")
+        assert conv_many.total_s == pytest.approx(100 * conv_few.total_s)
+        # One-time work does not scale.
+        import_few = next(e for e in few.entries if e.function == "<built-in import>")
+        import_many = next(e for e in many.entries if e.function == "<built-in import>")
+        assert import_few.total_s == import_many.total_s
+
+    def test_linear_bucket_for_dense_models(self, session_factory):
+        session = session_factory("VGG16", "Jetson TX2", "PyTorch")
+        assert profile_stack(session, 100).fraction("linear") > 0.0
+
+
+class TestTensorFlowStack:
+    def test_rpi_graph_setup_dominates_short_profiles(self, session_factory):
+        """Figure 5b: base_layer is the largest bucket over 30 inferences."""
+        session = session_factory("ResNet-18", "Raspberry Pi 3B", "TensorFlow")
+        profile = profile_stack(session, 30)
+        fractions = profile.fractions()
+        assert fractions["base_layer"] == max(fractions.values())
+
+    def test_run_bucket_grows_with_inferences(self, session_factory):
+        session = session_factory("ResNet-18", "Jetson TX2", "TensorFlow")
+        short = profile_stack(session, 30).fraction("TF_SessionRunCallable")
+        long = profile_stack(session, 1000).fraction("TF_SessionRunCallable")
+        assert long > short
+
+    def test_all_paper_buckets_present(self, session_factory):
+        session = session_factory("ResNet-18", "Raspberry Pi 3B", "TensorFlow")
+        fractions = profile_stack(session, 30).fractions()
+        for bucket in ("Library Loading", "base_layer", "_initialize_variable",
+                       "TF_SessionMakeCallable", "session.__init__",
+                       "TF_SessionRunCallable", "layers & weights"):
+            assert bucket in fractions, bucket
+
+
+class TestGenericStack:
+    def test_other_frameworks_get_generic_buckets(self, session_factory):
+        session = session_factory("ResNet-18", "Jetson Nano", "TensorRT")
+        fractions = profile_stack(session, 100).fractions()
+        assert set(fractions) == {"library loading", "model build",
+                                  "weight load", "inference"}

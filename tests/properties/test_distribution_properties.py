@@ -1,0 +1,123 @@
+"""Property-based tests of the distribution substrate (hypothesis)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import ParetoPoint, pareto_frontier
+from repro.distribution.network import NetworkLink
+
+
+@st.composite
+def point_sets(draw):
+    count = draw(st.integers(1, 12))
+    return [
+        ParetoPoint(
+            label=f"p{i}",
+            latency_s=draw(st.floats(1e-4, 10.0, allow_nan=False)),
+            power_w=draw(st.floats(0.1, 300.0, allow_nan=False)),
+        )
+        for i in range(count)
+    ]
+
+
+class TestParetoProperties:
+    @given(points=point_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_frontier_is_non_dominated(self, points):
+        frontier = pareto_frontier(points)
+        for member in frontier:
+            assert not any(other.dominates(member) for other in points)
+
+    @given(points=point_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_every_excluded_point_is_dominated(self, points):
+        frontier = set(id(p) for p in pareto_frontier(points))
+        # pareto_frontier preserves object identity via list membership.
+        labels = {p.label for p in pareto_frontier(points)}
+        for point in points:
+            if point.label not in labels:
+                assert any(other.dominates(point) for other in points)
+
+    @given(points=point_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_frontier_is_idempotent(self, points):
+        once = pareto_frontier(points)
+        twice = pareto_frontier(once)
+        assert {p.label for p in once} == {p.label for p in twice}
+
+    @given(points=point_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_minimum_on_each_axis_always_included(self, points):
+        frontier_labels = {p.label for p in pareto_frontier(points)}
+        fastest = min(points, key=lambda p: (p.latency_s, p.power_w))
+        frugalest = min(points, key=lambda p: (p.power_w, p.latency_s))
+        assert fastest.label in frontier_labels
+        assert frugalest.label in frontier_labels
+
+
+class TestLinkProperties:
+    @given(
+        bandwidth=st.floats(1e3, 1e10, allow_nan=False),
+        latency=st.floats(0.0, 1.0, allow_nan=False),
+        a=st.floats(0, 1e8),
+        b=st.floats(0, 1e8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_transfer_time_superadditive_in_payload(self, bandwidth, latency, a, b):
+        """Two messages cost at least one combined message (extra latency)."""
+        link = NetworkLink("t", bandwidth, latency)
+        combined = link.transfer_time_s(a + b)
+        split = link.transfer_time_s(a) + link.transfer_time_s(b)
+        assert split >= combined * (1 - 1e-9)
+
+    @given(
+        bandwidth=st.floats(1e3, 1e10, allow_nan=False),
+        latency=st.floats(0.0, 1.0, allow_nan=False),
+        payloads=st.lists(st.floats(0, 1e8), min_size=2, max_size=2),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_payload(self, bandwidth, latency, payloads):
+        link = NetworkLink("t", bandwidth, latency)
+        small, large = sorted(payloads)
+        assert link.transfer_time_s(small) <= link.transfer_time_s(large) + 1e-12
+
+
+class TestPipelineOptimality:
+    def test_dp_matches_brute_force_on_small_chains(self):
+        """The DP's bottleneck equals exhaustive search over all contiguous
+        partitions, for every device count on a real small model."""
+        from repro.distribution import load_link, partition_pipeline
+        from repro.engine import InferenceSession
+        from repro.frameworks import load_framework
+        from repro.hardware import load_device
+        from repro.models.cifarnet import cifarnet
+
+        deployed = load_framework("TensorFlow").deploy(
+            cifarnet(), load_device("Raspberry Pi 3B"))
+        session = InferenceSession(deployed)
+        timings = [t.latency_s for t in session.plan.timings]
+        from repro.distribution.partition import cut_points
+
+        link = load_link("wifi")
+        transfer = [link.transfer_time_s(c.transfer_bytes)
+                    for c in cut_points(deployed.graph)]
+        n = len(timings)
+
+        def brute_force(devices: int) -> float:
+            best = float("inf")
+            for cuts in itertools.combinations(range(1, n), devices - 1):
+                bounds = [0, *cuts, n]
+                bottleneck = 0.0
+                for i in range(devices):
+                    start, end = bounds[i], bounds[i + 1]
+                    compute = sum(timings[start:end])
+                    outgoing = 0.0 if end == n else transfer[end]
+                    bottleneck = max(bottleneck, compute + outgoing)
+                best = min(best, bottleneck)
+            return best
+
+        for devices in (1, 2, 3):
+            plan = partition_pipeline(deployed, devices, link)
+            assert abs(plan.bottleneck_s - brute_force(devices)) < 1e-12, devices

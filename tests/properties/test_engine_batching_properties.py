@@ -1,0 +1,84 @@
+"""Property-based tests of batching and the advisor (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Requirements, recommend_deployments
+from repro.engine import EngineConfig, InferenceSession
+from repro.frameworks import load_framework
+from repro.hardware import load_device
+from repro.models import load_model
+
+_DEPLOYED = {}
+
+
+def _deployed(device_name: str):
+    if device_name not in _DEPLOYED:
+        _DEPLOYED[device_name] = load_framework("PyTorch").deploy(
+            load_model("ResNet-18"), load_device(device_name))
+    return _DEPLOYED[device_name]
+
+
+class TestBatchingProperties:
+    @given(
+        small=st.integers(1, 32),
+        factor=st.integers(2, 8),
+        device=st.sampled_from(["Jetson TX2", "RTX 2080", "Xeon E5-2696 v4"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_per_inference_latency_monotone_in_batch(self, small, factor, device):
+        deployed = _deployed(device)
+        small_session = InferenceSession(deployed, config=EngineConfig(batch_size=small))
+        large_session = InferenceSession(
+            deployed, config=EngineConfig(batch_size=small * factor))
+        assert large_session.latency_s <= small_session.latency_s + 1e-12
+
+    @given(batch=st.integers(1, 64),
+           device=st.sampled_from(["Jetson TX2", "RTX 2080"]))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_never_beats_weightless_compute_bound(self, batch, device):
+        """Per-inference latency is bounded below by pure compute at full
+        batch-fill efficiency — amortization cannot create free work."""
+        deployed = _deployed(device)
+        session = InferenceSession(deployed, config=EngineConfig(batch_size=batch))
+        peak = deployed.unit.peak(deployed.weight_dtype)
+        floor = deployed.graph.total_macs / peak  # efficiency 1.0
+        assert session.latency_s >= floor
+
+
+class TestAdvisorProperties:
+    @given(
+        deadline_ms=st.one_of(st.none(), st.floats(1.0, 5000.0)),
+        power_w=st.one_of(st.none(), st.floats(0.5, 20.0)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_feasible_first_and_constraints_respected(self, deadline_ms, power_w):
+        requirements = Requirements(
+            deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+            power_budget_w=power_w,
+        )
+        results = recommend_deployments("MobileNet-v2", requirements,
+                                        devices=("Jetson Nano", "EdgeTPU"))
+        seen_infeasible = False
+        for entry in results:
+            if not entry.feasible:
+                seen_infeasible = True
+            else:
+                assert not seen_infeasible  # feasible block is a prefix
+                if requirements.deadline_s is not None:
+                    assert entry.latency_s <= requirements.deadline_s
+                if power_w is not None:
+                    assert entry.power_w <= power_w
+
+    @given(deadline_ms=st.floats(1.0, 5000.0))
+    @settings(max_examples=25, deadline=None)
+    def test_tightening_constraints_never_adds_options(self, deadline_ms):
+        loose = recommend_deployments(
+            "MobileNet-v2", Requirements(deadline_s=deadline_ms / 1e3),
+            devices=("Jetson Nano", "EdgeTPU"))
+        tight = recommend_deployments(
+            "MobileNet-v2", Requirements(deadline_s=deadline_ms / 2e3),
+            devices=("Jetson Nano", "EdgeTPU"))
+        loose_ok = sum(1 for r in loose if r.feasible)
+        tight_ok = sum(1 for r in tight if r.feasible)
+        assert tight_ok <= loose_ok

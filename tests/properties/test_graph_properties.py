@@ -1,0 +1,113 @@
+"""Property-based tests of the graph IR (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import GraphBuilder
+from repro.graphs.tensor import DType, TensorShape, conv_output_length
+from repro.graphs.transforms import fuse_graph, prune_graph, quantize_graph
+
+
+@st.composite
+def conv_chains(draw):
+    """A random sequential CNN: input + N conv(+bn+act) stages."""
+    channels = draw(st.integers(1, 8))
+    size = draw(st.sampled_from([8, 16, 32]))
+    builder = GraphBuilder("random")
+    x = builder.input((channels, size, size))
+    for _ in range(draw(st.integers(1, 5))):
+        out_channels = draw(st.integers(1, 16))
+        kernel = draw(st.sampled_from([1, 3, 5]))
+        stride = draw(st.sampled_from([1, 2]))
+        with_bn = draw(st.booleans())
+        if with_bn:
+            x = builder.conv_bn_act(x, out_channels, kernel, stride=stride)
+        else:
+            x = builder.conv2d(x, out_channels, kernel, stride=stride)
+    return builder.build()
+
+
+class TestConvArithmetic:
+    @given(
+        length=st.integers(1, 512),
+        kernel=st.integers(1, 11),
+        stride=st.integers(1, 4),
+    )
+    def test_same_padding_is_ceil_division(self, length, kernel, stride):
+        assert conv_output_length(length, kernel, stride, "same") == math.ceil(length / stride)
+
+    @given(
+        length=st.integers(16, 512),
+        kernel=st.integers(1, 7),
+        stride=st.integers(1, 4),
+        pad=st.integers(0, 3),
+    )
+    def test_explicit_padding_never_exceeds_same_plus_pad(self, length, kernel, stride, pad):
+        out = conv_output_length(length, kernel, stride, pad)
+        assert 1 <= out <= math.ceil((length + 2 * pad) / stride)
+
+
+class TestShapeProperties:
+    @given(dims=st.lists(st.integers(1, 64), min_size=1, max_size=4))
+    def test_numel_is_product(self, dims):
+        shape = TensorShape(*dims)
+        assert shape.numel == math.prod(dims)
+
+    @given(dims=st.lists(st.integers(1, 64), min_size=1, max_size=4))
+    def test_bytes_monotone_in_dtype_width(self, dims):
+        shape = TensorShape(*dims)
+        assert (shape.bytes(DType.BINARY) <= shape.bytes(DType.INT8)
+                <= shape.bytes(DType.FP16) <= shape.bytes(DType.FP32))
+
+
+class TestGraphInvariants:
+    @given(graph=conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_totals_are_sums(self, graph):
+        assert graph.total_params == sum(op.params for op in graph.ops)
+        assert graph.total_macs == sum(op.macs for op in graph.ops)
+
+    @given(graph=conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_fusion_preserves_accounting(self, graph):
+        fused = fuse_graph(graph)
+        assert fused.total_params == graph.total_params
+        assert fused.total_macs == graph.total_macs
+        assert len(fused.schedulable_ops()) <= len(graph.schedulable_ops())
+
+    @given(graph=conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_fusion_never_raises_peak_memory(self, graph):
+        assert fuse_graph(graph).peak_activation_bytes() <= graph.peak_activation_bytes()
+
+    @given(graph=conv_chains(), dtype=st.sampled_from([DType.FP16, DType.INT8]))
+    @settings(max_examples=40, deadline=None)
+    def test_quantization_shrinks_weights(self, graph, dtype):
+        quantized = quantize_graph(graph, dtype)
+        assert quantized.weight_bytes() <= graph.weight_bytes()
+        assert quantized.total_params == graph.total_params
+
+    @given(graph=conv_chains(), sparsity=st.floats(0.0, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_pruning_monotone(self, graph, sparsity):
+        pruned = prune_graph(graph, sparsity)
+        for op, original in zip(pruned.ops, graph.ops):
+            assert op.effective_macs(True) <= original.macs
+            assert op.effective_weight_bytes(True) <= original.weight_bytes()
+
+    @given(graph=conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_peak_memory_bounded_by_total_activations(self, graph):
+        total = sum(op.output_bytes() for op in graph.ops)
+        peak = graph.peak_activation_bytes()
+        assert 0 < peak <= total
+
+    @given(graph=conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_clone_equivalence(self, graph):
+        clone = graph.clone()
+        assert clone.total_params == graph.total_params
+        assert clone.total_macs == graph.total_macs
+        assert [op.name for op in clone.ops] == [op.name for op in graph.ops]

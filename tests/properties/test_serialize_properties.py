@@ -1,0 +1,66 @@
+"""Property-based serialization round-trips on random graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import GraphBuilder
+from repro.graphs.serialize import graph_from_dict, graph_to_dict
+from repro.graphs.tensor import DType
+from repro.graphs.transforms import fuse_graph, prune_graph, quantize_graph
+
+
+@st.composite
+def random_graphs(draw):
+    """Random CNNs with optional residuals and a classifier head."""
+    b = GraphBuilder("random")
+    size = draw(st.sampled_from([16, 32]))
+    x = b.input((3, size, size))
+    for _ in range(draw(st.integers(1, 4))):
+        out_channels = draw(st.integers(2, 16))
+        kind = draw(st.sampled_from(["conv", "conv_bn", "residual", "pool"]))
+        if kind == "conv":
+            x = b.conv2d(x, out_channels, draw(st.sampled_from([1, 3])))
+            x = b.relu(x)
+        elif kind == "conv_bn":
+            x = b.conv_bn_act(x, out_channels, 3)
+        elif kind == "residual":
+            branch = b.conv_bn_act(x, x.output_shape.channels, 3)
+            x = b.add(branch, x)
+        else:
+            if min(x.output_shape.spatial) >= 4:
+                x = b.max_pool(x, 2, stride=2)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, draw(st.integers(2, 100)))
+    b.softmax(x)
+    return b.build()
+
+
+class TestRoundTripProperties:
+    @given(graph=random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_plain_round_trip(self, graph):
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.total_params == graph.total_params
+        assert restored.total_macs == graph.total_macs
+        assert restored.peak_activation_bytes() == graph.peak_activation_bytes()
+
+    @given(graph=random_graphs(),
+           dtype=st.sampled_from([DType.FP16, DType.INT8]),
+           sparsity=st.floats(0.0, 0.9))
+    @settings(max_examples=50, deadline=None)
+    def test_transformed_round_trip(self, graph, dtype, sparsity):
+        transformed = prune_graph(quantize_graph(fuse_graph(graph), dtype), sparsity)
+        restored = graph_from_dict(graph_to_dict(transformed))
+        assert restored.weight_bytes() == transformed.weight_bytes()
+        assert (len(restored.schedulable_ops())
+                == len(transformed.schedulable_ops()))
+        for a, b in zip(restored.ops, transformed.ops):
+            assert a.weight_sparsity == b.weight_sparsity
+            assert a.is_fused_away == b.is_fused_away
+
+    @given(graph=random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_double_round_trip_is_stable(self, graph):
+        once = graph_to_dict(graph)
+        twice = graph_to_dict(graph_from_dict(once))
+        assert once == twice

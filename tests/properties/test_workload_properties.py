@@ -1,0 +1,82 @@
+"""Property-based tests of the serving simulation (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import PeriodicArrivals, PoissonArrivals, simulate_serving
+
+
+class TestServingProperties:
+    @given(
+        rate=st.floats(1.0, 100.0),
+        service=st.floats(1e-4, 0.5),
+        horizon=st.floats(5.0, 30.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sojourn_at_least_service(self, rate, service, horizon):
+        arrivals = PeriodicArrivals(rate).generate(horizon)
+        stats = simulate_serving(arrivals, service)
+        assert stats.p50_sojourn_s >= service - 1e-12
+        assert stats.mean_sojourn_s >= service - 1e-12
+
+    @given(
+        rate=st.floats(1.0, 50.0),
+        service=st.floats(1e-4, 0.5),
+        horizon=st.floats(5.0, 30.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_percentiles_ordered(self, rate, service, horizon):
+        arrivals = PoissonArrivals(rate, seed=1).generate(horizon)
+        stats = simulate_serving(arrivals, service)
+        assert (stats.p50_sojourn_s <= stats.p95_sojourn_s
+                <= stats.p99_sojourn_s + 1e-12)
+
+    @given(
+        rate=st.floats(1.0, 50.0),
+        service=st.floats(1e-4, 0.1),
+        horizon=st.floats(5.0, 20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_bounded(self, rate, service, horizon):
+        arrivals = PoissonArrivals(rate, seed=2).generate(horizon)
+        stats = simulate_serving(arrivals, service)
+        assert 0.0 < stats.utilization <= 1.0 + 1e-9
+
+    @given(
+        rate=st.floats(5.0, 50.0),
+        horizon=st.floats(5.0, 20.0),
+        slow_factor=st.floats(1.1, 5.0),
+        service=st.floats(1e-4, 0.01),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_slower_service_never_reduces_sojourn(self, rate, horizon, slow_factor, service):
+        arrivals = PoissonArrivals(rate, seed=3).generate(horizon)
+        fast = simulate_serving(arrivals, service)
+        slow = simulate_serving(arrivals, service * slow_factor)
+        assert slow.mean_sojourn_s >= fast.mean_sojourn_s - 1e-12
+
+    @given(
+        count=st.integers(1, 50),
+        capacity=st.integers(0, 10),
+        service=st.floats(1e-3, 0.1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_accounting(self, count, capacity, service):
+        """Simultaneous arrivals: exactly capacity+1 are admitted."""
+        stats = simulate_serving(np.zeros(count), service, queue_capacity=capacity)
+        assert stats.completed == min(count, capacity + 1)
+        assert stats.completed + stats.dropped == count
+
+    @given(
+        rate=st.floats(1.0, 30.0),
+        service=st.floats(1e-4, 0.01),
+        horizon=st.floats(5.0, 15.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unbounded_equals_huge_capacity(self, rate, service, horizon):
+        arrivals = PoissonArrivals(rate, seed=4).generate(horizon)
+        unbounded = simulate_serving(arrivals, service)
+        capped = simulate_serving(arrivals, service, queue_capacity=10**6)
+        assert unbounded.mean_sojourn_s == capped.mean_sojourn_s
+        assert capped.dropped == 0

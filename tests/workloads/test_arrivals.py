@@ -1,0 +1,68 @@
+"""Arrival process generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import BurstyArrivals, PeriodicArrivals, PoissonArrivals
+
+
+class TestPeriodic:
+    def test_exact_rate(self):
+        times = PeriodicArrivals(30.0).generate(10.0)
+        assert len(times) == 300
+        assert np.allclose(np.diff(times), 1 / 30.0)
+
+    def test_jitter_stays_sorted_and_in_horizon(self):
+        times = PeriodicArrivals(30.0, jitter_fraction=0.5, seed=1).generate(10.0)
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicArrivals(0.0)
+        with pytest.raises(ValueError):
+            PeriodicArrivals(1.0, jitter_fraction=1.0)
+        with pytest.raises(ValueError):
+            PeriodicArrivals(1.0).generate(0.0)
+
+
+class TestPoisson:
+    def test_mean_rate_converges(self):
+        times = PoissonArrivals(50.0, seed=2).generate(200.0)
+        assert len(times) == pytest.approx(50.0 * 200.0, rel=0.05)
+
+    def test_sorted_within_horizon(self):
+        times = PoissonArrivals(10.0, seed=3).generate(30.0)
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] < 30.0
+
+    def test_deterministic_per_seed(self):
+        a = PoissonArrivals(10.0, seed=4).generate(10.0)
+        b = PoissonArrivals(10.0, seed=4).generate(10.0)
+        assert np.array_equal(a, b)
+
+    def test_exponential_gaps(self):
+        times = PoissonArrivals(100.0, seed=5).generate(100.0)
+        gaps = np.diff(times)
+        # Exponential: mean == std (coefficient of variation 1).
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, abs=0.1)
+
+
+class TestBursty:
+    def test_burst_multiplicity(self):
+        arrivals = BurstyArrivals(burst_rate_hz=2.0, burst_size=5, seed=6)
+        times = arrivals.generate(100.0)
+        # Each burst instant repeats burst_size times.
+        unique, counts = np.unique(times, return_counts=True)
+        assert set(counts) == {5}
+        assert arrivals.rate_hz == 10.0
+
+    def test_total_rate(self):
+        times = BurstyArrivals(5.0, 4, seed=7).generate(200.0)
+        assert len(times) == pytest.approx(5.0 * 4 * 200.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(0.0, 2)
+        with pytest.raises(ValueError):
+            BurstyArrivals(1.0, 0)

@@ -1,0 +1,67 @@
+"""Duty-cycled energy budgeting."""
+
+import pytest
+
+from repro.measurement.energy import active_power_w
+from repro.workloads import duty_cycle_budget
+
+
+class TestDutyCycleBudget:
+    def test_duty_cycle_definition(self, session_factory):
+        session = session_factory("MobileNet-v2", "Jetson Nano", "TensorRT")
+        budget = duty_cycle_budget(session, request_rate_hz=10.0)
+        assert budget.duty_cycle == pytest.approx(10.0 * session.latency_s)
+
+    def test_power_between_idle_and_busy(self, session_factory):
+        session = session_factory("MobileNet-v2", "Jetson Nano", "TensorRT")
+        budget = duty_cycle_budget(session, request_rate_hz=10.0)
+        device = session.deployed.device
+        assert device.power.idle_w < budget.average_power_w < active_power_w(session)
+
+    def test_low_rates_are_idle_dominated(self, session_factory):
+        """At 1 request/minute, idle power owns the budget — the practical
+        point the continuous-inference Figure 11 numbers hide."""
+        session = session_factory("MobileNet-v2", "EdgeTPU", "TFLite")
+        budget = duty_cycle_budget(session, request_rate_hz=1 / 60.0)
+        assert budget.idle_share > 0.99
+        # Per-request energy is enormous compared to the 10 mJ burst cost.
+        assert budget.energy_per_request_j > 100.0
+
+    def test_high_rates_approach_continuous_power(self, session_factory):
+        session = session_factory("MobileNet-v2", "EdgeTPU", "TFLite")
+        capacity = 1.0 / session.latency_s
+        budget = duty_cycle_budget(session, request_rate_hz=0.99 * capacity)
+        assert budget.average_power_w == pytest.approx(
+            active_power_w(session), rel=0.02)
+
+    def test_rate_beyond_capacity_rejected(self, session_factory):
+        session = session_factory("Inception-v4", "Raspberry Pi 3B", "TFLite")
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            duty_cycle_budget(session, request_rate_hz=100.0)
+
+    def test_battery_life(self, session_factory):
+        session = session_factory("MobileNet-v2", "Movidius NCS", "NCSDK")
+        budget = duty_cycle_budget(session, request_rate_hz=1.0)
+        hours = budget.battery_life_hours(20.0)
+        assert hours == pytest.approx(20.0 / budget.average_power_w)
+        with pytest.raises(ValueError):
+            budget.battery_life_hours(0.0)
+
+    def test_daily_energy(self, session_factory):
+        session = session_factory("MobileNet-v2", "Movidius NCS", "NCSDK")
+        budget = duty_cycle_budget(session, request_rate_hz=1.0)
+        assert budget.daily_energy_wh() == pytest.approx(24 * budget.average_power_w)
+
+    def test_frugal_idle_wins_at_low_rates(self, session_factory):
+        """Movidius (0.36 W idle) beats EdgeTPU (3.24 W idle) for sparse
+        workloads even though EdgeTPU wins the per-inference contest."""
+        movidius = duty_cycle_budget(
+            session_factory("MobileNet-v2", "Movidius NCS", "NCSDK"), 0.1)
+        edgetpu = duty_cycle_budget(
+            session_factory("MobileNet-v2", "EdgeTPU", "TFLite"), 0.1)
+        assert movidius.average_power_w < edgetpu.average_power_w
+
+    def test_invalid_rate(self, session_factory):
+        session = session_factory("MobileNet-v2", "EdgeTPU", "TFLite")
+        with pytest.raises(ValueError):
+            duty_cycle_budget(session, request_rate_hz=0.0)

@@ -1,0 +1,97 @@
+"""Serving simulation, validated against queueing theory."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    PeriodicArrivals,
+    PoissonArrivals,
+    QueueStats,
+    simulate_serving,
+)
+
+
+class TestBasics:
+    def test_underloaded_periodic_never_waits(self):
+        arrivals = PeriodicArrivals(10.0).generate(10.0)
+        stats = simulate_serving(arrivals, service_time_s=0.05)
+        assert stats.mean_wait_s == 0.0
+        assert stats.p99_sojourn_s == pytest.approx(0.05)
+        assert stats.max_queue_depth == 1
+        assert stats.dropped == 0
+
+    def test_utilization_equals_rate_times_service(self):
+        arrivals = PeriodicArrivals(10.0).generate(60.0)
+        stats = simulate_serving(arrivals, service_time_s=0.05)
+        assert stats.utilization == pytest.approx(0.5, abs=0.01)
+
+    def test_overload_grows_the_queue(self):
+        arrivals = PeriodicArrivals(30.0).generate(10.0)
+        stats = simulate_serving(arrivals, service_time_s=0.05)  # 1.5x overload
+        assert stats.utilization > 0.99
+        # Last request waits roughly (1.5 - 1) * horizon.
+        assert stats.p99_sojourn_s > 2.0
+        assert stats.max_queue_depth > 50
+
+    def test_back_to_back_service(self):
+        stats = simulate_serving(np.array([0.0, 0.0, 0.0]), service_time_s=1.0)
+        assert stats.mean_sojourn_s == pytest.approx(2.0)  # 1, 2, 3 seconds
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no arrivals"):
+            simulate_serving(np.array([]), 0.1)
+        with pytest.raises(ValueError, match="sorted"):
+            simulate_serving(np.array([1.0, 0.5]), 0.1)
+        with pytest.raises(ValueError, match="service"):
+            simulate_serving(np.array([0.0]), 0.0)
+
+
+class TestDropPolicy:
+    def test_capacity_drops_excess(self):
+        # 5 simultaneous arrivals, queue holds 1 waiting + 1 in service.
+        stats = simulate_serving(np.zeros(5), service_time_s=1.0, queue_capacity=1)
+        assert stats.completed == 2
+        assert stats.dropped == 3
+        assert stats.drop_fraction == pytest.approx(0.6)
+
+    def test_unbounded_queue_never_drops(self):
+        stats = simulate_serving(np.zeros(100), service_time_s=0.01)
+        assert stats.dropped == 0
+
+    def test_deadline_check_fails_on_drops(self):
+        stats = simulate_serving(np.zeros(5), service_time_s=1.0, queue_capacity=0)
+        assert not stats.meets_deadline(10.0)
+
+
+class TestDeadline:
+    def test_meets_deadline_percentiles(self):
+        arrivals = PeriodicArrivals(10.0).generate(10.0)
+        stats = simulate_serving(arrivals, service_time_s=0.02)
+        assert stats.meets_deadline(0.05, percentile=0.99)
+        assert not stats.meets_deadline(0.01, percentile=0.99)
+        with pytest.raises(ValueError):
+            stats.meets_deadline(0.05, percentile=0.42)
+
+
+class TestAgainstTheory:
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+    def test_md1_waiting_time_matches_pollaczek_khinchine(self, rho):
+        """M/D/1: E[W] = rho * s / (2 * (1 - rho))."""
+        service = 0.01
+        rate = rho / service
+        arrivals = PoissonArrivals(rate, seed=11).generate(2000.0)
+        stats = simulate_serving(arrivals, service_time_s=service)
+        expected_wait = rho * service / (2 * (1 - rho))
+        assert stats.mean_wait_s == pytest.approx(expected_wait, rel=0.15)
+
+    def test_sojourn_is_wait_plus_service(self):
+        arrivals = PoissonArrivals(40.0, seed=12).generate(500.0)
+        stats = simulate_serving(arrivals, service_time_s=0.01)
+        assert stats.mean_sojourn_s == pytest.approx(stats.mean_wait_s + 0.01, rel=1e-6)
+
+    def test_jittered_service_increases_waits(self):
+        """Service-time variance raises queueing delay (P-K's second term)."""
+        arrivals = PoissonArrivals(60.0, seed=13).generate(1000.0)
+        deterministic = simulate_serving(arrivals, 0.01)
+        jittered = simulate_serving(arrivals, 0.01, service_jitter_fraction=0.5, seed=13)
+        assert jittered.mean_wait_s > deterministic.mean_wait_s
