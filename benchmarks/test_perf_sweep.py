@@ -1,0 +1,82 @@
+"""Sweep-engine performance: uncached vs cold vs warm full-suite export.
+
+Not a paper artifact: this guards the perf_opt work on the sweep hot path
+(engine memoization + vectorized roofline + cached plan totals).  It runs
+the whole registry three ways —
+
+* **uncached** — memoization bypassed, every graph/deployment/plan rebuilt;
+* **cold** — caches enabled but empty (first sweep of a process);
+* **warm** — caches populated (every later sweep, and every figure that
+  revisits cells an earlier figure already priced);
+
+asserts the warm path wins by the ISSUE's >= 3x bar while staying
+bit-identical, and records the numbers in ``BENCH_sweep.json`` at the repo
+root so regressions show up in review diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.harness.registry import list_experiments
+from repro.harness.suite import compare_results, export_results
+from repro.engine.cache import (
+    cache_stats,
+    caching_disabled,
+    clear_caches,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+MIN_WARM_SPEEDUP = 3.0
+
+
+def _timed_export():
+    start = time.perf_counter()
+    snapshot = export_results()
+    return snapshot, time.perf_counter() - start
+
+
+def test_sweep_cache_speedup_and_identity():
+    clear_caches()
+    with caching_disabled():
+        uncached_snapshot, uncached_s = _timed_export()
+
+    clear_caches()
+    cold_snapshot, cold_s = _timed_export()
+    cold_stats = cache_stats()
+
+    warm_snapshot, warm_s = _timed_export()
+    warm_stats = cache_stats()
+    clear_caches()
+
+    # The caches were exercised: cold run populates, warm run mostly hits.
+    assert cold_stats["deploy"]["entries"] > 0
+    for cache in ("graph", "deploy", "plan"):
+        assert warm_stats[cache]["hit_rate"] > 0, cache
+    assert warm_stats["deploy"]["hits"] > warm_stats["deploy"]["misses"]
+
+    # Observationally invisible: all three snapshots byte-identical.
+    assert compare_results(uncached_snapshot, cold_snapshot,
+                           rel_tolerance=0.0) == []
+    assert warm_snapshot == cold_snapshot
+
+    # The point of the exercise: warm sweeps beat the uncached baseline.
+    speedup_warm = uncached_s / warm_s
+    assert speedup_warm >= MIN_WARM_SPEEDUP, (
+        f"warm export {warm_s:.3f}s vs uncached {uncached_s:.3f}s "
+        f"({speedup_warm:.1f}x < {MIN_WARM_SPEEDUP}x)")
+
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "full-suite export_results()",
+        "experiments": len(list_experiments()),
+        "uncached_s": round(uncached_s, 4),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup_cold": round(uncached_s / cold_s, 2),
+        "speedup_warm": round(speedup_warm, 2),
+        "min_warm_speedup": MIN_WARM_SPEEDUP,
+        "warm_cache_stats": warm_stats,
+        "identical_at_zero_tolerance": True,
+    }, indent=1) + "\n")

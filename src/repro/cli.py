@@ -7,6 +7,7 @@ Usage::
     python -m repro run --all                 # the whole paper
     python -m repro time ResNet-18 "Jetson Nano" TensorRT
     python -m repro compat                    # Table V matrix
+    python -m repro suite --jobs 4 --stats    # parallel sweep + cache stats
 """
 
 from __future__ import annotations
@@ -110,6 +111,40 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"       {result.evidence}")
     print(f"\n{len(results) - failures}/{len(results)} claims hold")
     return 0 if failures == 0 else 1
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.engine.cache import cache_stats, set_caching
+    from repro.harness.sweep_runner import run_sweep
+
+    if args.no_cache:
+        set_caching(False)
+    try:
+        result = run_sweep(args.experiments or None, jobs=args.jobs,
+                           executor=args.executor)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if args.no_cache:
+            set_caching(True)
+    print(result.describe())
+    if args.stats:
+        print("\ncache statistics (this process):")
+        for name, stats in cache_stats().items():
+            print(f"  {name:7s} entries={stats['entries']:4d} "
+                  f"hits={stats['hits']:5d} misses={stats['misses']:5d} "
+                  f"hit_rate={stats['hit_rate']:.1%}")
+        if args.executor == "process" and args.jobs > 1:
+            print("  (process workers keep their own caches; "
+                  "worker-side hits are not visible here)")
+    if args.output:
+        Path(args.output).write_text(json.dumps(result.snapshot, indent=1))
+        print(f"\nwrote {args.output}")
+    return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -223,6 +258,23 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("experiments", nargs="*",
                                help="experiment ids (default: all)")
     export_parser.set_defaults(handler=_cmd_export)
+
+    suite_parser = subparsers.add_parser(
+        "suite", help="run the experiment suite through the sweep runner")
+    suite_parser.add_argument("experiments", nargs="*",
+                              help="experiment ids (default: all)")
+    suite_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker count (default 1 = serial)")
+    suite_parser.add_argument("--executor", choices=("thread", "process"),
+                              default="thread",
+                              help="pool flavour for --jobs > 1")
+    suite_parser.add_argument("--stats", action="store_true",
+                              help="print memoization hit/miss statistics")
+    suite_parser.add_argument("--output", metavar="PATH",
+                              help="also write the snapshot JSON to PATH")
+    suite_parser.add_argument("--no-cache", action="store_true",
+                              help="bypass the engine memoization layer")
+    suite_parser.set_defaults(handler=_cmd_suite)
 
     calibration_parser = subparsers.add_parser(
         "calibration", help="show the anchor-calibration fit report")

@@ -9,8 +9,17 @@ combination is a prediction.
 """
 
 from repro.engine.executor import EngineConfig, ExecutionPlan, InferenceSession, OpTiming
-from repro.engine.roofline import RooflineInputs, time_op
+from repro.engine.roofline import RooflineInputs, time_op, time_ops
 from repro.engine.calibration import ANCHORS, efficiency_scale
+from repro.engine.cache import (
+    cache_stats,
+    cached_deploy,
+    cached_graph,
+    caching_disabled,
+    caching_enabled,
+    clear_caches,
+    set_caching,
+)
 
 __all__ = [
     "ANCHORS",
@@ -19,6 +28,14 @@ __all__ = [
     "InferenceSession",
     "OpTiming",
     "RooflineInputs",
+    "cache_stats",
+    "cached_deploy",
+    "cached_graph",
+    "caching_disabled",
+    "caching_enabled",
+    "clear_caches",
     "efficiency_scale",
+    "set_caching",
     "time_op",
+    "time_ops",
 ]

@@ -10,6 +10,8 @@ power draw).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
+from typing import NamedTuple
 
 from repro.core.errors import OutOfMemoryError
 from repro.frameworks.base import DeployedModel
@@ -18,7 +20,7 @@ from repro.engine.roofline import (
     ON_CHIP_BANDWIDTH_MULTIPLIER,
     OpTiming,
     RooflineInputs,
-    time_op,
+    time_ops,
 )
 from repro.graphs.tensor import DType
 
@@ -54,42 +56,70 @@ class EngineConfig:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
 
+class _PlanTotals(NamedTuple):
+    """Aggregates over a plan's timings, computed in one pass."""
+
+    compute_s: float
+    memory_s: float
+    dispatch_s: float
+    roofline_s: float
+    op_latency_s: float
+    bound_roofline_s: dict[str, float]
+
+
 @dataclass
 class ExecutionPlan:
-    """Per-op timings plus aggregate decomposition for one inference."""
+    """Per-op timings plus aggregate decomposition for one inference.
+
+    Aggregates are summed once on first access and cached; ``timings`` must
+    not be mutated after that (plans from the memoization layer are shared,
+    so treat them as immutable anyway).
+    """
 
     timings: list[OpTiming] = field(default_factory=list)
     session_overhead_s: float = 0.0
     input_transfer_s: float = 0.0
 
+    @cached_property
+    def _totals(self) -> _PlanTotals:
+        compute = memory = dispatch = roofline = op_latency = 0.0
+        bound = {"compute": 0.0, "memory": 0.0}
+        for t in self.timings:
+            roof = t.roofline_s
+            compute += t.compute_s
+            memory += t.memory_s
+            dispatch += t.dispatch_s
+            roofline += roof
+            op_latency += t.latency_s
+            bound[t.bound] += roof
+        return _PlanTotals(compute, memory, dispatch, roofline, op_latency, bound)
+
     @property
     def compute_s(self) -> float:
-        return sum(t.compute_s for t in self.timings)
+        return self._totals.compute_s
 
     @property
     def memory_s(self) -> float:
-        return sum(t.memory_s for t in self.timings)
+        return self._totals.memory_s
 
     @property
     def dispatch_s(self) -> float:
-        return sum(t.dispatch_s for t in self.timings)
+        return self._totals.dispatch_s
 
     @property
     def roofline_s(self) -> float:
-        return sum(t.roofline_s for t in self.timings)
+        return self._totals.roofline_s
 
     @property
     def latency_s(self) -> float:
-        return self.session_overhead_s + self.input_transfer_s + sum(
-            t.latency_s for t in self.timings
-        )
+        return self.session_overhead_s + self.input_transfer_s + self._totals.op_latency_s
 
     def bound_fraction(self, bound: str) -> float:
         """Fraction of roofline time spent in ``"compute"``/``"memory"``-bound ops."""
-        total = self.roofline_s
-        if total == 0:
+        totals = self._totals
+        if totals.roofline_s == 0:
             return 0.0
-        return sum(t.roofline_s for t in self.timings if t.bound == bound) / total
+        return totals.bound_roofline_s.get(bound, 0.0) / totals.roofline_s
 
 
 class InferenceSession:
@@ -169,6 +199,14 @@ class InferenceSession:
         )
 
     def _build_plan(self) -> ExecutionPlan:
+        from repro.engine import cache as engine_cache
+
+        key = engine_cache.plan_key(self.deployed, self.config, self.efficiency_scale)
+        if key is None:
+            return self._compute_plan()
+        return engine_cache.PLAN_CACHE.get_or_build(key, self._compute_plan)
+
+    def _compute_plan(self) -> ExecutionPlan:
         from repro.graphs.ops import Input
 
         deployed = self.deployed
@@ -178,12 +216,12 @@ class InferenceSession:
         session_overhead = deployed.session_overhead_s / config.batch_size
         if not config.include_framework_overheads:
             session_overhead = 0.0
-        plan = ExecutionPlan(session_overhead_s=session_overhead)
 
+        input_transfer_s = 0.0
         if deployed.device.transfer is not None:
             input_bytes = sum(op.output_bytes() for op in deployed.graph.inputs)
             output_bytes = sum(op.output_bytes() for op in deployed.graph.outputs)
-            plan.input_transfer_s = deployed.device.transfer.transfer_time_s(
+            input_transfer_s = deployed.device.transfer.transfer_time_s(
                 input_bytes + output_bytes
             )
 
@@ -195,23 +233,27 @@ class InferenceSession:
         if not config.include_framework_overheads:
             per_op_overhead = 0.0
         spill_penalty = 0.5 if deployed.storage_mode == "fabric_spill" else 1.0
-        for op in ops:
-            efficiency = framework.kernel_efficiency(
+        efficiencies = [
+            framework.kernel_efficiency(
                 op, deployed.unit, deployed.weight_dtype, deployed.graph,
                 batch_size=config.batch_size,
             ) * self.efficiency_scale * spill_penalty
-            plan.timings.append(
-                time_op(
-                    op,
-                    inputs,
-                    efficiency=efficiency,
-                    exploit_sparsity=deployed.exploit_sparsity,
-                    per_op_overhead_s=per_op_overhead,
-                    batch_size=config.batch_size,
-                    include_memory_term=config.include_memory_term,
-                )
-            )
-        return plan
+            for op in ops
+        ]
+        timings = time_ops(
+            ops,
+            inputs,
+            efficiencies,
+            exploit_sparsity=deployed.exploit_sparsity,
+            per_op_overhead_s=per_op_overhead,
+            batch_size=config.batch_size,
+            include_memory_term=config.include_memory_term,
+        )
+        return ExecutionPlan(
+            timings=timings,
+            session_overhead_s=session_overhead,
+            input_transfer_s=input_transfer_s,
+        )
 
     # -- user-facing quantities ---------------------------------------------
     @property

@@ -95,6 +95,11 @@ class DeployedModel:
     exploit_sparsity: bool = False
     cpu_scale: float = 1.0
     notes: list[str] = field(default_factory=list)
+    #: set by :func:`repro.engine.cache.cached_deploy` on deployments it owns;
+    #: sessions over such deployments share plan-cache entries.  Deployments
+    #: built directly (and therefore free to be mutated) stay None and are
+    #: never plan-cached.
+    cache_key: tuple | None = None
 
     @property
     def is_paged(self) -> bool:

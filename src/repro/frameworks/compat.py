@@ -18,7 +18,6 @@ from repro.core.errors import (
 )
 from repro.frameworks import load_framework
 from repro.hardware import load_device
-from repro.models import load_model
 
 
 class CompatStatus(enum.Enum):
@@ -99,10 +98,15 @@ def check_compatibility(model_name: str, device_name: str,
 
 
 def _attempt(model_name: str, device, framework_name: str) -> CompatResult:
+    from repro.engine.cache import cached_deploy, cached_graph
+
     framework = load_framework(framework_name)
-    graph = load_model(model_name)
+    graph = cached_graph(model_name)  # only .name is read — never mutated
     try:
-        deployed = framework.deploy(graph, device)
+        # Memoized (outcomes included): the matrix re-attempts the same
+        # cells the figures already deployed, and fallback chains re-pay
+        # the same failures — both become cache hits.
+        deployed = cached_deploy(model_name, device.name, framework.name)
     except IncompatibleModelError as error:
         return CompatResult(graph.name, device.name, framework.name,
                             CompatStatus.CODE_INCOMPATIBILITY, str(error))

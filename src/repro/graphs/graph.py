@@ -65,8 +65,28 @@ class Graph:
         return len(self.ops)
 
     def clone(self) -> "Graph":
-        """Deep copy, so transforms never mutate a shared zoo instance."""
-        return copy.deepcopy(self)
+        """Structural copy, so transforms never mutate a shared zoo instance.
+
+        Ops reference each other only through ``inputs``, ``fused_into`` and
+        ``absorbed``; everything else they hold (shapes, dtypes, scalars) is
+        immutable and safe to share.  Copying each op shallowly and remapping
+        those three fields is equivalent to ``copy.deepcopy`` on a valid
+        graph while skipping the per-attribute recursion that made cloning
+        the dominant cost of a deployment sweep.
+        """
+        mapping = {id(op): copy.copy(op) for op in self.ops}
+        for op in self.ops:
+            cloned = mapping[id(op)]
+            cloned.inputs = [mapping[id(parent)] for parent in op.inputs]
+            if op.fused_into is not None:
+                cloned.fused_into = mapping[id(op.fused_into)]
+            cloned.absorbed = [mapping[id(a)] for a in op.absorbed]
+        # The op list is a valid schedule by construction; skip re-validation.
+        cloned_graph = Graph.__new__(Graph)
+        cloned_graph.name = self.name
+        cloned_graph.ops = [mapping[id(op)] for op in self.ops]
+        cloned_graph.metadata = copy.deepcopy(self.metadata)
+        return cloned_graph
 
     # -- Table I accounting -------------------------------------------------
     @property

@@ -9,9 +9,18 @@ values next to the paper-reported references from
 from repro.harness.registry import EXPERIMENT_REGISTRY, list_experiments, run_experiment
 from repro.harness.report import render_table
 
+
+def run_sweep(*args, **kwargs):
+    """Lazy alias for :func:`repro.harness.sweep_runner.run_sweep`."""
+    from repro.harness.sweep_runner import run_sweep as _run_sweep
+
+    return _run_sweep(*args, **kwargs)
+
+
 __all__ = [
     "EXPERIMENT_REGISTRY",
     "list_experiments",
     "render_table",
     "run_experiment",
+    "run_sweep",
 ]

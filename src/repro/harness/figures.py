@@ -7,10 +7,13 @@ functions are what the ``benchmarks/`` suite drives.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.core.errors import ReproError
+from repro.core.registry import canonical_name
 from repro.core.result import ResultTable, geometric_mean
 from repro.engine import InferenceSession
-from repro.frameworks import load_framework
+from repro.engine.cache import cached_deploy
 from repro.harness import paper_data as paper
 from repro.harness.report import ratio_or_none
 from repro.hardware import load_device
@@ -31,7 +34,25 @@ BEST_FRAMEWORK_CANDIDATES: dict[str, tuple[str, ...]] = {
     "PYNQ-Z1": ("TVM VTA", "FINN"),
 }
 
-_TIMER = InferenceTimer(seed=7)
+def measurement_seed(model_name: str, device_name: str, framework_name: str) -> int:
+    """Deterministic per-(model, device, framework) timer seed.
+
+    A module-level shared timer would make each cell's measurement noise
+    depend on the order experiments run in; hashing the canonical cell
+    names gives every cell its own reproducible noise stream, independent
+    of run order, caching, and worker scheduling.
+    """
+    cell = "|".join((
+        canonical_name(model_name),
+        canonical_name(device_name),
+        canonical_name(framework_name),
+    ))
+    return int.from_bytes(hashlib.blake2s(cell.encode(), digest_size=4).digest(), "big")
+
+
+def cell_timer(model_name: str, device_name: str, framework_name: str) -> InferenceTimer:
+    """The paper-methodology timer seeded for one experiment cell."""
+    return InferenceTimer(seed=measurement_seed(model_name, device_name, framework_name))
 
 
 def measure_latency_s(model_name: str, device_name: str, framework_name: str,
@@ -39,13 +60,14 @@ def measure_latency_s(model_name: str, device_name: str, framework_name: str,
     """Deploy + run the paper's timing loop; returns seconds per inference."""
     session = build_session(model_name, device_name, framework_name)
     if use_timer:
-        return float(_TIMER.measure(session))
+        timer = cell_timer(model_name, device_name, framework_name)
+        return float(timer.measure(session))
     return session.latency_s
 
 
 def build_session(model_name: str, device_name: str, framework_name: str) -> InferenceSession:
-    framework = load_framework(framework_name)
-    deployed = framework.deploy(load_model(model_name), load_device(device_name))
+    """Deploy (through the memoization layer) and build a session."""
+    deployed = cached_deploy(model_name, device_name, framework_name)
     return InferenceSession(deployed)
 
 

@@ -18,26 +18,41 @@ from repro.harness.registry import EXPERIMENT_REGISTRY, list_experiments, run_ex
 SNAPSHOT_VERSION = 1
 
 
-def export_results(experiment_ids: list[str] | None = None) -> dict[str, Any]:
-    """Run experiments and collect their tables into one JSON-safe dict."""
+def experiment_payload(experiment_id: str) -> dict[str, Any]:
+    """Run one experiment and shape its table as a JSON-safe snapshot cell."""
+    experiment = EXPERIMENT_REGISTRY.create(experiment_id)
+    table = run_experiment(experiment_id)
+    return {
+        "paper_reference": experiment.paper_reference,
+        "description": experiment.description,
+        "title": table.title,
+        "columns": table.columns,
+        "rows": table.to_records(),
+        "notes": table.notes,
+    }
+
+
+def export_results(experiment_ids: list[str] | None = None,
+                   jobs: int = 1, executor: str = "thread") -> dict[str, Any]:
+    """Run experiments and collect their tables into one JSON-safe dict.
+
+    ``jobs > 1`` fans the experiments out across the parallel sweep runner
+    (:mod:`repro.harness.sweep_runner`); the snapshot is identical to the
+    serial one — experiment order is preserved and every cell's measurement
+    noise is seeded per-cell, not per-run.
+    """
     ids = experiment_ids or list_experiments()
-    experiments = {}
-    for experiment_id in ids:
-        experiment = EXPERIMENT_REGISTRY.create(experiment_id)
-        table = run_experiment(experiment_id)
-        experiments[experiment_id] = {
-            "paper_reference": experiment.paper_reference,
-            "description": experiment.description,
-            "title": table.title,
-            "columns": table.columns,
-            "rows": table.to_records(),
-            "notes": table.notes,
-        }
+    if jobs > 1:
+        from repro.harness.sweep_runner import run_sweep
+
+        return run_sweep(ids, jobs=jobs, executor=executor).snapshot
+    experiments = {i: experiment_payload(i) for i in ids}
     return {"snapshot_version": SNAPSHOT_VERSION, "experiments": experiments}
 
 
-def save_results(path: str | Path, experiment_ids: list[str] | None = None) -> None:
-    Path(path).write_text(json.dumps(export_results(experiment_ids), indent=1))
+def save_results(path: str | Path, experiment_ids: list[str] | None = None,
+                 jobs: int = 1) -> None:
+    Path(path).write_text(json.dumps(export_results(experiment_ids, jobs=jobs), indent=1))
 
 
 def load_results(path: str | Path) -> dict[str, Any]:

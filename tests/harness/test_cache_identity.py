@@ -1,0 +1,66 @@
+"""Caching is observationally invisible: cached == uncached, bit for bit.
+
+This is the purity contract's enforcement point.  Every registered
+experiment is exported twice — once through the memoization layer (warm
+caches, shared graphs/deployments/plans) and once with caching bypassed
+entirely — and the two snapshots are diffed at **zero** tolerance.  Any
+cached object leaking mutation, any seed depending on execution order,
+any float rounding difference in the vectorized roofline shows up here as
+a differing cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cache import cache_stats, caching_disabled, clear_caches
+from repro.harness.registry import list_experiments
+from repro.harness.suite import compare_results, export_results
+
+
+@pytest.fixture(scope="module")
+def cached_snapshot():
+    clear_caches()
+    snapshot = export_results()  # whole registry, memoization on
+    stats = cache_stats()
+    clear_caches()
+    return snapshot, stats
+
+
+@pytest.fixture(scope="module")
+def uncached_snapshot():
+    clear_caches()
+    with caching_disabled():
+        snapshot = export_results()  # whole registry, every build from scratch
+    stats = cache_stats()
+    clear_caches()
+    return snapshot, stats
+
+
+class TestCacheIdentity:
+    def test_covers_every_registered_experiment(self, cached_snapshot):
+        snapshot, _ = cached_snapshot
+        assert set(snapshot["experiments"]) == set(list_experiments())
+
+    def test_cached_run_actually_hit_the_caches(self, cached_snapshot):
+        _, stats = cached_snapshot
+        assert stats["graph"]["hits"] > 0
+        assert stats["deploy"]["hits"] > 0
+        assert stats["plan"]["hits"] > 0
+
+    def test_uncached_run_actually_bypassed_them(self, uncached_snapshot):
+        _, stats = uncached_snapshot
+        assert all(snapshot["entries"] == 0 for snapshot in stats.values())
+
+    def test_bit_identical_at_zero_tolerance(self, cached_snapshot,
+                                             uncached_snapshot):
+        cached, _ = cached_snapshot
+        uncached, _ = uncached_snapshot
+        differences = compare_results(cached, uncached, rel_tolerance=0.0)
+        assert differences == [], "\n".join(d.describe() for d in differences)
+
+    def test_repeat_cached_export_is_deterministic(self, cached_snapshot):
+        cached, _ = cached_snapshot
+        again = export_results()
+        clear_caches()
+        assert again == cached

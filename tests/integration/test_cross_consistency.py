@@ -15,8 +15,8 @@ from repro.harness.figures import (
     BEST_FRAMEWORK_CANDIDATES,
     best_framework_latency,
     build_session,
+    cell_timer,
 )
-from repro.measurement import InferenceTimer
 from repro.measurement.energy import active_power_w
 
 
@@ -32,14 +32,17 @@ class TestFig2Consistency:
                     session = build_session(model, device, candidate)
                 except Exception:
                     continue
-                candidate_latency = float(InferenceTimer(seed=7).measure(session))
+                candidate_latency = float(
+                    cell_timer(model, device, candidate).measure(session))
                 assert latency <= candidate_latency + 1e-12, (candidate, winner)
 
     def test_fig2_cells_match_direct_measurement(self):
         table = run_experiment("fig02")
         row = table.row("Jetson Nano / ResNet-50")
         session = build_session("ResNet-50", "Jetson Nano", row["framework"])
-        direct = float(InferenceTimer(seed=7).measure(session)) * 1e3
+        direct = float(
+            cell_timer("ResNet-50", "Jetson Nano", row["framework"])
+            .measure(session)) * 1e3
         assert row["measured_ms"] == pytest.approx(direct, rel=1e-9)
 
 
