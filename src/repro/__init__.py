@@ -15,6 +15,11 @@ Public API quick tour::
     print(session.latency_s)            # seconds per single-batch inference
 
     table = run_experiment("fig07")     # reproduce a paper figure
+
+    # Or describe the run as data and get a structured record back:
+    from repro import Runner, Scenario
+    record = Runner().run(Scenario("ResNet-18", "Jetson Nano", "TensorRT"))
+    print(record.latency_s, record.provenance.deploy_cache)
 """
 
 from repro.core.errors import (
@@ -31,6 +36,7 @@ from repro.frameworks import FRAMEWORK_REGISTRY, list_frameworks, load_framework
 from repro.harness import EXPERIMENT_REGISTRY, list_experiments, render_table, run_experiment
 from repro.hardware import DEVICE_REGISTRY, list_devices, load_device
 from repro.models import MODEL_REGISTRY, list_models, load_model
+from repro.runtime import RunRecord, Runner, Scenario, default_runner
 
 __version__ = "1.0.0"
 
@@ -46,6 +52,9 @@ __all__ = [
     "MODEL_REGISTRY",
     "OutOfMemoryError",
     "ReproError",
+    "RunRecord",
+    "Runner",
+    "Scenario",
     "ThermalShutdownError",
     "__version__",
     "list_devices",
@@ -55,6 +64,7 @@ __all__ = [
     "load_device",
     "load_framework",
     "load_model",
+    "default_runner",
     "render_table",
     "run_experiment",
 ]

@@ -4,30 +4,22 @@ Section IX: "we hope that the following insights ... lead users to
 knowingly choose their required package (i.e., a combination of framework
 and platform) for a specific edge application."  The advisor searches the
 (device, framework, operating point) space for one model under the user's
-constraints and ranks the feasible deployments.
+constraints and ranks the feasible deployments.  Every candidate runs
+through the shared :class:`repro.runtime.Runner`, so the search space is a
+list of scenarios and Table V failures are skipped as failure records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.errors import ReproError
-from repro.engine.executor import InferenceSession
-from repro.frameworks import load_framework
-from repro.hardware import apply_operating_point, list_operating_points, load_device
-from repro.measurement.energy import active_power_w
+from repro.hardware import list_operating_points
 from repro.models import load_model
+from repro.runtime import BEST_FRAMEWORK_CANDIDATES, Scenario, default_runner
 
-# Frameworks worth trying per device, mirrored from the harness.
-_CANDIDATES: dict[str, tuple[str, ...]] = {
-    "Raspberry Pi 3B": ("TFLite", "TensorFlow", "Caffe", "DarkNet", "PyTorch"),
-    "Jetson TX2": ("PyTorch", "TensorFlow", "Caffe", "DarkNet"),
-    "Jetson Nano": ("TensorRT", "PyTorch"),
-    "EdgeTPU": ("TFLite",),
-    "Movidius NCS": ("NCSDK",),
-    "PYNQ-Z1": ("TVM VTA", "FINN"),
-}
-EDGE_DEVICES = tuple(_CANDIDATES)
+EDGE_DEVICES = tuple(BEST_FRAMEWORK_CANDIDATES)
+
+_RUNNER = default_runner()
 
 
 @dataclass(frozen=True)
@@ -82,22 +74,23 @@ def recommend_deployments(
     Deployment failures (Table V territory) are silently skipped — they
     are not *rejections*, the configuration simply does not exist.
     """
+    load_model(model_name)  # unknown models fail fast, before the sweep
     recommendations: list[Recommendation] = []
-    graph = load_model(model_name)
     for device_name in devices:
-        base_device = load_device(device_name)
-        points = (list_operating_points(device_name)
-                  if include_operating_points else list_operating_points(device_name)[:1])
+        points = list_operating_points(device_name)
+        if not include_operating_points:
+            points = points[:1]
         for point in points:
-            device = apply_operating_point(base_device, point)
-            for framework_name in _CANDIDATES.get(device_name, ("PyTorch",)):
-                try:
-                    deployed = load_framework(framework_name).deploy(graph, device)
-                    session = InferenceSession(deployed)
-                except ReproError:
+            for framework_name in BEST_FRAMEWORK_CANDIDATES.get(
+                    device_name, ("PyTorch",)):
+                record = _RUNNER.run(
+                    Scenario(model_name, device_name, framework_name,
+                             power_mode=point.name),
+                    use_timer=False)
+                if record.failed:
                     continue
-                latency = session.latency_s
-                power = active_power_w(session)
+                latency = record.model_latency_s
+                power = record.power_w
                 energy = power * latency
                 feasible, reason = requirements.check(latency, power, energy)
                 recommendations.append(Recommendation(

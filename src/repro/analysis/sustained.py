@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.executor import InferenceSession
-from repro.hardware.thermal import ThermalSimulator
 
 
 @dataclass

@@ -2,22 +2,24 @@
 
 Each sweep returns a :class:`ResultTable` in the harness format, so the
 extension benchmarks and examples render them like the paper's figures.
+All cells run through the shared :class:`repro.runtime.Runner`, so
+deployment failures arrive as failure records (rendered "-") and every
+deployment shares the engine memo cache.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.errors import ReproError
 from repro.core.result import ResultTable
-from repro.engine.executor import EngineConfig, InferenceSession
-from repro.frameworks import load_framework
 from repro.graphs.tensor import DType
 from repro.graphs.transforms import prune_graph
-from repro.hardware import load_device
 from repro.models import load_model
+from repro.runtime import Scenario, default_runner
 
 DEFAULT_BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+_RUNNER = default_runner()
 
 
 def batch_size_sweep(
@@ -37,17 +39,14 @@ def batch_size_sweep(
         [f"batch {b}" for b in batches],
         caption="'-' marks batches whose activations exceed device memory.",
     )
-    framework = load_framework(framework_name)
     for device_name in device_names:
-        deployed = framework.deploy(load_model(model_name), load_device(device_name))
         cells = {}
         for batch in batches:
-            try:
-                session = InferenceSession(deployed, config=EngineConfig(batch_size=batch))
-            except ReproError:
-                cells[f"batch {batch}"] = None
-                continue
-            cells[f"batch {batch}"] = session.latency_s * 1e3
+            record = _RUNNER.run(
+                Scenario(model_name, device_name, framework_name, batch_size=batch),
+                use_timer=False)
+            cells[f"batch {batch}"] = (
+                None if record.failed else record.model_latency_s * 1e3)
         table.add_row(device_name, **cells)
     return table
 
@@ -62,7 +61,8 @@ def sparsity_sweep(
 
     Table II's pruning row in action: every framework stores a pruned
     model, but only the exploiters (TensorFlow, TFLite, TensorRT) convert
-    sparsity into speed.
+    sparsity into speed.  Pruned graphs are explicit inputs, so these
+    deployments bypass the memo cache by construction.
     """
     table = ResultTable(
         f"Extension: {model_name} on {device_name}, latency (ms) vs pruned sparsity",
@@ -70,18 +70,15 @@ def sparsity_sweep(
         caption="Frameworks without sparse kernels stay flat across the row "
         "(Table II, 'Pruning').",
     )
-    device = load_device(device_name)
     for framework_name in framework_names:
-        framework = load_framework(framework_name)
         cells = {}
         for sparsity in sparsities:
             graph = prune_graph(load_model(model_name), sparsity)
-            try:
-                deployed = framework.deploy(graph, device)
-            except ReproError:
-                cells[f"{sparsity:.0%} sparse"] = None
-                continue
-            cells[f"{sparsity:.0%} sparse"] = InferenceSession(deployed).latency_s * 1e3
+            record = _RUNNER.run(
+                Scenario(model_name, device_name, framework_name),
+                use_timer=False, graph=graph)
+            cells[f"{sparsity:.0%} sparse"] = (
+                None if record.failed else record.model_latency_s * 1e3)
         table.add_row(framework_name, **cells)
     return table
 
@@ -97,18 +94,16 @@ def dtype_sweep(
         f"Extension: {model_name} on {device_name} via {framework_name}, per datatype",
         ["latency_ms", "weights_mib"],
     )
-    framework = load_framework(framework_name)
-    device = load_device(device_name)
     for dtype in dtypes:
-        try:
-            deployed = framework.deploy(load_model(model_name), device, dtype=dtype)
-        except ReproError:
+        record = _RUNNER.run(
+            Scenario(model_name, device_name, framework_name, dtype=dtype),
+            use_timer=False)
+        if record.failed:
             table.add_row(dtype.value, latency_ms=None, weights_mib=None)
             continue
-        session = InferenceSession(deployed)
         table.add_row(
             dtype.value,
-            latency_ms=session.latency_s * 1e3,
-            weights_mib=deployed.graph.weight_bytes() / 2**20,
+            latency_ms=record.model_latency_s * 1e3,
+            weights_mib=record.plan.weight_bytes / 2**20,
         )
     return table

@@ -5,7 +5,7 @@ Usage::
     python -m repro list                      # experiments, models, devices
     python -m repro run fig07 fig08           # regenerate specific artifacts
     python -m repro run --all                 # the whole paper
-    python -m repro time ResNet-18 "Jetson Nano" TensorRT
+    python -m repro time ResNet-18 "Jetson Nano" TensorRT --batch 4
     python -m repro compat                    # Table V matrix
     python -m repro suite --jobs 4 --stats    # parallel sweep + cache stats
 """
@@ -17,18 +17,16 @@ import sys
 from typing import Sequence
 
 from repro import (
-    InferenceSession,
     ReproError,
     list_devices,
     list_experiments,
     list_frameworks,
     list_models,
-    load_device,
-    load_framework,
     load_model,
     render_table,
     run_experiment,
 )
+from repro.runtime import Scenario, default_runner
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -76,14 +74,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_time(args: argparse.Namespace) -> int:
-    try:
-        deployed = load_framework(args.framework).deploy(
-            load_model(args.model), load_device(args.device))
-        session = InferenceSession(deployed)
-    except ReproError as error:
-        print(f"deployment failed: {error}", file=sys.stderr)
+    scenario = Scenario(
+        args.model, args.device, args.framework,
+        dtype=args.dtype, batch_size=args.batch,
+        power_mode=args.power_mode, containerized=args.container,
+    )
+    runner = default_runner()
+    record = runner.run(scenario, use_timer=not args.no_timer, n_runs=args.runs)
+    if record.failed:
+        print(f"deployment failed: {record.failure.message} "
+              f"[{record.failure.kind}]", file=sys.stderr)
         return 1
+    session = runner.session(scenario)
     print(session.describe())
+    if record.stats is not None:
+        stats = record.stats
+        print(f"timed:  {stats.median_s * 1e3:.2f} ms/inference median over "
+              f"{stats.samples} runs (sd {stats.stddev_s * 1e3:.3f} ms, "
+              f"seed 0x{record.provenance.seed:08x})")
+    print(f"power:  {record.power_w:.2f} W at {record.utilization:.0%} utilization; "
+          f"init {record.init_time_s:.2f} s; "
+          f"deploy cache {record.provenance.deploy_cache}")
     return 0
 
 
@@ -151,7 +162,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.harness.suite import save_results
 
     try:
-        save_results(args.path, args.experiments or None)
+        save_results(args.path, args.experiments or None,
+                     jobs=args.jobs, executor=args.executor)
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -242,6 +254,18 @@ def build_parser() -> argparse.ArgumentParser:
     time_parser.add_argument("model")
     time_parser.add_argument("device")
     time_parser.add_argument("framework")
+    time_parser.add_argument("--dtype", choices=("fp32", "fp16", "int8", "binary"),
+                             default=None, help="deployment datatype")
+    time_parser.add_argument("--batch", type=int, default=1,
+                             help="batch size (default 1, the edge regime)")
+    time_parser.add_argument("--power-mode", default="default",
+                             help="DVFS operating point (e.g. MAXN)")
+    time_parser.add_argument("--container", action="store_true",
+                             help="run inside the Docker profile (Sec. VI-D)")
+    time_parser.add_argument("--runs", type=int, default=None,
+                             help="timing-loop length (default: paper policy)")
+    time_parser.add_argument("--no-timer", action="store_true",
+                             help="print the noise-free plan latency only")
     time_parser.set_defaults(handler=_cmd_time)
 
     compat_parser = subparsers.add_parser("compat", help="print the Table V matrix")
@@ -257,6 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("path", help="output file")
     export_parser.add_argument("experiments", nargs="*",
                                help="experiment ids (default: all)")
+    export_parser.add_argument("--jobs", type=int, default=1,
+                               help="worker count (default 1 = serial)")
+    export_parser.add_argument("--executor", choices=("thread", "process"),
+                               default="thread",
+                               help="pool flavour for --jobs > 1")
     export_parser.set_defaults(handler=_cmd_export)
 
     suite_parser = subparsers.add_parser(

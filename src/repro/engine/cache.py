@@ -98,6 +98,11 @@ class MemoCache:
             raise value
         return value
 
+    def contains(self, key: Any) -> bool:
+        """Whether an outcome is cached for ``key`` (no stats bump)."""
+        with self._lock:
+            return key in self._entries
+
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         with self._lock:
@@ -168,12 +173,10 @@ def graph_key(model_name: str) -> str:
 
 def deploy_key(model_name: str, device_name: str, framework_name: str,
                dtype: Any = None) -> tuple:
-    return (
-        canonical_name(model_name),
-        canonical_name(device_name),
-        canonical_name(framework_name),
-        dtype,
-    )
+    """Deploy-cache key; the canonical form lives on ``Scenario.deploy_key``."""
+    from repro.runtime.scenario import Scenario
+
+    return Scenario(model_name, device_name, framework_name, dtype=dtype).deploy_key
 
 
 def plan_key(deployed: Any, config: Any, efficiency_scale: float) -> tuple | None:

@@ -15,7 +15,7 @@ Raspberry Pi but not on a Xeon (Figure 5).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.core.errors import CompatibilityError, IncompatibleModelError, OutOfMemoryError
 from repro.core.quantity import MEBI

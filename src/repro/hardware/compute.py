@@ -10,7 +10,7 @@ property resolved by the execution engine.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.graphs.tensor import DType
 

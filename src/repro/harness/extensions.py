@@ -19,14 +19,15 @@ from repro.analysis import (
     simulate_sustained,
     sparsity_sweep,
 )
-from repro.core.errors import ReproError
 from repro.core.result import ResultTable
 from repro.engine import InferenceSession
 from repro.frameworks import load_framework
-from repro.harness.figures import BEST_FRAMEWORK_CANDIDATES, build_session, fig12_time_vs_power
+from repro.harness.figures import fig12_time_vs_power
 from repro.hardware import load_device
-from repro.hardware.thermal import ThermalSpec
 from repro.models import load_model
+from repro.runtime import Scenario, default_runner
+
+_RUNNER = default_runner()
 
 RNN_MODELS = ("CharRNN-LSTM", "LSTM-PTB", "GRU-Encoder")
 
@@ -109,13 +110,8 @@ def ext_rnn_models() -> ResultTable:
 
 
 def _first_deployable(model_name: str, device_name: str):
-    candidates = BEST_FRAMEWORK_CANDIDATES.get(device_name, ("PyTorch", "TensorFlow"))
-    for framework_name in candidates:
-        try:
-            return framework_name, build_session(model_name, device_name, framework_name)
-        except ReproError:
-            continue
-    return None
+    return _RUNNER.first_session(model_name, device_name,
+                                 default=("PyTorch", "TensorFlow"))
 
 
 def ext_sustained_throughput() -> ResultTable:
@@ -276,8 +272,8 @@ def ext_serving_deadlines() -> ResultTable:
 def ext_power_modes() -> ResultTable:
     """Jetson DVFS modes: the latency/power/energy trade the paper's
     default-mode measurements sit on one side of."""
-    from repro.hardware import apply_operating_point, list_operating_points
-    from repro.measurement.energy import active_power_w, measure_energy_per_inference
+    from repro.hardware import list_operating_points
+    from repro.measurement.energy import EnergyMeter
 
     table = ResultTable(
         "Extension: Jetson power modes running ResNet-50",
@@ -288,16 +284,16 @@ def ext_power_modes() -> ResultTable:
     for device_name, framework_name in (("Jetson TX2", "PyTorch"),
                                         ("Jetson Nano", "TensorRT")):
         for point in list_operating_points(device_name):
-            device = apply_operating_point(load_device(device_name), point)
-            deployed = load_framework(framework_name).deploy(
-                load_model("ResNet-50"), device)
-            session = InferenceSession(deployed)
+            record = _RUNNER.run(
+                Scenario("ResNet-50", device_name, framework_name,
+                         power_mode=point.name),
+                use_timer=False, energy_meter=EnergyMeter())
             table.add_row(
                 f"{device_name} @ {point.name}",
                 mode=point.name,
-                latency_ms=session.latency_s * 1e3,
-                power_w=active_power_w(session),
-                energy_mj=float(measure_energy_per_inference(session)) * 1e3,
+                latency_ms=record.model_latency_s * 1e3,
+                power_w=record.power_w,
+                energy_mj=record.energy_j * 1e3,
             )
     return table
 

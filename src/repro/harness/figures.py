@@ -7,81 +7,61 @@ functions are what the ``benchmarks/`` suite drives.
 
 from __future__ import annotations
 
-import hashlib
-
 from repro.core.errors import ReproError
-from repro.core.registry import canonical_name
 from repro.core.result import ResultTable, geometric_mean
 from repro.engine import InferenceSession
-from repro.engine.cache import cached_deploy
 from repro.harness import paper_data as paper
 from repro.harness.report import ratio_or_none
 from repro.hardware import load_device
 from repro.measurement import EnergyMeter, InferenceTimer, ThermalCamera
-from repro.measurement.energy import active_power_w
 from repro.models import load_model
 from repro.profiling import profile_stack
-from repro.virtualization import Container
+from repro.runtime import BEST_FRAMEWORK_CANDIDATES, Scenario, default_runner
 
-# Frameworks a user would try on each device, best-first candidates for the
-# paper's "best performing framework" per-device configuration (Figure 2).
-BEST_FRAMEWORK_CANDIDATES: dict[str, tuple[str, ...]] = {
-    "Raspberry Pi 3B": ("TFLite", "TensorFlow", "Caffe", "DarkNet", "PyTorch"),
-    "Jetson TX2": ("PyTorch", "TensorFlow", "Caffe", "DarkNet"),
-    "Jetson Nano": ("TensorRT", "PyTorch"),
-    "EdgeTPU": ("TFLite",),
-    "Movidius NCS": ("NCSDK",),
-    "PYNQ-Z1": ("TVM VTA", "FINN"),
-}
+__all__ = [
+    "BEST_FRAMEWORK_CANDIDATES",  # re-exported from repro.runtime
+    "best_framework_latency",
+    "build_session",
+    "cell_timer",
+    "measure_latency_s",
+    "measurement_seed",
+]
 
+_RUNNER = default_runner()
+
+
+# -- deprecated thin wrappers over repro.runtime -------------------------
+# Every generator below routes through the Runner; these helpers remain
+# only so external callers and older tests keep working.
 def measurement_seed(model_name: str, device_name: str, framework_name: str) -> int:
-    """Deterministic per-(model, device, framework) timer seed.
-
-    A module-level shared timer would make each cell's measurement noise
-    depend on the order experiments run in; hashing the canonical cell
-    names gives every cell its own reproducible noise stream, independent
-    of run order, caching, and worker scheduling.
-    """
-    cell = "|".join((
-        canonical_name(model_name),
-        canonical_name(device_name),
-        canonical_name(framework_name),
-    ))
-    return int.from_bytes(hashlib.blake2s(cell.encode(), digest_size=4).digest(), "big")
+    """Deprecated: use ``Scenario(...).seed`` (bit-identical)."""
+    return Scenario(model_name, device_name, framework_name).seed
 
 
 def cell_timer(model_name: str, device_name: str, framework_name: str) -> InferenceTimer:
-    """The paper-methodology timer seeded for one experiment cell."""
-    return InferenceTimer(seed=measurement_seed(model_name, device_name, framework_name))
+    """Deprecated: use ``Runner.timer(scenario)``."""
+    return _RUNNER.timer(Scenario(model_name, device_name, framework_name))
 
 
 def measure_latency_s(model_name: str, device_name: str, framework_name: str,
                       use_timer: bool = True) -> float:
-    """Deploy + run the paper's timing loop; returns seconds per inference."""
-    session = build_session(model_name, device_name, framework_name)
-    if use_timer:
-        timer = cell_timer(model_name, device_name, framework_name)
-        return float(timer.measure(session))
-    return session.latency_s
+    """Deprecated: use ``Runner.measure(scenario)`` / ``Runner.run(scenario)``."""
+    return _RUNNER.measure(Scenario(model_name, device_name, framework_name),
+                           use_timer=use_timer)
 
 
 def build_session(model_name: str, device_name: str, framework_name: str) -> InferenceSession:
-    """Deploy (through the memoization layer) and build a session."""
-    deployed = cached_deploy(model_name, device_name, framework_name)
-    return InferenceSession(deployed)
+    """Deprecated: use ``Runner.session(scenario)``."""
+    return _RUNNER.session(Scenario(model_name, device_name, framework_name))
 
 
 def best_framework_latency(model_name: str, device_name: str) -> tuple[str, float] | None:
-    """(framework, seconds) of the fastest deployable framework, or None."""
-    best: tuple[str, float] | None = None
-    for framework_name in BEST_FRAMEWORK_CANDIDATES[device_name]:
-        try:
-            latency = measure_latency_s(model_name, device_name, framework_name)
-        except ReproError:
-            continue
-        if best is None or latency < best[1]:
-            best = (framework_name, latency)
-    return best
+    """(framework, seconds) of the fastest deployable framework, or None.
+
+    Unknown devices raise a structured :class:`~repro.core.errors.ReproError`
+    (an ``UnknownEntryError``) rather than a bare ``KeyError``.
+    """
+    return _RUNNER.best_latency(model_name, device_name)
 
 
 # ------------------------------------------------------------------ Fig 1
@@ -118,7 +98,7 @@ def fig02_best_framework() -> ResultTable:
     )
     for device_name, references in paper.FIG2_BEST_S.items():
         for model_name in paper.FIG2_MODELS:
-            best = best_framework_latency(model_name, device_name)
+            best = _RUNNER.best_latency(model_name, device_name)
             reference = references.get(model_name)
             if best is None:
                 table.add_row(f"{device_name} / {model_name}", framework="(fails)",
@@ -157,12 +137,8 @@ def _cross_framework(device_name: str, title: str, unit_scale: float,
         cells = {}
         for framework_name in FIG34_FRAMEWORKS:
             column = f"{framework_name} ({unit_name})"
-            try:
-                latency = measure_latency_s(model_name, device_name, framework_name)
-            except ReproError:
-                cells[column] = None
-                continue
-            cells[column] = latency * unit_scale
+            record = _RUNNER.run(Scenario(model_name, device_name, framework_name))
+            cells[column] = None if record.failed else record.latency_s * unit_scale
         table.add_row(model_name, **cells)
     return table
 
@@ -194,7 +170,7 @@ def fig05_software_stack(model_name: str = "ResNet-18") -> ResultTable:
         "RPi profiled over 30 inferences, TX2 over 1000 (Section VI-B3).",
     )
     for (device_name, framework_name), targets in paper.FIG5_FRACTIONS.items():
-        session = build_session(model_name, device_name, framework_name)
+        session = _RUNNER.session(Scenario(model_name, device_name, framework_name))
         profile = profile_stack(session, paper.FIG5_RUNS[device_name])
         fractions = profile.fractions()
         short = {"Raspberry Pi 3B": "RPi", "Jetson TX2": "TX2"}[device_name]
@@ -216,8 +192,8 @@ def fig06_gtx_tf_vs_pytorch() -> ResultTable:
         "faster across the board on HPC GPUs.",
     )
     for model_name in paper.FIG6_MODELS:
-        pytorch = measure_latency_s(model_name, "GTX Titan X", "PyTorch")
-        tensorflow = measure_latency_s(model_name, "GTX Titan X", "TensorFlow")
+        pytorch = _RUNNER.measure(Scenario(model_name, "GTX Titan X", "PyTorch"))
+        tensorflow = _RUNNER.measure(Scenario(model_name, "GTX Titan X", "TensorFlow"))
         table.add_row(
             model_name,
             pytorch_ms=pytorch * 1e3,
@@ -236,8 +212,8 @@ def fig07_nano_tensorrt() -> ResultTable:
     )
     speedups = []
     for model_name in paper.FIG7_MODELS:
-        pytorch = measure_latency_s(model_name, "Jetson Nano", "PyTorch")
-        tensorrt = measure_latency_s(model_name, "Jetson Nano", "TensorRT")
+        pytorch = _RUNNER.measure(Scenario(model_name, "Jetson Nano", "PyTorch"))
+        tensorrt = _RUNNER.measure(Scenario(model_name, "Jetson Nano", "TensorRT"))
         paper_pt = paper.FIG7_NANO_S["PyTorch"][model_name]
         paper_trt = paper.FIG7_NANO_S["TensorRT"][model_name]
         speedups.append(pytorch / tensorrt)
@@ -266,9 +242,9 @@ def fig08_rpi_tflite() -> ResultTable:
     )
     tf_speedups, pt_speedups = [], []
     for model_name in paper.FIG8_MODELS:
-        pytorch = measure_latency_s(model_name, "Raspberry Pi 3B", "PyTorch")
-        tensorflow = measure_latency_s(model_name, "Raspberry Pi 3B", "TensorFlow")
-        tflite = measure_latency_s(model_name, "Raspberry Pi 3B", "TFLite")
+        pytorch = _RUNNER.measure(Scenario(model_name, "Raspberry Pi 3B", "PyTorch"))
+        tensorflow = _RUNNER.measure(Scenario(model_name, "Raspberry Pi 3B", "TensorFlow"))
+        tflite = _RUNNER.measure(Scenario(model_name, "Raspberry Pi 3B", "TFLite"))
         tf_speedups.append(tensorflow / tflite)
         pt_speedups.append(pytorch / tflite)
         table.add_row(
@@ -297,11 +273,8 @@ def fig09_edge_vs_hpc() -> ResultTable:
     for model_name in paper.FIG9_MODELS:
         cells = {}
         for platform in paper.FIG9_PLATFORMS:
-            try:
-                latency = measure_latency_s(model_name, platform, "PyTorch")
-            except ReproError:
-                latency = None
-            cells[f"{platform} (ms)"] = None if latency is None else latency * 1e3
+            record = _RUNNER.run(Scenario(model_name, platform, "PyTorch"))
+            cells[f"{platform} (ms)"] = None if record.failed else record.latency_s * 1e3
         table.add_row(model_name, **cells)
     return table
 
@@ -315,10 +288,10 @@ def fig10_speedup_over_tx2() -> ResultTable:
     )
     speedups = []
     for model_name in paper.FIG9_MODELS:
-        baseline = measure_latency_s(model_name, "Jetson TX2", "PyTorch")
+        baseline = _RUNNER.measure(Scenario(model_name, "Jetson TX2", "PyTorch"))
         cells = {}
         for platform in paper.FIG9_PLATFORMS[1:]:
-            latency = measure_latency_s(model_name, platform, "PyTorch")
+            latency = _RUNNER.measure(Scenario(model_name, platform, "PyTorch"))
             speedup = baseline / latency
             speedups.append(speedup)
             cells[f"{platform} (x)"] = speedup
@@ -360,14 +333,11 @@ def fig11_energy() -> ResultTable:
 
 
 def _energy_entry(device_name: str, model_name: str, meter: EnergyMeter):
-    candidates = BEST_FRAMEWORK_CANDIDATES.get(device_name, ("PyTorch",))
-    for framework_name in candidates:
-        try:
-            session = build_session(model_name, device_name, framework_name)
-        except ReproError:
-            continue
-        return framework_name, float(meter.measure(session))
-    return None
+    entry = _RUNNER.first_session(model_name, device_name)
+    if entry is None:
+        return None
+    framework_name, session = entry
+    return framework_name, float(meter.measure(session))
 
 
 # ----------------------------------------------------------------- Fig 12
@@ -380,17 +350,17 @@ def fig12_time_vs_power() -> ResultTable:
     )
     for device_name in FIG11_PLATFORMS:
         for model_name in paper.FIG2_MODELS:
-            candidates = BEST_FRAMEWORK_CANDIDATES.get(device_name, ("PyTorch",))
+            candidates = _RUNNER.candidates_for(device_name, default=("PyTorch",))
             for framework_name in candidates:
-                try:
-                    session = build_session(model_name, device_name, framework_name)
-                except ReproError:
+                record = _RUNNER.run(Scenario(model_name, device_name, framework_name),
+                                     use_timer=False)
+                if record.failed:
                     continue
                 table.add_row(
                     f"{device_name} / {model_name}",
                     framework=framework_name,
-                    power_w=active_power_w(session),
-                    latency_ms=session.latency_s * 1e3,
+                    power_w=record.power_w,
+                    latency_ms=record.model_latency_s * 1e3,
                 )
                 break
     return table
@@ -403,15 +373,17 @@ def fig13_virtualization() -> ResultTable:
         ["bare_s", "docker_s", "slowdown", "paper_bare_s", "paper_docker_s"],
         caption="paper finding: overhead within 5% in all cases",
     )
-    container = Container()
     for model_name in paper.FIG13_MODELS:
-        session = build_session(model_name, "Raspberry Pi 3B", "TensorFlow")
-        contained = container.wrap(session)
+        scenario = Scenario(model_name, "Raspberry Pi 3B", "TensorFlow")
+        bare = _RUNNER.run(scenario, use_timer=False)
+        docker = _RUNNER.run(
+            Scenario(model_name, "Raspberry Pi 3B", "TensorFlow", containerized=True),
+            use_timer=False)
         table.add_row(
             model_name,
-            bare_s=session.latency_s,
-            docker_s=contained.latency_s,
-            slowdown=contained.overhead_fraction,
+            bare_s=bare.latency_s,
+            docker_s=docker.latency_s,
+            slowdown=docker.container_overhead,
             paper_bare_s=paper.FIG13_BARE_S[model_name],
             paper_docker_s=paper.FIG13_DOCKER_S[model_name],
         )
@@ -437,7 +409,7 @@ def fig14_temperature_curves(sample_every_s: float = 60.0) -> ResultTable:
         entry = _energy_entry(device_name, paper.FIG14_MODEL, EnergyMeter())
         assert entry is not None
         framework_name, _energy = entry
-        session = build_session(paper.FIG14_MODEL, device_name, framework_name)
+        session = _RUNNER.session(Scenario(paper.FIG14_MODEL, device_name, framework_name))
         power = device.power.power(session.utilization)
         simulator = device.thermal_simulator()
         simulator.temperature_c = device.thermal.steady_state_c(device.power.idle_w)
@@ -483,7 +455,7 @@ def fig14_temperature() -> ResultTable:
             # every Figure 14 device (Table V).
             raise ReproError(f"{paper.FIG14_MODEL} failed to deploy on {device_name}")
         framework_name, _energy = entry
-        session = build_session(paper.FIG14_MODEL, device_name, framework_name)
+        session = _RUNNER.session(Scenario(paper.FIG14_MODEL, device_name, framework_name))
         power = device.power.power(session.utilization)
         simulator = device.thermal_simulator()
         simulator.temperature_c = device.thermal.steady_state_c(device.power.idle_w)

@@ -51,8 +51,9 @@ def export_results(experiment_ids: list[str] | None = None,
 
 
 def save_results(path: str | Path, experiment_ids: list[str] | None = None,
-                 jobs: int = 1) -> None:
-    Path(path).write_text(json.dumps(export_results(experiment_ids, jobs=jobs), indent=1))
+                 jobs: int = 1, executor: str = "thread") -> None:
+    payload = export_results(experiment_ids, jobs=jobs, executor=executor)
+    Path(path).write_text(json.dumps(payload, indent=1))
 
 
 def load_results(path: str | Path) -> dict[str, Any]:

@@ -1,12 +1,20 @@
-"""Parallel sweep runner: fan experiment cells across a worker pool.
+"""Parallel sweep runner: fan experiments or scenarios across a pool.
 
-The experiment generators are pure functions of their (model, device,
-framework) cells — measurement noise included, since every cell seeds its
-own RNG (:func:`repro.harness.figures.measurement_seed`).  That makes the
-whole suite embarrassingly parallel: workers share the engine's memoization
-layer (thread executor) or build their own per process (process executor),
-and the assembled snapshot is byte-identical to the serial one regardless
-of completion order.
+The experiment generators are pure functions of their scenarios —
+measurement noise included, since every cell seeds its own RNG from its
+canonical key (``Scenario.seed``).  That makes the whole suite
+embarrassingly parallel: workers share the engine's memoization layer
+(thread executor) or build their own per process (process executor), and
+the assembled snapshot is byte-identical to the serial one regardless of
+completion order.
+
+Two granularities:
+
+* :func:`run_sweep` — experiment-level: one worker per registered
+  figure/table, producing an export snapshot plus timings.
+* :func:`run_scenarios` — cell-level: one :class:`repro.runtime.RunRecord`
+  per :class:`repro.runtime.Scenario`, delegated to
+  :meth:`repro.runtime.Runner.run_cells`.
 
 ``python -m repro suite --jobs N --stats`` is the CLI face of this module.
 """
@@ -21,6 +29,7 @@ from typing import Any
 from repro.engine.cache import cache_stats
 from repro.harness.registry import list_experiments
 from repro.harness.suite import SNAPSHOT_VERSION, experiment_payload
+from repro.runtime import RunRecord, Scenario, default_runner
 
 EXECUTORS = ("thread", "process")
 
@@ -108,3 +117,16 @@ def run_sweep(experiment_ids: list[str] | None = None, jobs: int = 1,
         executor=executor,
         cache=cache_stats(),
     )
+
+
+def run_scenarios(scenarios: list[Scenario], jobs: int = 1,
+                  executor: str = "thread",
+                  use_timer: bool = True) -> list[RunRecord]:
+    """Run individual cells (optionally in parallel) into RunRecords.
+
+    A thin face over :meth:`repro.runtime.Runner.run_cells` so sweep
+    consumers get cell-level fan-out with the same executor semantics as
+    the experiment-level sweep.  Results preserve input order.
+    """
+    return default_runner().run_cells(
+        scenarios, jobs=jobs, executor=executor, use_timer=use_timer)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.result import ResultTable
-from repro.frameworks import FRAMEWORK_REGISTRY, load_framework
+from repro.frameworks import load_framework
 from repro.frameworks.compat import TABLE_V_FRAMEWORKS, compatibility_matrix
 from repro.harness import paper_data as paper
 from repro.hardware import list_devices, load_device

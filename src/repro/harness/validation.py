@@ -11,8 +11,15 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.result import geometric_mean
-from repro.harness.figures import measure_latency_s
 from repro.harness.registry import run_experiment
+from repro.runtime import Scenario, default_runner
+
+_RUNNER = default_runner()
+
+
+def _latency(model_name: str, device_name: str, framework_name: str) -> float:
+    """Timed seconds per inference through the shared Runner."""
+    return _RUNNER.measure(Scenario(model_name, device_name, framework_name))
 
 
 @dataclass(frozen=True)
@@ -38,9 +45,9 @@ _CLAIMS: list[tuple[str, str, str, Callable[[], tuple[bool, str]]]] = []
 @_claim("tf-fastest-rpi", "VI-B1",
         "TensorFlow is the fastest general framework on the Raspberry Pi")
 def _check_tf_rpi() -> tuple[bool, str]:
-    tf = measure_latency_s("ResNet-50", "Raspberry Pi 3B", "TensorFlow")
-    caffe = measure_latency_s("ResNet-50", "Raspberry Pi 3B", "Caffe")
-    pytorch = measure_latency_s("ResNet-50", "Raspberry Pi 3B", "PyTorch")
+    tf = _latency("ResNet-50", "Raspberry Pi 3B", "TensorFlow")
+    caffe = _latency("ResNet-50", "Raspberry Pi 3B", "Caffe")
+    pytorch = _latency("ResNet-50", "Raspberry Pi 3B", "PyTorch")
     return tf < caffe and tf < pytorch, (
         f"ResNet-50 on RPi: TF {tf:.2f} s, Caffe {caffe:.2f} s, PyTorch {pytorch:.2f} s"
     )
@@ -49,8 +56,8 @@ def _check_tf_rpi() -> tuple[bool, str]:
 @_claim("pytorch-fastest-gpu", "VI-B1",
         "PyTorch beats TensorFlow on GPU platforms")
 def _check_pt_gpu() -> tuple[bool, str]:
-    pt = measure_latency_s("ResNet-50", "Jetson TX2", "PyTorch")
-    tf = measure_latency_s("ResNet-50", "Jetson TX2", "TensorFlow")
+    pt = _latency("ResNet-50", "Jetson TX2", "PyTorch")
+    tf = _latency("ResNet-50", "Jetson TX2", "TensorFlow")
     return pt < tf, f"ResNet-50 on TX2: PyTorch {pt * 1e3:.1f} ms, TF {tf * 1e3:.1f} ms"
 
 
@@ -79,9 +86,9 @@ def _check_tflite() -> tuple[bool, str]:
 def _check_geomean() -> tuple[bool, str]:
     speedups = []
     for model in ("ResNet-18", "ResNet-50", "VGG16", "MobileNet-v2", "C3D"):
-        tx2 = measure_latency_s(model, "Jetson TX2", "PyTorch")
+        tx2 = _latency(model, "Jetson TX2", "PyTorch")
         for platform in ("Xeon E5-2696 v4", "GTX Titan X", "Titan Xp", "RTX 2080"):
-            speedups.append(tx2 / measure_latency_s(model, platform, "PyTorch"))
+            speedups.append(tx2 / _latency(model, platform, "PyTorch"))
     geo = geometric_mean(speedups)
     return 2.0 < geo < 5.0, f"geomean {geo:.2f}x (paper 2.99x)"
 
@@ -89,10 +96,10 @@ def _check_geomean() -> tuple[bool, str]:
 @_claim("xeon-single-batch", "VI-C",
         "The Xeon loses to the TX2 on compute-bound models, competes on VGG")
 def _check_xeon() -> tuple[bool, str]:
-    resnet = (measure_latency_s("ResNet-50", "Xeon E5-2696 v4", "PyTorch")
-              / measure_latency_s("ResNet-50", "Jetson TX2", "PyTorch"))
-    vgg = (measure_latency_s("VGG16", "Xeon E5-2696 v4", "PyTorch")
-           / measure_latency_s("VGG16", "Jetson TX2", "PyTorch"))
+    resnet = (_latency("ResNet-50", "Xeon E5-2696 v4", "PyTorch")
+              / _latency("ResNet-50", "Jetson TX2", "PyTorch"))
+    vgg = (_latency("VGG16", "Xeon E5-2696 v4", "PyTorch")
+           / _latency("VGG16", "Jetson TX2", "PyTorch"))
     return resnet > 1.0 and vgg < 1.3, (
         f"Xeon/TX2 latency ratio: ResNet-50 {resnet:.2f}, VGG16 {vgg:.2f}"
     )

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from repro.core.result import Measurement
 from repro.engine.executor import InferenceSession
 from repro.measurement.power_meter import PowerAnalyzer, USBMultimeter, average_power_w
-from repro.measurement.timer import InferenceTimer
 
 # Devices the paper powers over USB use the multimeter; others the analyzer.
 USB_POWERED = ("Raspberry Pi 3B", "EdgeTPU", "Movidius NCS")

@@ -1,0 +1,274 @@
+"""Runner: the one audited measurement path for every harness consumer.
+
+Every figure, validation claim, sweep and CLI verb used to hand-roll the
+same pipeline — deploy, build a session, seed a timer, catch ReproError —
+each with its own string-triple plumbing.  The Runner owns that pipeline:
+
+* deployments go through the engine memo cache whenever the scenario is
+  cacheable (and record whether they hit);
+* sessions honour the scenario's batch size, power mode and container flag;
+* the paper-methodology timer is seeded from the scenario's canonical key,
+  reproducing the exact per-cell noise streams the harness has always had;
+* failures come back as :class:`RunRecord` data, classified by the Table V
+  taxonomy, instead of propagating control flow.
+
+``run_cells`` fans a batch of scenarios across a thread or process pool
+with order-preserving results, mirroring the experiment-level sweep runner.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.core.errors import ReproError, UnknownEntryError
+from repro.core.registry import canonical_name
+from repro.engine.cache import DEPLOY_CACHE, cached_deploy, caching_enabled
+from repro.engine.executor import EngineConfig, InferenceSession
+from repro.measurement.energy import EnergyMeter, active_power_w
+from repro.measurement.timer import InferenceTimer
+from repro.runtime.record import (
+    FailureRecord,
+    LatencyStats,
+    PlanBreakdown,
+    Provenance,
+    RunRecord,
+)
+from repro.runtime.scenario import Scenario
+from repro.virtualization.container import DEFAULT_CONTAINER, Container
+
+EXECUTORS = ("thread", "process")
+
+# Frameworks a user would try on each device, best-first — the paper's
+# "best performing framework" per-device configuration (Figure 2).  This is
+# the single copy; the harness and the deployment advisor both import it.
+BEST_FRAMEWORK_CANDIDATES: dict[str, tuple[str, ...]] = {
+    "Raspberry Pi 3B": ("TFLite", "TensorFlow", "Caffe", "DarkNet", "PyTorch"),
+    "Jetson TX2": ("PyTorch", "TensorFlow", "Caffe", "DarkNet"),
+    "Jetson Nano": ("TensorRT", "PyTorch"),
+    "EdgeTPU": ("TFLite",),
+    "Movidius NCS": ("NCSDK",),
+    "PYNQ-Z1": ("TVM VTA", "FINN"),
+}
+
+
+@dataclass(frozen=True)
+class Runner:
+    """Facade over deploy -> session -> instruments for one scenario.
+
+    Stateless apart from its configuration, so one module-level instance
+    serves the whole harness and pickles cleanly into process pools.
+
+    Attributes:
+        container: the container runtime profile used for containerized
+            scenarios.
+    """
+
+    container: Container = DEFAULT_CONTAINER
+
+    # -- pipeline stages ---------------------------------------------------
+    def deploy(self, scenario: Scenario, graph: Any = None) -> tuple[Any, str]:
+        """Deploy the scenario; returns (deployed, cache outcome).
+
+        Cacheable scenarios (stock power mode, no explicit graph) go
+        through :func:`repro.engine.cache.cached_deploy`; everything else
+        deploys directly and reports ``"bypass"``.
+        """
+        from repro.frameworks import load_framework
+        from repro.hardware import apply_operating_point, load_device
+
+        if graph is None and scenario.is_default_runtime:
+            if caching_enabled():
+                outcome = "hit" if DEPLOY_CACHE.contains(scenario.deploy_key) else "miss"
+            else:
+                outcome = "bypass"
+            return cached_deploy(scenario.model, scenario.device,
+                                 scenario.framework, dtype=scenario.dtype), outcome
+
+        device = load_device(scenario.device)
+        if not scenario.is_default_runtime:
+            device = apply_operating_point(device, scenario.power_mode)
+        if graph is None:
+            from repro.models import load_model
+
+            graph = load_model(scenario.model)
+        deployed = load_framework(scenario.framework).deploy(
+            graph, device, dtype=scenario.dtype)
+        return deployed, "bypass"
+
+    def session(self, scenario: Scenario, graph: Any = None):
+        """Deploy and build the (possibly containerized) session."""
+        session, _ = self._session(scenario, graph)
+        return session
+
+    def _session(self, scenario: Scenario, graph: Any = None):
+        deployed, cache_outcome = self.deploy(scenario, graph)
+        config = EngineConfig(batch_size=scenario.batch_size)
+        session = InferenceSession(deployed, config=config)
+        if scenario.containerized:
+            session = self.container.wrap(session)
+        return session, cache_outcome
+
+    def timer(self, scenario: Scenario) -> InferenceTimer:
+        """The paper-methodology timer seeded for this cell."""
+        return InferenceTimer(seed=scenario.seed)
+
+    # -- measurement -------------------------------------------------------
+    def measure(self, scenario: Scenario, use_timer: bool = True,
+                graph: Any = None) -> float:
+        """Seconds per inference; raises :class:`ReproError` on failure.
+
+        The exact semantics of the old ``measure_latency_s`` helper: with
+        ``use_timer`` the paper's timing loop runs on the cell-seeded
+        timer, without it the noise-free plan latency is returned.
+        """
+        session = self.session(scenario, graph)
+        if use_timer:
+            return float(self.timer(scenario).measure(session))
+        return session.latency_s
+
+    def run(self, scenario: Scenario, *, use_timer: bool = True,
+            graph: Any = None, energy_meter: EnergyMeter | None = None,
+            n_runs: int | None = None) -> RunRecord:
+        """Run one scenario into a :class:`RunRecord`; never raises for
+        harness failures — they come back as failure records.
+
+        Args:
+            use_timer: run the Section V timing loop (seeded per cell);
+                otherwise record the noise-free plan latency.
+            graph: explicit (e.g. pruned) graph; bypasses the memo cache.
+            energy_meter: when given, also measure energy per inference.
+            n_runs: timing-loop length override (default: paper policy).
+        """
+        config = EngineConfig(batch_size=scenario.batch_size)
+        try:
+            session, cache_outcome = self._session(scenario, graph)
+            stats = None
+            if use_timer:
+                measurement = self.timer(scenario).measure(session, n_runs)
+                stats = LatencyStats.from_measurement(measurement)
+                latency_s = measurement.value
+            else:
+                latency_s = session.latency_s
+            plan = session.plan
+            deployed = session.deployed
+            overhead = session.overhead_fraction if scenario.containerized else None
+            energy_j = None
+            if energy_meter is not None:
+                energy_j = float(energy_meter.measure(session))
+        except ReproError as error:
+            return RunRecord(
+                scenario=scenario,
+                status="failed",
+                provenance=Provenance.build(scenario, "none", use_timer, config),
+                failure=FailureRecord.from_error(error),
+            )
+        return RunRecord(
+            scenario=scenario,
+            status="ok",
+            provenance=Provenance.build(scenario, cache_outcome, use_timer, config),
+            latency_s=latency_s,
+            model_latency_s=session.latency_s,
+            stats=stats,
+            init_time_s=session.init_time_s,
+            utilization=session.utilization,
+            power_w=active_power_w(session),
+            energy_j=energy_j,
+            container_overhead=overhead,
+            plan=PlanBreakdown(
+                compute_s=plan.compute_s,
+                memory_s=plan.memory_s,
+                dispatch_s=plan.dispatch_s,
+                roofline_s=plan.roofline_s,
+                session_overhead_s=plan.session_overhead_s,
+                input_transfer_s=plan.input_transfer_s,
+                op_count=len(plan.timings),
+                weight_bytes=deployed.graph.weight_bytes(),
+            ),
+        )
+
+    # -- batch API ---------------------------------------------------------
+    def run_cells(self, scenarios: Iterable[Scenario], *, jobs: int = 1,
+                  executor: str = "thread", use_timer: bool = True) -> list[RunRecord]:
+        """Run many scenarios, optionally across a worker pool.
+
+        Results come back in input order regardless of completion order.
+        Thread workers share the engine memo layer; process workers build
+        their own per-process caches (records are identical either way —
+        every cell's noise is seeded from its own canonical key).
+        """
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        cells = list(scenarios)
+        if jobs <= 1 or len(cells) <= 1:
+            return [self.run(scenario, use_timer=use_timer) for scenario in cells]
+        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+        payloads = [(self, scenario, use_timer) for scenario in cells]
+        with pool_cls(max_workers=min(jobs, len(cells))) as pool:
+            return list(pool.map(_run_cell, payloads))
+
+    # -- candidate search --------------------------------------------------
+    def candidates_for(self, device_name: str,
+                       default: Sequence[str] | None = None) -> tuple[str, ...]:
+        """Best-first framework candidates for a device.
+
+        Unknown devices surface a structured :class:`UnknownEntryError`
+        (which is both a ReproError and a KeyError) instead of a bare
+        ``KeyError`` from the candidates table.
+        """
+        canon = canonical_name(device_name)
+        for name, frameworks in BEST_FRAMEWORK_CANDIDATES.items():
+            if canonical_name(name) == canon:
+                return frameworks
+        from repro.hardware import load_device
+
+        load_device(device_name)  # raises UnknownEntryError for unknown devices
+        if default is not None:
+            return tuple(default)
+        known = ", ".join(sorted(BEST_FRAMEWORK_CANDIDATES))
+        raise UnknownEntryError(
+            f"no best-framework candidates for device {device_name!r} "
+            f"(candidates are defined for: {known})")
+
+    def best_latency(self, model_name: str, device_name: str,
+                     use_timer: bool = True) -> tuple[str, float] | None:
+        """(framework, seconds) of the fastest deployable candidate, or None."""
+        best: tuple[str, float] | None = None
+        for framework_name in self.candidates_for(device_name):
+            record = self.run(Scenario(model_name, device_name, framework_name),
+                              use_timer=use_timer)
+            if record.failed:
+                continue
+            assert record.latency_s is not None
+            if best is None or record.latency_s < best[1]:
+                best = (framework_name, record.latency_s)
+        return best
+
+    def first_session(self, model_name: str, device_name: str,
+                      candidates: Sequence[str] | None = None,
+                      default: Sequence[str] = ("PyTorch",)):
+        """(framework, session) for the first deployable candidate, or None."""
+        if candidates is None:
+            candidates = self.candidates_for(device_name, default=default)
+        for framework_name in candidates:
+            try:
+                session = self.session(Scenario(model_name, device_name, framework_name))
+            except ReproError:
+                continue
+            return framework_name, session
+        return None
+
+
+def _run_cell(payload: tuple[Runner, Scenario, bool]) -> RunRecord:
+    """Worker body for :meth:`Runner.run_cells`; module-level so it pickles."""
+    runner, scenario, use_timer = payload
+    return runner.run(scenario, use_timer=use_timer)
+
+
+_DEFAULT_RUNNER = Runner()
+
+
+def default_runner() -> Runner:
+    """The shared module-level Runner the harness routes through."""
+    return _DEFAULT_RUNNER

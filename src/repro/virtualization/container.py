@@ -5,6 +5,11 @@ isolation: a fixed per-inference tax (namespace/cgroup bookkeeping around
 the I/O each inference performs) plus a small proportional tax on
 user-space time.  Both are tiny, which reproduces the paper's finding that
 the slowdown stays within 5% — "contrary to popular belief".
+
+Containerized runs are normally described declaratively — set
+``containerized=True`` on a :class:`repro.runtime.Scenario` and the Runner
+wraps the session in :data:`DEFAULT_CONTAINER`; construct a
+:class:`Container` directly only to model a non-default runtime profile.
 """
 
 from __future__ import annotations
@@ -69,3 +74,16 @@ class ContainerizedSession:
     @property
     def deployed(self):
         return self.session.deployed
+
+    @property
+    def plan(self):
+        """The underlying bare-metal execution plan (the container adds no ops)."""
+        return self.session.plan
+
+    def describe(self) -> str:
+        return (f"{self.session.describe()} "
+                f"[{self.container.name}: +{self.overhead_fraction:.1%}]")
+
+
+# The profile Runner uses for ``Scenario(containerized=True)`` cells.
+DEFAULT_CONTAINER = Container()

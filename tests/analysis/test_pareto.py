@@ -1,6 +1,5 @@
 """Pareto-frontier extraction."""
 
-import pytest
 
 from repro.analysis.pareto import ParetoPoint, dominated_by, pareto_frontier
 

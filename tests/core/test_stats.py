@@ -90,7 +90,7 @@ class TestCompareSpeedup:
     def test_works_with_timer_output(self, session_factory):
         from repro.measurement import InferenceTimer
 
-        timer = InferenceTimer(seed=10, jitter_fraction=0.05)
+        InferenceTimer(seed=10, jitter_fraction=0.05)  # constructs cleanly
         pt = session_factory("ResNet-18", "Jetson Nano", "PyTorch")
         trt = session_factory("ResNet-18", "Jetson Nano", "TensorRT")
         pt_samples = [pt.latency_s * j for j in

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.roofline import OpTiming, RooflineInputs, time_op
+from repro.engine.roofline import RooflineInputs, time_op
 from repro.graphs import ops as O
 from repro.graphs.tensor import TensorShape
 

@@ -5,7 +5,7 @@ import pytest
 from repro.engine import InferenceSession
 from repro.frameworks import load_framework
 from repro.frameworks.ncsdk import _FAMILY_TUNING, NCSDK
-from repro.hardware import ComputeKind, load_device
+from repro.hardware import load_device
 from repro.models import load_model
 
 

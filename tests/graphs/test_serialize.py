@@ -4,7 +4,6 @@ import json
 
 import pytest
 
-from repro.graphs import GraphBuilder
 from repro.graphs.serialize import (
     FORMAT_VERSION,
     graph_from_dict,

@@ -1,5 +1,6 @@
 """CLI verbs added after the core set: formats, charts, recommend."""
 
+
 import pytest
 
 from repro.cli import main
@@ -48,3 +49,44 @@ class TestRecommend:
         out = capsys.readouterr().out
         rows = [line for line in out.splitlines() if " via " in line]
         assert len(rows) == 2
+
+
+class TestTimeScenarioFlags:
+    def test_timed_output_includes_seed_and_cache(self, capsys):
+        assert main(["time", "ResNet-18", "Jetson Nano", "TensorRT"]) == 0
+        out = capsys.readouterr().out
+        assert "ms/inference" in out
+        assert "seed 0xa503b5ef" in out      # golden Scenario.seed
+        assert "deploy cache" in out
+
+    def test_no_timer_skips_timing_loop(self, capsys):
+        assert main(["time", "ResNet-18", "Jetson Nano", "TensorRT",
+                     "--no-timer"]) == 0
+        assert "timed:" not in capsys.readouterr().out
+
+    def test_scenario_axes_accepted(self, capsys):
+        assert main(["time", "MobileNet-v2", "Jetson TX2", "PyTorch",
+                     "--dtype", "fp16", "--batch", "4",
+                     "--power-mode", "Max-Q", "--container"]) == 0
+        assert "ms/inference" in capsys.readouterr().out
+
+    def test_failure_reports_taxonomy_kind(self, capsys):
+        assert main(["time", "VGG16", "Raspberry Pi 3B", "TensorFlow"]) == 1
+        err = capsys.readouterr().err
+        assert "deployment failed" in err
+        assert "[memory_error]" in err
+
+
+class TestExportParallel:
+    def test_jobs_flag_produces_identical_snapshot(self, tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        threaded = tmp_path / "threaded.json"
+        assert main(["export", str(serial), "fig07", "table6"]) == 0
+        assert main(["export", str(threaded), "fig07", "table6",
+                     "--jobs", "2"]) == 0
+        assert serial.read_text() == threaded.read_text()
+
+    def test_bad_executor_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["export", "out.json", "--executor", "rayon"])
+        assert excinfo.value.code == 2

@@ -1,6 +1,5 @@
 """CLI calibration/summary verbs and the verbose graph summary."""
 
-import pytest
 
 from repro.cli import main
 from repro.models import load_model

@@ -5,10 +5,8 @@ Examples are a deliverable, not decoration: each is imported and its
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 

@@ -6,7 +6,6 @@ the library refuses with the right exception and message — never a silent
 fallback.
 """
 
-import dataclasses
 
 import numpy as np
 import pytest

@@ -5,7 +5,6 @@ crossovers fall), not absolute-number matches — the substrate is a
 simulator, not the authors' testbed.  Each test quotes the claim it checks.
 """
 
-import pytest
 
 from repro.core.result import geometric_mean
 from repro.harness import run_experiment

@@ -33,7 +33,6 @@ class TestParetoProperties:
     @given(points=point_sets())
     @settings(max_examples=80, deadline=None)
     def test_every_excluded_point_is_dominated(self, points):
-        frontier = set(id(p) for p in pareto_frontier(points))
         # pareto_frontier preserves object identity via list membership.
         labels = {p.label for p in pareto_frontier(points)}
         for point in points:
@@ -61,8 +60,8 @@ class TestLinkProperties:
     @given(
         bandwidth=st.floats(1e3, 1e10, allow_nan=False),
         latency=st.floats(0.0, 1.0, allow_nan=False),
-        a=st.floats(0, 1e8),
-        b=st.floats(0, 1e8),
+        a=st.floats(0, 1e8, allow_subnormal=False),
+        b=st.floats(0, 1e8, allow_subnormal=False),
     )
     @settings(max_examples=80, deadline=None)
     def test_transfer_time_superadditive_in_payload(self, bandwidth, latency, a, b):
@@ -70,7 +69,10 @@ class TestLinkProperties:
         link = NetworkLink("t", bandwidth, latency)
         combined = link.transfer_time_s(a + b)
         split = link.transfer_time_s(a) + link.transfer_time_s(b)
-        assert split >= combined * (1 - 1e-9)
+        # Absolute slack alongside the relative one: denormal-scale payload
+        # times carry one-ulp rounding asymmetries the relative bound
+        # cannot absorb.
+        assert split >= combined * (1 - 1e-9) - 1e-300
 
     @given(
         bandwidth=st.floats(1e3, 1e10, allow_nan=False),

@@ -1,0 +1,96 @@
+"""RunRecord JSON round-trip and the Table V failure taxonomy."""
+
+import json
+
+import pytest
+
+from repro.core.errors import (
+    CompatibilityError,
+    ConversionError,
+    DeploymentError,
+    IncompatibleModelError,
+    OutOfMemoryError,
+    ReproError,
+    ThermalShutdownError,
+    UnknownEntryError,
+)
+from repro.runtime import FailureRecord, RunRecord, Scenario, default_runner, failure_kind
+from repro.runtime.record import RECORD_VERSION
+
+NANO = Scenario("ResNet-18", "Jetson Nano", "TensorRT")
+RPI_TF = Scenario("VGG16", "Raspberry Pi 3B", "TensorFlow")
+
+
+class TestFailureTaxonomy:
+    @pytest.mark.parametrize("error,kind", [
+        (OutOfMemoryError("boom"), "memory_error"),
+        (ConversionError("boom"), "conversion_error"),
+        (IncompatibleModelError("boom"), "incompatible_model"),
+        (UnknownEntryError("boom"), "unknown_entry"),
+        (DeploymentError("boom"), "deployment_error"),
+        (CompatibilityError("boom"), "not_available"),
+        (ThermalShutdownError("boom"), "thermal_shutdown"),
+        (ReproError("boom"), "repro_error"),
+    ])
+    def test_every_error_type_maps(self, error, kind):
+        assert failure_kind(error) == kind
+        assert FailureRecord.from_error(error).kind == kind
+
+    def test_oom_details_captured(self):
+        error = OutOfMemoryError("too big", required_bytes=2048,
+                                 available_bytes=1024)
+        record = FailureRecord.from_error(error)
+        assert record.details == {"required_bytes": 2048,
+                                  "available_bytes": 1024}
+        assert record.error_type == "OutOfMemoryError"
+
+    def test_thermal_details_captured(self):
+        record = FailureRecord.from_error(
+            ThermalShutdownError("hot", temperature_c=85.0))
+        assert record.details == {"temperature_c": 85.0}
+
+
+class TestRoundTrip:
+    def test_ok_record_round_trips(self):
+        record = default_runner().run(NANO)
+        assert record.ok and not record.failed
+        restored = RunRecord.from_json(record.to_json())
+        assert restored == record
+        assert restored.latency_s == record.latency_s
+        assert restored.stats == record.stats
+        assert restored.plan == record.plan
+        assert restored.provenance == record.provenance
+
+    def test_failed_record_round_trips(self):
+        record = default_runner().run(RPI_TF)
+        assert record.failed
+        assert record.failure is not None
+        assert record.failure.kind == "memory_error"
+        assert record.latency_s is None
+        restored = RunRecord.from_json(record.to_json())
+        assert restored == record
+        assert restored.failure == record.failure
+
+    def test_json_is_plain_data(self):
+        payload = json.loads(default_runner().run(NANO).to_json())
+        assert payload["record_version"] == RECORD_VERSION
+        assert payload["scenario"]["model"] == "ResNet-18"
+        assert payload["provenance"]["seed"] == NANO.seed
+
+    def test_version_mismatch_rejected(self):
+        payload = default_runner().run(NANO).to_dict()
+        payload["record_version"] = 99
+        with pytest.raises(ValueError, match="record version"):
+            RunRecord.from_dict(payload)
+
+    def test_latency_accessor_raises_structured_failure(self):
+        record = default_runner().run(RPI_TF)
+        with pytest.raises(ReproError, match="failed"):
+            record.latency()
+
+    def test_describe_covers_both_shapes(self):
+        ok = default_runner().run(NANO)
+        failed = default_runner().run(RPI_TF)
+        assert "ms/inference" in ok.describe()
+        assert "FAILED" in failed.describe()
+        assert "memory_error" in failed.describe()

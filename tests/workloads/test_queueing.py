@@ -6,7 +6,6 @@ import pytest
 from repro.workloads import (
     PeriodicArrivals,
     PoissonArrivals,
-    QueueStats,
     simulate_serving,
 )
 
