@@ -21,15 +21,23 @@ def energy_delay_metrics(session: InferenceSession) -> tuple[float, float, float
 
 
 def energy_delay_table(model_name: str, device_framework_pairs,
-                       build_session) -> ResultTable:
+                       session_factory=None) -> ResultTable:
     """Rank deployments of one model by EDP.
 
     Args:
         model_name: zoo model to deploy everywhere.
         device_framework_pairs: iterable of (device, framework) names.
-        build_session: callable (model, device, framework) -> session; the
-            harness passes :func:`repro.harness.figures.build_session`.
+        session_factory: callable (model, device, framework) -> session;
+            defaults to the runtime layer's ``Runner.session``.
     """
+    if session_factory is None:
+        from repro.runtime import Scenario, default_runner
+
+        runner = default_runner()
+
+        def session_factory(model, device, framework):
+            return runner.session(Scenario(model, device, framework))
+
     table = ResultTable(
         f"Energy-delay ranking for {model_name}",
         ["framework", "latency_ms", "energy_mj", "edp_mj_ms", "ed2p"],
@@ -39,7 +47,7 @@ def energy_delay_table(model_name: str, device_framework_pairs,
     rows = []
     for device_name, framework_name in device_framework_pairs:
         try:
-            session = build_session(model_name, device_name, framework_name)
+            session = session_factory(model_name, device_name, framework_name)
         except ReproError:
             continue
         energy, edp, ed2p = energy_delay_metrics(session)

@@ -13,6 +13,10 @@ from dataclasses import dataclass, field
 
 from repro.engine.executor import InferenceSession
 
+# Clock factors at or below this floor mean the device is off (thermal
+# shutdown reports exactly 0.0; real throttle factors are orders larger).
+_MIN_CLOCK_FACTOR = 1e-9
+
 
 @dataclass
 class SustainedResult:
@@ -76,7 +80,7 @@ def simulate_sustained(
 
     while simulator.time_s < duration_s:
         clock = simulator.clock_factor
-        if clock == 0.0:
+        if clock < _MIN_CLOCK_FACTOR:
             break
         latency = base_latency / clock
         power = device.power.idle_w + (

@@ -1,0 +1,78 @@
+"""`repro.check`: static verification over the graph IR, data tables and
+runtime-layer architecture.
+
+Three passes, one vocabulary (:class:`~repro.check.findings.Finding`):
+
+* ``ir`` — re-verifies every zoo graph and every transform output
+  (well-formedness + conservation invariants), rules ``IR0xx``/``IR1xx``.
+* ``tables`` — cross-validates device specs, framework capability tables,
+  calibration anchors and the Table V declarations, rules ``TABxxx``.
+* ``arch`` — `ast` lint of ``src/repro`` enforcing the runtime-layer
+  contracts, rules ``ARCHxxx``.
+
+``python -m repro check --strict`` runs all three and exits non-zero on any
+finding; see ``docs/checks.md`` for the full rule catalog and the
+suppression syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.check import arch, ir, tables
+from repro.check.findings import (
+    Finding,
+    Severity,
+    count_by_severity,
+    render_json,
+    render_text,
+    suppress,
+)
+
+#: pass name -> entry point, in report order.
+PASSES = {
+    "ir": ir.run,
+    "tables": tables.run,
+    "arch": arch.run,
+}
+
+PASS_NAMES = tuple(PASSES)
+
+
+def rule_catalog() -> dict[str, tuple[Severity, str]]:
+    """Every known rule id -> (severity, description), across all passes."""
+    catalog: dict[str, tuple[Severity, str]] = {}
+    for module in (ir, tables, arch):
+        catalog.update(module.RULES)
+    return catalog
+
+
+def run_checks(passes: Sequence[str] | None = None,
+               ignore: Sequence[str] = ()) -> list[Finding]:
+    """Run the requested passes (default: all) and apply rule suppression."""
+    selected = PASS_NAMES if not passes else tuple(passes)
+    unknown = [name for name in selected if name not in PASSES]
+    if unknown:
+        raise ValueError(f"unknown check pass(es) {unknown}; "
+                         f"known: {', '.join(PASS_NAMES)}")
+    findings: list[Finding] = []
+    for name in selected:
+        findings += PASSES[name]()
+    return suppress(findings, ignore)
+
+
+__all__ = [
+    "Finding",
+    "PASSES",
+    "PASS_NAMES",
+    "Severity",
+    "arch",
+    "count_by_severity",
+    "ir",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "run_checks",
+    "suppress",
+    "tables",
+]

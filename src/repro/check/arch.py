@@ -1,0 +1,213 @@
+"""Architectural linter: `ast`-based contract checks over ``src/repro``.
+
+PR 2's runtime layer introduced contracts that convention alone cannot hold:
+all measurement goes through the :class:`~repro.runtime.runner.Runner`, the
+old string-triple helpers are migration shims only, and everything the
+engine memoizes must be pure.  This pass walks the package source and
+enforces them:
+
+* **ARCH001** — no direct ``InferenceSession``/``InferenceTimer``
+  construction outside the ``runtime``/``engine``/``measurement`` layers.
+  Simulation code that prices ad-hoc deployments (split planners, batch
+  servers) carries an explicit inline suppression instead.
+* **ARCH002** — no call sites of the deprecated wrappers
+  (``measurement_seed``, ``cell_timer``, ``measure_latency_s``,
+  ``build_session``, ``best_framework_latency``, ``engine.cache.deploy_key``).
+* **ARCH003** — no ``==``/``!=`` against float literals; physics code
+  compares with tolerances or sentinels.
+* **ARCH004** — no nondeterministic calls (``random``, wall-clock ``time``,
+  ``uuid``, ``secrets``, unseeded ``default_rng``) in the pure cached paths
+  (``engine``/``graphs``/``frameworks``/``models``/``hardware``), which the
+  ``engine.cache`` purity contract relies on.
+
+Suppress a finding by annotating its line::
+
+    session = InferenceSession(deployed)  # repro: allow[ARCH001] simulation
+
+The comment names the rule(s) it silences; anything else on the line still
+reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.check.findings import Finding, Severity
+
+RULES: dict[str, tuple[Severity, str]] = {
+    "ARCH001": (Severity.ERROR, "sessions/timers are constructed by the runtime layer, "
+                                "not ad hoc"),
+    "ARCH002": (Severity.ERROR, "deprecated wrapper call; use Scenario/Runner instead"),
+    "ARCH003": (Severity.ERROR, "float literal compared with ==/!=; use a tolerance"),
+    "ARCH004": (Severity.ERROR, "nondeterministic call in a pure cached path"),
+}
+
+#: module path prefixes (relative to the repro package) per rule exemption.
+_SESSION_LAYERS = ("runtime", "engine", "measurement")
+_PURE_LAYERS = ("engine", "graphs", "frameworks", "models", "hardware")
+
+_SESSION_TYPES = ("InferenceSession", "InferenceTimer")
+_DEPRECATED_WRAPPERS = ("measurement_seed", "cell_timer", "measure_latency_s",
+                        "build_session", "best_framework_latency", "deploy_key")
+_TIME_FUNCS = ("time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+               "perf_counter_ns", "process_time", "process_time_ns")
+_RANDOM_MODULES = ("random", "secrets", "uuid")
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+def _relative_parts(path: str) -> tuple[str, ...]:
+    """Path components below the last ``repro`` package directory."""
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return parts[index + 1:]
+    return parts
+
+
+def _display_path(path: str) -> str:
+    rel = _relative_parts(path)
+    if rel != Path(path).parts:
+        return str(Path("repro", *rel))
+    return path
+
+
+def _dotted_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty for non-name chains."""
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+        return list(reversed(chain))
+    return []
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class _ContractVisitor(ast.NodeVisitor):
+    def __init__(self, parts: tuple[str, ...], display: str, lines: list[str]):
+        self.parts = parts
+        self.display = display
+        self.lines = lines
+        self.findings: list[Finding] = []
+        self._random_imports: set[str] = set()
+
+    # -- helpers ---------------------------------------------------------
+    def _layer(self) -> str:
+        return self.parts[0] if len(self.parts) > 1 else ""
+
+    def _allowed(self, rule: str, lineno: int) -> bool:
+        if 1 <= lineno <= len(self.lines):
+            match = _ALLOW_RE.search(self.lines[lineno - 1])
+            if match:
+                allowed = {entry.strip().upper() for entry in match.group(1).split(",")}
+                return rule in allowed
+        return False
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if self._allowed(rule, lineno):
+            return
+        self.findings.append(Finding(
+            rule, RULES[rule][0], f"{self.display}:{lineno}", message))
+
+    # -- imports feeding ARCH004 ----------------------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in _RANDOM_MODULES:
+            self._random_imports.update(alias.asname or alias.name
+                                        for alias in node.names)
+        elif node.module == "time":
+            self._random_imports.update(
+                alias.asname or alias.name for alias in node.names
+                if alias.name in _TIME_FUNCS)
+        self.generic_visit(node)
+
+    # -- calls -----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name in _SESSION_TYPES and self._layer() not in _SESSION_LAYERS:
+            self._emit("ARCH001", node,
+                       f"direct {name} construction outside the runtime layer")
+        if name in _DEPRECATED_WRAPPERS:
+            self._emit("ARCH002", node, f"call to deprecated wrapper {name}()")
+        if self._layer() in _PURE_LAYERS:
+            self._check_purity(node, name)
+        self.generic_visit(node)
+
+    def _check_purity(self, node: ast.Call, name: str | None) -> None:
+        chain = _dotted_chain(node.func)
+        if name == "default_rng":
+            # A seeded generator is deterministic; only the argless form
+            # (which seeds from the OS) breaks the purity contract.
+            if not node.args and not node.keywords:
+                self._emit("ARCH004", node, "unseeded default_rng() in a cached path")
+            return
+        if chain:
+            root, leaf = chain[0], chain[-1]
+            if root in _RANDOM_MODULES or "random" in chain[:-1]:
+                self._emit("ARCH004", node,
+                           f"nondeterministic call {'.'.join(chain)}()")
+                return
+            if root == "time" and leaf in _TIME_FUNCS:
+                self._emit("ARCH004", node, f"wall-clock call {'.'.join(chain)}()")
+                return
+            if root == "os" and leaf == "urandom":
+                self._emit("ARCH004", node, "nondeterministic call os.urandom()")
+                return
+            if root == "datetime" and leaf in ("now", "utcnow", "today"):
+                self._emit("ARCH004", node, f"wall-clock call {'.'.join(chain)}()")
+                return
+        if isinstance(node.func, ast.Name) and node.func.id in self._random_imports:
+            self._emit("ARCH004", node,
+                       f"nondeterministic call {node.func.id}() (imported from a "
+                       "random/time module)")
+
+    # -- comparisons -----------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            if any(isinstance(operand, ast.Constant)
+                   and isinstance(operand.value, float)
+                   for operand in operands):
+                self._emit("ARCH003", node,
+                           "float literal compared with ==/!=")
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str) -> list[Finding]:
+    """Lint one module's source text; ``path`` decides layer exemptions."""
+    tree = ast.parse(source, filename=path)
+    visitor = _ContractVisitor(_relative_parts(path), _display_path(path),
+                               source.splitlines())
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def lint_paths(paths: list[Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in sorted(paths):
+        findings += lint_source(path.read_text(), str(path))
+    return findings
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package (the lint target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def run(root: Path | None = None) -> list[Finding]:
+    """Architecture pass entry point: lint every module under ``root``."""
+    root = Path(root) if root is not None else package_root()
+    return lint_paths(list(root.rglob("*.py")))

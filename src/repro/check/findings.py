@@ -1,0 +1,89 @@
+"""Structured findings and the shared reporter for `repro check`.
+
+Every verification pass (IR, tables, architecture) reports through the same
+vocabulary: a :class:`Finding` carries a stable rule id, a severity, a
+location string and a human-readable message.  The CLI renders findings as
+text or JSON and applies per-rule suppression, so CI can run
+``repro check --strict`` and fail on any finding while a developer can
+silence one rule (``--ignore IR008``) during an investigation.
+
+Location strings are pass-specific but follow one scheme:
+
+* ``graph:<model>[@<transform>]/<op>`` for IR findings,
+* ``device:<name>`` / ``framework:<name>`` / ``calibration:<fw>@<dev>`` /
+  ``tableV:<device>`` for table findings,
+* ``<path>:<line>`` for architectural findings.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``--strict`` treats every level as fatal."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation reported by a verification pass."""
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.severity.value:7s} {self.rule}  {self.location}: {self.message}"
+
+
+def suppress(findings: Iterable[Finding], rules: Sequence[str]) -> list[Finding]:
+    """Drop findings whose rule id is in ``rules`` (exact, case-insensitive)."""
+    ignored = {rule.upper() for rule in rules}
+    return [f for f in findings if f.rule.upper() not in ignored]
+
+
+def count_by_severity(findings: Sequence[Finding]) -> dict[str, int]:
+    counts = {severity.value: 0 for severity in Severity}
+    for finding in findings:
+        counts[finding.severity.value] += 1
+    return counts
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    counts = count_by_severity(findings)
+    if findings:
+        lines.append(
+            f"{len(findings)} finding(s): {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} info"
+        )
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable schema for the CI gate)."""
+    payload = {
+        "version": 1,
+        "counts": count_by_severity(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=1)

@@ -1,0 +1,321 @@
+"""Data-consistency checker for device, framework and calibration tables.
+
+The paper's reproduction rests on a web of hand-maintained tables: Table
+III's device specs, Table II's framework capabilities and efficiency
+fractions, the calibration anchors, and Table V's per-device framework
+chains.  Each entry is declared in one module but *consumed* by several
+others, so a half-registered device or a framework chain naming an
+unsupported backend produces wrong numbers silently.  This pass
+cross-validates every table against the registries and against each other.
+
+Every checker takes its inputs as arguments (defaulting to the real
+registries/tables) so tests can inject corrupted entries and assert rule
+ids without monkeypatching global state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.check.findings import Finding, Severity
+from repro.engine.calibration import _SCALE_DELEGATES, ANCHORS
+from repro.frameworks import FRAMEWORK_REGISTRY, list_frameworks, load_framework
+from repro.frameworks.compat import CompatStatus, TABLE_V_FRAMEWORKS, TABLE_V_MODELS
+from repro.harness.paper_data import TABLE5_EXPECTED
+from repro.hardware import DEVICE_REGISTRY, list_devices, load_device
+from repro.models import MODEL_REGISTRY
+from repro.runtime.runner import BEST_FRAMEWORK_CANDIDATES
+
+RULES: dict[str, tuple[Severity, str]] = {
+    "TAB001": (Severity.ERROR, "device memory spec must be positive with a usable "
+                               "fraction in (0, 1]"),
+    "TAB002": (Severity.ERROR, "device compute units must declare positive finite peaks"),
+    "TAB003": (Severity.ERROR, "device power/utilization/thermal constants out of range"),
+    "TAB004": (Severity.ERROR, "device supported_frameworks must resolve in the "
+                               "framework registry"),
+    "TAB005": (Severity.ERROR, "framework capability star ratings must be integers 1-3"),
+    "TAB006": (Severity.ERROR, "framework efficiency fractions must lie in (0, 1]"),
+    "TAB007": (Severity.ERROR, "framework overhead costs must be non-negative"),
+    "TAB008": (Severity.ERROR, "calibration anchors must reference registered entries "
+                               "with a positive target"),
+    "TAB009": (Severity.ERROR, "calibration delegates must resolve to an anchored "
+                               "framework"),
+    "TAB010": (Severity.ERROR, "Table V framework chains must be supported by their "
+                               "device"),
+    "TAB011": (Severity.ERROR, "Table V expected matrix must cover exactly the declared "
+                               "models/devices with known symbols"),
+    "TAB012": (Severity.ERROR, "best-framework candidates must be registered, supported "
+                               "and cover the Table V chain"),
+}
+
+
+def _finding(rule: str, location: str, message: str) -> Finding:
+    return Finding(rule, RULES[rule][0], location, message)
+
+
+def _positive_finite(value) -> bool:
+    return isinstance(value, (int, float)) and value > 0 and math.isfinite(float(value))
+
+
+def _fraction(value) -> bool:
+    return isinstance(value, (int, float)) and 0.0 < value <= 1.0
+
+
+# -- devices ---------------------------------------------------------------
+def check_devices(devices: Iterable | None = None) -> list[Finding]:
+    """Validate device specs (TAB001-TAB004) for every catalog entry."""
+    if devices is None:
+        devices = [load_device(name) for name in list_devices()]
+    findings: list[Finding] = []
+    for device in devices:
+        where = f"device:{device.name}"
+        memory = device.memory
+        if not _positive_finite(memory.capacity_bytes):
+            findings.append(_finding("TAB001", where, "memory capacity must be positive"))
+        if not _positive_finite(memory.bandwidth_bytes_per_s):
+            findings.append(_finding("TAB001", where, "memory bandwidth must be positive"))
+        if not _positive_finite(memory.storage_bandwidth_bytes_per_s):
+            findings.append(_finding("TAB001", where, "storage bandwidth must be positive"))
+        if not _fraction(memory.usable_fraction):
+            findings.append(_finding(
+                "TAB001", where,
+                f"usable_fraction must be in (0, 1], got {memory.usable_fraction!r}"))
+
+        if not device.compute_units:
+            findings.append(_finding("TAB002", where, "device has no compute units"))
+        for unit in device.compute_units:
+            unit_where = f"{where}/{unit.kind.value}"
+            if not unit.peak_macs_per_s:
+                findings.append(_finding("TAB002", unit_where, "unit declares no peaks"))
+            for dtype, peak in unit.peak_macs_per_s.items():
+                if not _positive_finite(peak):
+                    findings.append(_finding(
+                        "TAB002", unit_where,
+                        f"peak for {dtype.value} must be positive finite, got {peak!r}"))
+            if unit.dispatch_overhead_s < 0:
+                findings.append(_finding("TAB002", unit_where,
+                                         "dispatch overhead must be >= 0"))
+            if unit.cores < 1:
+                findings.append(_finding("TAB002", unit_where, "cores must be >= 1"))
+
+        if device.power.idle_w < 0 or device.power.active_w < device.power.idle_w:
+            findings.append(_finding(
+                "TAB003", where, "power model needs 0 <= idle_w <= active_w"))
+        if not _fraction(device.inference_utilization):
+            findings.append(_finding(
+                "TAB003", where,
+                f"inference_utilization must be in (0, 1], "
+                f"got {device.inference_utilization!r}"))
+        thermal = device.thermal
+        if thermal is not None:
+            if not _positive_finite(thermal.r_passive_c_per_w) or \
+                    not _positive_finite(thermal.r_active_c_per_w):
+                findings.append(_finding("TAB003", where,
+                                         "thermal resistances must be positive"))
+            if not _positive_finite(thermal.c_j_per_c):
+                findings.append(_finding("TAB003", where,
+                                         "thermal capacitance must be positive"))
+            if thermal.surface_offset_c < 0:
+                findings.append(_finding("TAB003", where,
+                                         "surface offset must be >= 0"))
+
+        for name in device.supported_frameworks:
+            if name not in FRAMEWORK_REGISTRY:
+                findings.append(_finding(
+                    "TAB004", where, f"supported framework {name!r} is not registered"))
+    return findings
+
+
+# -- frameworks ------------------------------------------------------------
+_STAR_FIELDS = ("usability", "adding_new_models", "predefined_models",
+                "documentation", "low_level_modifications",
+                "compatibility_with_others")
+_EFFICIENCY_FIELDS = ("depthwise_efficiency", "conv3d_efficiency",
+                      "norm_efficiency", "recurrent_efficiency")
+_OVERHEAD_COST_FIELDS = ("library_load_s", "graph_setup_base_s",
+                         "graph_setup_per_op_s", "session_base_s",
+                         "python_per_op_s", "runtime_memory_bytes",
+                         "gpu_staging_base_s")
+
+
+def check_frameworks(frameworks: Iterable | None = None) -> list[Finding]:
+    """Validate framework capability/efficiency tables (TAB005-TAB007)."""
+    if frameworks is None:
+        frameworks = [load_framework(name) for name in list_frameworks()]
+    findings: list[Finding] = []
+    for framework in frameworks:
+        where = f"framework:{framework.name}"
+        for field in _STAR_FIELDS:
+            stars = getattr(framework.capabilities, field)
+            if not isinstance(stars, int) or isinstance(stars, bool) or \
+                    not 1 <= stars <= 3:
+                findings.append(_finding(
+                    "TAB005", where, f"{field} must be 1-3 stars, got {stars!r}"))
+
+        for kind, quality in framework.kernel_quality.items():
+            if not _fraction(quality):
+                findings.append(_finding(
+                    "TAB006", where,
+                    f"kernel_quality[{kind.value}] must be in (0, 1], got {quality!r}"))
+        for field in _EFFICIENCY_FIELDS:
+            value = getattr(framework, field)
+            if not _fraction(value):
+                findings.append(_finding(
+                    "TAB006", where, f"{field} must be in (0, 1], got {value!r}"))
+        for kind, (half, exponent) in framework.size_saturation.items():
+            if not _positive_finite(half) or not _fraction(exponent):
+                findings.append(_finding(
+                    "TAB006", where,
+                    f"size_saturation[{kind.value}] needs half > 0 and exponent "
+                    f"in (0, 1], got {(half, exponent)!r}"))
+
+        for field in _OVERHEAD_COST_FIELDS:
+            value = getattr(framework.overheads, field)
+            if value < 0:
+                findings.append(_finding(
+                    "TAB007", where, f"{field} must be >= 0, got {value!r}"))
+        if framework.overheads.weight_memory_factor < 1.0:
+            findings.append(_finding(
+                "TAB007", where,
+                "weight_memory_factor below 1.0 would under-count live weights"))
+    return findings
+
+
+# -- calibration -----------------------------------------------------------
+def check_calibration(
+    anchors: Mapping[tuple[str, str], tuple[str, float, str]] | None = None,
+    delegates: Mapping[str, str] | None = None,
+) -> list[Finding]:
+    """Validate calibration anchors and delegates (TAB008-TAB009)."""
+    if anchors is None:
+        anchors = ANCHORS
+    if delegates is None:
+        delegates = _SCALE_DELEGATES
+    findings: list[Finding] = []
+    anchored_frameworks = set()
+    for (framework, device), (model, target_s, source) in anchors.items():
+        where = f"calibration:{framework}@{device}"
+        anchored_frameworks.add(framework)
+        if framework not in FRAMEWORK_REGISTRY:
+            findings.append(_finding("TAB008", where,
+                                     f"unknown framework {framework!r}"))
+        if device not in DEVICE_REGISTRY:
+            findings.append(_finding("TAB008", where, f"unknown device {device!r}"))
+        if model not in MODEL_REGISTRY:
+            findings.append(_finding("TAB008", where, f"unknown anchor model {model!r}"))
+        if not _positive_finite(target_s):
+            findings.append(_finding(
+                "TAB008", where, f"anchor target must be positive finite seconds, "
+                                 f"got {target_s!r}"))
+        if not source:
+            findings.append(_finding("TAB008", where, "anchor has no figure source"))
+
+    for framework, delegate in delegates.items():
+        where = f"calibration:{framework}"
+        if framework not in FRAMEWORK_REGISTRY or delegate not in FRAMEWORK_REGISTRY:
+            findings.append(_finding(
+                "TAB009", where, f"delegate pair {framework!r} -> {delegate!r} "
+                                 "names an unregistered framework"))
+            continue
+        if framework == delegate:
+            findings.append(_finding("TAB009", where, "framework delegates to itself"))
+        if delegate not in anchored_frameworks:
+            findings.append(_finding(
+                "TAB009", where,
+                f"delegate {delegate!r} has no calibration anchors to inherit"))
+    return findings
+
+
+# -- Table V ---------------------------------------------------------------
+def check_table_v(
+    table_v: Mapping[str, tuple[str, ...]] | None = None,
+    models: Sequence[str] | None = None,
+    expected: Mapping[str, Mapping[str, str]] | None = None,
+    candidates: Mapping[str, tuple[str, ...]] | None = None,
+) -> list[Finding]:
+    """Cross-validate the Table V declarations (TAB010-TAB012)."""
+    if table_v is None:
+        table_v = TABLE_V_FRAMEWORKS
+    if models is None:
+        models = TABLE_V_MODELS
+    if expected is None:
+        expected = TABLE5_EXPECTED
+    if candidates is None:
+        candidates = BEST_FRAMEWORK_CANDIDATES
+    findings: list[Finding] = []
+
+    resolved_devices = {}
+    for device_name, chain in table_v.items():
+        where = f"tableV:{device_name}"
+        if device_name not in DEVICE_REGISTRY:
+            findings.append(_finding("TAB010", where, "device is not registered"))
+            continue
+        device = load_device(device_name)
+        resolved_devices[device_name] = device
+        if not chain:
+            findings.append(_finding("TAB010", where, "empty framework chain"))
+        for framework_name in chain:
+            if framework_name not in FRAMEWORK_REGISTRY:
+                findings.append(_finding(
+                    "TAB010", where, f"chain framework {framework_name!r} is not "
+                                     "registered"))
+            elif not device.supports_framework(framework_name):
+                findings.append(_finding(
+                    "TAB010", where, f"device does not support chain framework "
+                                     f"{framework_name!r}"))
+
+    known_symbols = {status.symbol for status in CompatStatus}
+    for model_name in models:
+        if model_name not in MODEL_REGISTRY:
+            findings.append(_finding(
+                "TAB011", f"tableV:{model_name}", "Table V model is not in the zoo"))
+    if set(expected) != set(models):
+        missing = set(models) - set(expected)
+        extra = set(expected) - set(models)
+        findings.append(_finding(
+            "TAB011", "tableV:expected",
+            f"expected-matrix rows disagree with TABLE_V_MODELS "
+            f"(missing {sorted(missing)}, extra {sorted(extra)})"))
+    for model_name, row in expected.items():
+        where = f"tableV:{model_name}"
+        if set(row) != set(table_v):
+            findings.append(_finding(
+                "TAB011", where, "expected-matrix columns disagree with the Table V "
+                                 "device list"))
+        for device_name, symbol in row.items():
+            if symbol not in known_symbols:
+                findings.append(_finding(
+                    "TAB011", f"{where}/{device_name}",
+                    f"unknown status symbol {symbol!r}"))
+
+    for device_name, frameworks in candidates.items():
+        where = f"tableV:{device_name}"
+        if device_name not in DEVICE_REGISTRY:
+            findings.append(_finding(
+                "TAB012", where, "candidate device is not registered"))
+            continue
+        device = resolved_devices.get(device_name) or load_device(device_name)
+        for framework_name in frameworks:
+            if framework_name not in FRAMEWORK_REGISTRY:
+                findings.append(_finding(
+                    "TAB012", where, f"candidate framework {framework_name!r} is not "
+                                     "registered"))
+            elif not device.supports_framework(framework_name):
+                findings.append(_finding(
+                    "TAB012", where, f"device does not support candidate "
+                                     f"{framework_name!r}"))
+        chain = table_v.get(device_name, ())
+        missing = [fw for fw in chain if fw not in frameworks]
+        if missing:
+            findings.append(_finding(
+                "TAB012", where,
+                f"Table V chain frameworks {missing} missing from the best-framework "
+                "candidates"))
+    return findings
+
+
+def run() -> list[Finding]:
+    """Tables pass entry point: every checker over the real declarations."""
+    return (check_devices() + check_frameworks() + check_calibration()
+            + check_table_v())

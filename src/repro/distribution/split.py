@@ -10,6 +10,7 @@ and timing constraints are what rule the all-remote point out in practice).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.distribution.network import NetworkLink
@@ -33,7 +34,7 @@ class SplitPlan:
 
     @property
     def is_all_edge(self) -> bool:
-        return self.remote_s == 0.0 and self.cut.after_op != ""
+        return math.isclose(self.remote_s, 0.0, abs_tol=1e-15) and self.cut.after_op != ""
 
     def describe(self) -> str:
         where = f"after {self.cut.after_op!r}" if self.cut.after_op else "at the input"
@@ -67,7 +68,9 @@ class SplitPlanner:
 
     @staticmethod
     def _per_op_times(deployed: DeployedModel) -> dict[str, float]:
-        session = InferenceSession(deployed)
+        # The planner prices caller-supplied deployments (remote platforms
+        # outside the Runner's scenario namespace).
+        session = InferenceSession(deployed)  # repro: allow[ARCH001]
         times = {t.op.name: t.latency_s for t in session.plan.timings}
         times["__session__"] = (session.plan.session_overhead_s
                                 + session.plan.input_transfer_s)

@@ -223,5 +223,7 @@ def cached_deploy(model_name: str, device_name: str, framework_name: str,
 
         return load_framework(framework_name).deploy(
             load_model(model_name), load_device(device_name), dtype=dtype)
-    key = deploy_key(model_name, device_name, framework_name, dtype)
+    from repro.runtime.scenario import Scenario
+
+    key = Scenario(model_name, device_name, framework_name, dtype=dtype).deploy_key
     return DEPLOY_CACHE.get_or_build(key, build)

@@ -89,7 +89,8 @@ class ThermalSimulator:
 
     spec: ThermalSpec
     ambient_c: float = DEFAULT_AMBIENT_C
-    temperature_c: float = field(default=0.0)
+    # None means "start at ambient"; resolved to a float in __post_init__.
+    temperature_c: float | None = field(default=None)
     fan_on: bool = False
     throttled: bool = False
     shutdown: bool = False
@@ -97,7 +98,7 @@ class ThermalSimulator:
     events: list[ThermalEvent] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if self.temperature_c == 0.0:
+        if self.temperature_c is None:
             self.temperature_c = self.ambient_c
 
     @property

@@ -150,7 +150,8 @@ def ext_sustained_throughput() -> ResultTable:
         rpi.thermal, throttle_c=60.0, throttle_stop_c=55.0, throttle_clock_factor=0.6)
     throttling_rpi = dataclasses.replace(rpi, thermal=throttling_spec)
     deployed = load_framework("TFLite").deploy(load_model("Inception-v4"), throttling_rpi)
-    result = simulate_sustained(InferenceSession(deployed))
+    # Deploys onto a mutated (DVFS-limited) device the Runner cannot name.
+    result = simulate_sustained(InferenceSession(deployed))  # repro: allow[ARCH001]
     table.add_row(
         "Raspberry Pi 3B (DVFS)",
         framework="TFLite",

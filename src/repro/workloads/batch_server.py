@@ -45,7 +45,7 @@ def batched_latency_fn(deployed: DeployedModel,
 
     def batch_time(batch_size: int) -> float:
         if batch_size not in cache:
-            session = InferenceSession(
+            session = InferenceSession(  # repro: allow[ARCH001] per-batch sweep
                 deployed, config=EngineConfig(batch_size=batch_size))
             cache[batch_size] = session.latency_s * batch_size
         return cache[batch_size]

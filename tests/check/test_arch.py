@@ -1,0 +1,174 @@
+"""Architectural linter: the real tree is contract-clean; seeded snippets
+report their stable rule ids; suppression works line-by-line."""
+
+import textwrap
+
+from repro.check import arch
+
+
+def lint(snippet, path="src/repro/analysis/example.py"):
+    return arch.lint_source(textwrap.dedent(snippet), path)
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestRealTreeIsClean:
+    def test_package_lints_clean(self):
+        assert arch.run() == []
+
+    def test_package_root_is_the_installed_package(self):
+        assert (arch.package_root() / "cli.py").exists()
+
+
+class TestArch001SessionConstruction:
+    SNIPPET = """
+    from repro.engine.executor import InferenceSession
+
+    def price(deployed):
+        return InferenceSession(deployed).latency_s
+    """
+
+    def test_flagged_outside_the_runtime_layer(self):
+        findings = lint(self.SNIPPET)
+        assert rules_of(findings) == {"ARCH001"}
+        assert findings[0].location == "repro/analysis/example.py:5"
+
+    def test_allowed_inside_runtime_engine_and_measurement(self):
+        for layer in ("runtime", "engine", "measurement"):
+            assert lint(self.SNIPPET, f"src/repro/{layer}/example.py") == []
+
+    def test_timer_construction_is_flagged_too(self):
+        snippet = """
+        from repro.measurement.timer import InferenceTimer
+
+        timer = InferenceTimer(seed=7)
+        """
+        assert rules_of(lint(snippet)) == {"ARCH001"}
+
+    def test_inline_suppression_silences_the_line(self):
+        snippet = """
+        from repro.engine.executor import InferenceSession
+
+        def price(deployed):
+            return InferenceSession(deployed).latency_s  # repro: allow[ARCH001]
+        """
+        assert lint(snippet) == []
+
+    def test_suppressing_a_different_rule_does_not_help(self):
+        snippet = """
+        from repro.engine.executor import InferenceSession
+
+        def price(deployed):
+            return InferenceSession(deployed).latency_s  # repro: allow[ARCH003]
+        """
+        assert rules_of(lint(snippet)) == {"ARCH001"}
+
+
+class TestArch002DeprecatedWrappers:
+    def test_wrapper_call_is_flagged(self):
+        snippet = """
+        from repro.harness.figures import measurement_seed
+
+        seed = measurement_seed("ResNet-18", "Jetson Nano", "TensorRT")
+        """
+        assert rules_of(lint(snippet)) == {"ARCH002"}
+
+    def test_deploy_key_call_is_flagged_even_as_attribute(self):
+        snippet = """
+        from repro.engine import cache
+
+        key = cache.deploy_key("m", "d", "f")
+        """
+        assert rules_of(lint(snippet)) == {"ARCH002"}
+
+    def test_scenario_deploy_key_property_is_fine(self):
+        snippet = """
+        from repro.runtime import Scenario
+
+        key = Scenario("m", "d", "f").deploy_key
+        """
+        assert lint(snippet) == []
+
+
+class TestArch003FloatEquality:
+    def test_float_literal_equality_is_flagged(self):
+        assert rules_of(lint("ok = x == 0.5\n")) == {"ARCH003"}
+
+    def test_float_literal_inequality_is_flagged(self):
+        assert rules_of(lint("ok = temperature != 0.0\n")) == {"ARCH003"}
+
+    def test_integer_equality_is_fine(self):
+        assert lint("ok = x == 1\n") == []
+
+    def test_ordering_comparisons_are_fine(self):
+        assert lint("ok = x <= 0.5\n") == []
+
+    def test_variable_equality_is_fine(self):
+        assert lint("ok = x == other\n") == []
+
+
+class TestArch004PurityContract:
+    def test_random_call_in_pure_path_is_flagged(self):
+        snippet = """
+        import random
+
+        def jitter():
+            return random.random()
+        """
+        assert rules_of(lint(snippet, "src/repro/engine/example.py")) == {"ARCH004"}
+
+    def test_from_import_alias_is_tracked(self):
+        snippet = """
+        from random import random
+
+        def jitter():
+            return random()
+        """
+        assert rules_of(lint(snippet, "src/repro/graphs/example.py")) == {"ARCH004"}
+
+    def test_wall_clock_in_pure_path_is_flagged(self):
+        snippet = """
+        import time
+
+        def stamp():
+            return time.perf_counter()
+        """
+        assert rules_of(lint(snippet, "src/repro/frameworks/example.py")) == {"ARCH004"}
+
+    def test_unseeded_default_rng_is_flagged(self):
+        snippet = """
+        import numpy as np
+
+        rng = np.random.default_rng()
+        """
+        assert "ARCH004" in rules_of(lint(snippet, "src/repro/models/example.py"))
+
+    def test_seeded_default_rng_is_fine(self):
+        snippet = """
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        """
+        assert lint(snippet, "src/repro/models/example.py") == []
+
+    def test_random_outside_pure_paths_is_fine(self):
+        snippet = """
+        import random
+
+        def jitter():
+            return random.random()
+        """
+        assert lint(snippet, "src/repro/harness/example.py") == []
+
+
+class TestPathHandling:
+    def test_paths_without_a_repro_root_are_linted_globally(self):
+        findings = arch.lint_source("ok = x == 0.5\n", "scratch.py")
+        assert rules_of(findings) == {"ARCH003"}
+        assert findings[0].location == "scratch.py:1"
+
+    def test_locations_are_package_relative(self):
+        findings = lint("ok = x == 0.5\n", "/somewhere/src/repro/cli_extras.py")
+        assert findings[0].location == "repro/cli_extras.py:1"

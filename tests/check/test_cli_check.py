@@ -1,0 +1,31 @@
+"""The ``repro check`` CLI verb: exit codes, formats, pass selection."""
+
+import json
+
+from repro.cli import main
+
+
+class TestCheckVerb:
+    def test_default_run_is_clean(self, capsys):
+        assert main(["check"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_strict_json_run(self, capsys):
+        assert main(["check", "--strict", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+
+    def test_single_pass_selection(self, capsys):
+        assert main(["check", "arch"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_pass_exits_2(self, capsys):
+        assert main(["check", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown check pass" in err
+        assert "bogus" in err
+
+    def test_ignore_flag_is_accepted(self, capsys):
+        assert main(["check", "tables", "--ignore", "TAB001"]) == 0
+        capsys.readouterr()

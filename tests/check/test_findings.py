@@ -1,0 +1,80 @@
+"""Finding records, the shared reporter, and the rule catalog."""
+
+import json
+
+from repro.check import rule_catalog
+from repro.check.findings import (
+    Finding,
+    Severity,
+    count_by_severity,
+    render_json,
+    render_text,
+    suppress,
+)
+
+
+def _finding(rule="IR001", severity=Severity.ERROR):
+    return Finding(rule, severity, "graph:TinyNet/conv_1", "something is off")
+
+
+class TestFinding:
+    def test_render_names_rule_location_and_message(self):
+        line = _finding().render()
+        assert "IR001" in line
+        assert "graph:TinyNet/conv_1" in line
+        assert "something is off" in line
+
+    def test_to_dict_round_trips_severity_as_string(self):
+        assert _finding().to_dict()["severity"] == "error"
+
+
+class TestSuppression:
+    def test_exact_rule_is_dropped(self):
+        findings = [_finding("IR001"), _finding("TAB004")]
+        assert [f.rule for f in suppress(findings, ["IR001"])] == ["TAB004"]
+
+    def test_suppression_is_case_insensitive(self):
+        assert suppress([_finding("IR001")], ["ir001"]) == []
+
+    def test_unrelated_rules_survive(self):
+        findings = [_finding("ARCH003")]
+        assert suppress(findings, ["ARCH001"]) == findings
+
+
+class TestReporter:
+    def test_text_report_has_summary_line(self):
+        report = render_text([_finding(), _finding("IR002", Severity.WARNING)])
+        assert "2 finding(s): 1 error(s), 1 warning(s), 0 info" in report
+
+    def test_empty_report_says_no_findings(self):
+        assert render_text([]) == "no findings"
+
+    def test_json_report_schema(self):
+        payload = json.loads(render_json([_finding()]))
+        assert payload["version"] == 1
+        assert payload["counts"]["error"] == 1
+        assert payload["findings"][0]["rule"] == "IR001"
+
+    def test_count_by_severity_covers_all_levels(self):
+        counts = count_by_severity([_finding()])
+        assert set(counts) == {"error", "warning", "info"}
+
+
+class TestRuleCatalog:
+    def test_every_pass_contributes_rules(self):
+        catalog = rule_catalog()
+        prefixes = {rule[:2] for rule in catalog} | {rule[:3] for rule in catalog}
+        assert "IR" in prefixes
+        assert "TAB" in prefixes
+        assert "ARC" in prefixes
+
+    def test_rule_ids_are_stable(self):
+        catalog = rule_catalog()
+        for expected in ("IR001", "IR008", "IR101", "IR104", "TAB001", "TAB012",
+                         "ARCH001", "ARCH004"):
+            assert expected in catalog
+
+    def test_catalog_entries_carry_severity_and_description(self):
+        for severity, description in rule_catalog().values():
+            assert isinstance(severity, Severity)
+            assert description

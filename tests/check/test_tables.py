@@ -1,0 +1,154 @@
+"""Data-consistency checker: real tables are clean; injected corruption
+reports its stable rule ids."""
+
+import dataclasses
+
+from repro.check import tables
+from repro.frameworks import load_framework
+from repro.frameworks.compat import TABLE_V_FRAMEWORKS
+from repro.hardware import load_device
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestRealTablesAreClean:
+    def test_devices(self):
+        assert tables.check_devices() == []
+
+    def test_frameworks(self):
+        assert tables.check_frameworks() == []
+
+    def test_calibration(self):
+        assert tables.check_calibration() == []
+
+    def test_table_v(self):
+        assert tables.check_table_v() == []
+
+    def test_full_pass(self):
+        assert tables.run() == []
+
+
+class TestSeededDeviceDefects:
+    def test_tab001_usable_fraction_out_of_range(self):
+        device = load_device("Raspberry Pi 3B")
+        object.__setattr__(device.memory, "usable_fraction", 1.5)
+        assert "TAB001" in rules_of(tables.check_devices([device]))
+
+    def test_tab001_zero_bandwidth(self):
+        device = load_device("Jetson Nano")
+        object.__setattr__(device.memory, "bandwidth_bytes_per_s", 0.0)
+        assert "TAB001" in rules_of(tables.check_devices([device]))
+
+    def test_tab002_negative_peak(self):
+        device = load_device("Jetson TX2")
+        unit = device.compute_units[0]
+        peaks = {dtype: -peak for dtype, peak in unit.peak_macs_per_s.items()}
+        object.__setattr__(unit, "peak_macs_per_s", peaks)
+        assert "TAB002" in rules_of(tables.check_devices([device]))
+
+    def test_tab002_no_compute_units(self):
+        device = load_device("EdgeTPU")
+        object.__setattr__(device, "compute_units", ())
+        assert "TAB002" in rules_of(tables.check_devices([device]))
+
+    def test_tab003_zero_utilization(self):
+        device = load_device("Movidius NCS")
+        object.__setattr__(device, "inference_utilization", 0.0)
+        assert "TAB003" in rules_of(tables.check_devices([device]))
+
+    def test_tab003_non_positive_thermal_capacitance(self):
+        device = load_device("Raspberry Pi 3B")
+        object.__setattr__(device.thermal, "c_j_per_c", 0.0)
+        assert "TAB003" in rules_of(tables.check_devices([device]))
+
+    def test_tab004_unknown_supported_framework(self):
+        device = load_device("EdgeTPU")
+        object.__setattr__(device, "supported_frameworks", ("NotAFramework",))
+        assert "TAB004" in rules_of(tables.check_devices([device]))
+
+
+class TestSeededFrameworkDefects:
+    def test_tab005_star_rating_out_of_range(self):
+        framework = load_framework("TFLite")
+        framework.capabilities = dataclasses.replace(
+            framework.capabilities, usability=9)
+        assert "TAB005" in rules_of(tables.check_frameworks([framework]))
+
+    def test_tab006_efficiency_above_one(self):
+        framework = load_framework("PyTorch")
+        framework.depthwise_efficiency = 1.7
+        assert "TAB006" in rules_of(tables.check_frameworks([framework]))
+
+    def test_tab006_bad_kernel_quality(self):
+        framework = load_framework("TensorFlow")
+        framework.kernel_quality = {kind: 0.0
+                                    for kind in framework.kernel_quality}
+        assert "TAB006" in rules_of(tables.check_frameworks([framework]))
+
+    def test_tab007_negative_overhead(self):
+        framework = load_framework("Caffe")
+        framework.overheads = dataclasses.replace(
+            framework.overheads, library_load_s=-1.0)
+        assert "TAB007" in rules_of(tables.check_frameworks([framework]))
+
+    def test_tab007_weight_factor_below_one(self):
+        framework = load_framework("DarkNet")
+        framework.overheads = dataclasses.replace(
+            framework.overheads, weight_memory_factor=0.5)
+        assert "TAB007" in rules_of(tables.check_frameworks([framework]))
+
+
+class TestSeededCalibrationDefects:
+    def test_tab008_unknown_framework(self):
+        anchors = {("NoSuchFW", "Raspberry Pi 3B"): ("ResNet-18", 0.5, "Fig. 8")}
+        assert "TAB008" in rules_of(tables.check_calibration(anchors, {}))
+
+    def test_tab008_unknown_model(self):
+        anchors = {("TFLite", "Raspberry Pi 3B"): ("NoSuchModel", 0.5, "Fig. 8")}
+        assert "TAB008" in rules_of(tables.check_calibration(anchors, {}))
+
+    def test_tab008_non_positive_target(self):
+        anchors = {("TFLite", "Raspberry Pi 3B"): ("ResNet-18", -0.5, "Fig. 8")}
+        assert "TAB008" in rules_of(tables.check_calibration(anchors, {}))
+
+    def test_tab009_delegate_without_anchors(self):
+        anchors = {("TFLite", "Raspberry Pi 3B"): ("ResNet-18", 0.5, "Fig. 8")}
+        delegates = {"Keras": "PyTorch"}  # PyTorch has no anchors here
+        assert "TAB009" in rules_of(tables.check_calibration(anchors, delegates))
+
+    def test_tab009_self_delegate(self):
+        delegates = {"Keras": "Keras"}
+        assert "TAB009" in rules_of(tables.check_calibration({}, delegates))
+
+
+class TestSeededTableVDefects:
+    def test_tab010_unsupported_chain_framework(self):
+        findings = tables.check_table_v(
+            table_v={"EdgeTPU": ("PyTorch",)}, models=(), expected={},
+            candidates={})
+        assert rules_of(findings) == {"TAB010"}
+
+    def test_tab010_unknown_device(self):
+        findings = tables.check_table_v(
+            table_v={"NoSuchBoard": ("TFLite",)}, models=(), expected={},
+            candidates={})
+        assert "TAB010" in rules_of(findings)
+
+    def test_tab011_unknown_symbol(self):
+        expected = {"ResNet-18": {device: "?" for device in TABLE_V_FRAMEWORKS}}
+        findings = tables.check_table_v(
+            models=("ResNet-18",), expected=expected, candidates={})
+        assert "TAB011" in rules_of(findings)
+
+    def test_tab011_row_set_mismatch(self):
+        findings = tables.check_table_v(
+            models=("ResNet-18", "AlexNet"), expected={}, candidates={})
+        assert "TAB011" in rules_of(findings)
+
+    def test_tab012_chain_not_covered_by_candidates(self):
+        findings = tables.check_table_v(
+            table_v={"EdgeTPU": ("TFLite",)}, models=(), expected={},
+            candidates={"EdgeTPU": ("PyTorch",)})
+        assert "TAB012" in rules_of(findings)

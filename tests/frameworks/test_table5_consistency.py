@@ -1,0 +1,52 @@
+"""Regression pin: Table V, the device catalog, and the runtime's
+best-framework candidates agree with each other.
+
+The `repro check` tables pass verifies these invariants dynamically; this
+test pins them so a drive-by edit to one table cannot silently desync the
+others between checker runs.
+"""
+
+from repro.check import tables
+from repro.frameworks.compat import (
+    TABLE_V_FRAMEWORKS,
+    TABLE_V_MODELS,
+    compatibility_matrix,
+)
+from repro.harness.paper_data import TABLE5_EXPECTED
+from repro.hardware import load_device
+from repro.runtime.runner import BEST_FRAMEWORK_CANDIDATES
+
+
+class TestTableVConsistency:
+    def test_checker_reports_no_inconsistencies(self):
+        assert tables.check_table_v() == []
+
+    def test_every_chain_framework_is_device_supported(self):
+        for device_name, chain in TABLE_V_FRAMEWORKS.items():
+            device = load_device(device_name)
+            unsupported = [fw for fw in chain
+                           if not device.supports_framework(fw)]
+            assert unsupported == [], (
+                f"{device_name} chain names unsupported frameworks")
+
+    def test_candidates_cover_every_table_v_chain(self):
+        for device_name, chain in TABLE_V_FRAMEWORKS.items():
+            candidates = BEST_FRAMEWORK_CANDIDATES[device_name]
+            missing = [fw for fw in chain if fw not in candidates]
+            assert missing == [], (
+                f"{device_name} candidates do not cover the Table V chain")
+
+    def test_expected_matrix_covers_exactly_the_declared_axes(self):
+        assert set(TABLE5_EXPECTED) == set(TABLE_V_MODELS)
+        for row in TABLE5_EXPECTED.values():
+            assert set(row) == set(TABLE_V_FRAMEWORKS)
+
+    def test_matrix_cells_attribute_a_chain_framework(self):
+        matrix = compatibility_matrix()
+        for model_name, row in matrix.items():
+            for device_name, result in row.items():
+                if result.framework is None:
+                    continue
+                assert result.framework in TABLE_V_FRAMEWORKS[device_name], (
+                    f"{model_name}@{device_name} attributed to a framework "
+                    "outside the device's Table V chain")
