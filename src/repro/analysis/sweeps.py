@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.quantity import MEBI
 from repro.core.result import ResultTable
 from repro.graphs.tensor import DType
 from repro.graphs.transforms import prune_graph
@@ -104,6 +105,6 @@ def dtype_sweep(
         table.add_row(
             dtype.value,
             latency_ms=record.model_latency_s * 1e3,
-            weights_mib=record.plan.weight_bytes / 2**20,
+            weights_mib=record.plan.weight_bytes / MEBI,
         )
     return table

@@ -1,7 +1,7 @@
 """`repro.check`: static verification over the graph IR, data tables and
 runtime-layer architecture.
 
-Three passes, one vocabulary (:class:`~repro.check.findings.Finding`):
+Four passes, one vocabulary (:class:`~repro.check.findings.Finding`):
 
 * ``ir`` — re-verifies every zoo graph and every transform output
   (well-formedness + conservation invariants), rules ``IR0xx``/``IR1xx``.
@@ -9,8 +9,10 @@ Three passes, one vocabulary (:class:`~repro.check.findings.Finding`):
   calibration anchors and the Table V declarations, rules ``TABxxx``.
 * ``arch`` — `ast` lint of ``src/repro`` enforcing the runtime-layer
   contracts, rules ``ARCHxxx``.
+* ``units`` — `ast` dimensional analysis of the quantity dataflow
+  (seconds vs milliseconds, energy vs power), rules ``UNITxxx``.
 
-``python -m repro check --strict`` runs all three and exits non-zero on any
+``python -m repro check --strict`` runs all four and exits non-zero on any
 finding; see ``docs/checks.md`` for the full rule catalog and the
 suppression syntax.
 """
@@ -19,11 +21,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.check import arch, ir, tables
+from repro.check import arch, ir, tables, units
 from repro.check.findings import (
     Finding,
     Severity,
     count_by_severity,
+    render_github,
     render_json,
     render_text,
     suppress,
@@ -34,6 +37,7 @@ PASSES = {
     "ir": ir.run,
     "tables": tables.run,
     "arch": arch.run,
+    "units": units.run,
 }
 
 PASS_NAMES = tuple(PASSES)
@@ -42,7 +46,7 @@ PASS_NAMES = tuple(PASSES)
 def rule_catalog() -> dict[str, tuple[Severity, str]]:
     """Every known rule id -> (severity, description), across all passes."""
     catalog: dict[str, tuple[Severity, str]] = {}
-    for module in (ir, tables, arch):
+    for module in (ir, tables, arch, units):
         catalog.update(module.RULES)
     return catalog
 
@@ -69,10 +73,12 @@ __all__ = [
     "arch",
     "count_by_severity",
     "ir",
+    "render_github",
     "render_json",
     "render_text",
     "rule_catalog",
     "run_checks",
     "suppress",
     "tables",
+    "units",
 ]

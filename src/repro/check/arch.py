@@ -20,21 +20,22 @@ enforces them:
   (``engine``/``graphs``/``frameworks``/``models``/``hardware``), which the
   ``engine.cache`` purity contract relies on.
 
-Suppress a finding by annotating its line::
+Suppress a finding by annotating its line, or a whole module with a
+file-level comment (see :mod:`repro.check.suppress` for both forms)::
 
     session = InferenceSession(deployed)  # repro: allow[ARCH001] simulation
+    # repro: allow-file[ARCH003] fixture module full of golden constants
 
-The comment names the rule(s) it silences; anything else on the line still
-reports.
+The comment names the rule(s) it silences; anything else still reports.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path
 
 from repro.check.findings import Finding, Severity
+from repro.check.suppress import SuppressionIndex, display_path, relative_parts
 
 RULES: dict[str, tuple[Severity, str]] = {
     "ARCH001": (Severity.ERROR, "sessions/timers are constructed by the runtime layer, "
@@ -54,24 +55,6 @@ _DEPRECATED_WRAPPERS = ("measurement_seed", "cell_timer", "measure_latency_s",
 _TIME_FUNCS = ("time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
                "perf_counter_ns", "process_time", "process_time_ns")
 _RANDOM_MODULES = ("random", "secrets", "uuid")
-
-_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
-
-
-def _relative_parts(path: str) -> tuple[str, ...]:
-    """Path components below the last ``repro`` package directory."""
-    parts = Path(path).parts
-    for index in range(len(parts) - 1, -1, -1):
-        if parts[index] == "repro":
-            return parts[index + 1:]
-    return parts
-
-
-def _display_path(path: str) -> str:
-    rel = _relative_parts(path)
-    if rel != Path(path).parts:
-        return str(Path("repro", *rel))
-    return path
 
 
 def _dotted_chain(node: ast.expr) -> list[str]:
@@ -95,10 +78,11 @@ def _call_name(node: ast.Call) -> str | None:
 
 
 class _ContractVisitor(ast.NodeVisitor):
-    def __init__(self, parts: tuple[str, ...], display: str, lines: list[str]):
+    def __init__(self, parts: tuple[str, ...], display: str,
+                 suppressions: SuppressionIndex):
         self.parts = parts
         self.display = display
-        self.lines = lines
+        self.suppressions = suppressions
         self.findings: list[Finding] = []
         self._random_imports: set[str] = set()
 
@@ -106,17 +90,9 @@ class _ContractVisitor(ast.NodeVisitor):
     def _layer(self) -> str:
         return self.parts[0] if len(self.parts) > 1 else ""
 
-    def _allowed(self, rule: str, lineno: int) -> bool:
-        if 1 <= lineno <= len(self.lines):
-            match = _ALLOW_RE.search(self.lines[lineno - 1])
-            if match:
-                allowed = {entry.strip().upper() for entry in match.group(1).split(",")}
-                return rule in allowed
-        return False
-
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
         lineno = getattr(node, "lineno", 0)
-        if self._allowed(rule, lineno):
+        if self.suppressions.allows(rule, lineno):
             return
         self.findings.append(Finding(
             rule, RULES[rule][0], f"{self.display}:{lineno}", message))
@@ -187,8 +163,8 @@ class _ContractVisitor(ast.NodeVisitor):
 def lint_source(source: str, path: str) -> list[Finding]:
     """Lint one module's source text; ``path`` decides layer exemptions."""
     tree = ast.parse(source, filename=path)
-    visitor = _ContractVisitor(_relative_parts(path), _display_path(path),
-                               source.splitlines())
+    visitor = _ContractVisitor(relative_parts(path), display_path(path),
+                               SuppressionIndex.from_source(source))
     visitor.visit(tree)
     return visitor.findings
 

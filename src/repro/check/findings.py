@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 import json
+import re
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -68,6 +69,51 @@ def count_by_severity(findings: Sequence[Finding]) -> dict[str, int]:
 def render_text(findings: Sequence[Finding]) -> str:
     """Human-readable report: one line per finding plus a summary."""
     lines = [finding.render() for finding in findings]
+    counts = count_by_severity(findings)
+    if findings:
+        lines.append(
+            f"{len(findings)} finding(s): {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} info"
+        )
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+#: ``<path>:<line>`` locations (arch/units findings) map onto GitHub file
+#: annotations; other location schemes render as bare annotations.
+_FILE_LOCATION_RE = re.compile(r"^(?P<file>[^:]+\.py):(?P<line>\d+)$")
+
+_GITHUB_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "notice",
+}
+
+
+def _escape_github(text: str) -> str:
+    """Escape the characters the workflow-command parser treats specially."""
+    return (text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A"))
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions annotations (``::error file=...,line=...::message``).
+
+    Findings whose location is a ``path:line`` pair annotate that file in
+    the PR diff; table/graph findings (non-file locations) still surface as
+    run-level annotations with the location folded into the message.
+    """
+    lines = []
+    for finding in findings:
+        level = _GITHUB_LEVELS[finding.severity]
+        match = _FILE_LOCATION_RE.match(finding.location)
+        message = _escape_github(f"{finding.rule}: {finding.message}")
+        if match:
+            lines.append(f"::{level} file={match['file']},line={match['line']},"
+                         f"title={finding.rule}::{message}")
+        else:
+            location = _escape_github(finding.location)
+            lines.append(f"::{level} title={finding.rule}::{location}: {message}")
     counts = count_by_severity(findings)
     if findings:
         lines.append(

@@ -1,0 +1,74 @@
+"""Suppression comments shared by the source-level check passes.
+
+Both `ast`-based passes (the architectural linter and the units checker)
+honor the same two comment forms:
+
+* same-line — silences the named rule(s) for that one line::
+
+      session = InferenceSession(deployed)  # repro: allow[ARCH001] simulation
+
+* file-level — silences the named rule(s) for the whole module; put it on
+  its own line near the top with a justification::
+
+      # repro: allow-file[UNIT007] legacy column names predate the convention
+
+Each comment names the rule(s) it silences (comma-separated); any other
+rule on the same line or in the same file still reports.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+_LINE_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+_FILE_RE = re.compile(r"#\s*repro:\s*allow-file\[([A-Za-z0-9_,\s]+)\]")
+
+
+def relative_parts(path: str) -> tuple[str, ...]:
+    """Path components below the last ``repro`` package directory."""
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return parts[index + 1:]
+    return parts
+
+
+def display_path(path: str) -> str:
+    """Package-relative display form used in finding locations."""
+    rel = relative_parts(path)
+    if rel != Path(path).parts:
+        return str(Path("repro", *rel))
+    return path
+
+
+def _rules_of(match: re.Match[str]) -> set[str]:
+    return {entry.strip().upper() for entry in match.group(1).split(",")
+            if entry.strip()}
+
+
+class SuppressionIndex:
+    """Per-module view of which (rule, line) pairs are suppressed."""
+
+    def __init__(self, lines: list[str]):
+        self.lines = lines
+        self.file_rules: set[str] = set()
+        for line in lines:
+            match = _FILE_RE.search(line)
+            if match:
+                self.file_rules |= _rules_of(match)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        return cls(source.splitlines())
+
+    def allows(self, rule: str, lineno: int) -> bool:
+        """True when ``rule`` is silenced at ``lineno`` (or file-wide)."""
+        rule = rule.upper()
+        if rule in self.file_rules:
+            return True
+        if 1 <= lineno <= len(self.lines):
+            match = _LINE_RE.search(self.lines[lineno - 1])
+            if match and rule in _rules_of(match):
+                return True
+        return False

@@ -99,14 +99,21 @@ def _cmd_time(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from repro.check import Severity, render_json, render_text, run_checks
+    from repro.check import (
+        Severity,
+        render_github,
+        render_json,
+        render_text,
+        run_checks,
+    )
 
     try:
         findings = run_checks(passes=args.passes or None, ignore=args.ignore or ())
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(render_json(findings) if args.format == "json" else render_text(findings))
+    renderers = {"text": render_text, "json": render_json, "github": render_github}
+    print(renderers[args.format](findings))
     if args.strict:
         return 0 if not findings else 1
     errors = sum(1 for finding in findings if finding.severity is Severity.ERROR)
@@ -284,13 +291,16 @@ def build_parser() -> argparse.ArgumentParser:
     time_parser.set_defaults(handler=_cmd_time)
 
     check_parser = subparsers.add_parser(
-        "check", help="static verification: graph IR, data tables, architecture")
+        "check", help="static verification: graph IR, data tables, "
+                      "architecture, units")
     check_parser.add_argument("passes", nargs="*", metavar="PASS",
                               help="passes to run: ir, tables, arch (default: all)")
     check_parser.add_argument("--strict", action="store_true",
                               help="fail on any finding, not just errors")
-    check_parser.add_argument("--format", choices=("text", "json"), default="text",
-                              help="report format")
+    check_parser.add_argument("--format", choices=("text", "json", "github"),
+                              default="text",
+                              help="report format (github emits workflow "
+                                   "annotations)")
     check_parser.add_argument("--ignore", action="append", metavar="RULE",
                               help="suppress a rule id (repeatable, e.g. IR008)")
     check_parser.set_defaults(handler=_cmd_check)

@@ -15,8 +15,10 @@ from repro.core.errors import (
     ThermalShutdownError,
     UnknownEntryError,
 )
+from repro.core.dimension import Dim
 from repro.core.experiment import Experiment, ExperimentResult, ExperimentRunner
 from repro.core.quantity import (
+    DIMENSIONS,
     GIGA,
     KIBI,
     MEBI,
@@ -27,10 +29,13 @@ from repro.core.quantity import (
     MICRO,
     Bytes,
     Celsius,
+    Flops,
     Hertz,
     Joules,
+    Quantity,
     Seconds,
     Watts,
+    dimension_of,
     format_bytes,
     format_seconds,
 )
@@ -42,8 +47,11 @@ __all__ = [
     "Celsius",
     "CompatibilityError",
     "ConversionError",
+    "DIMENSIONS",
     "DeploymentError",
+    "Dim",
     "Experiment",
+    "Flops",
     "ExperimentResult",
     "ExperimentRunner",
     "GIBI",
@@ -59,6 +67,7 @@ __all__ = [
     "MILLI",
     "Measurement",
     "OutOfMemoryError",
+    "Quantity",
     "Registry",
     "ReproError",
     "ResultRow",
@@ -67,6 +76,7 @@ __all__ = [
     "ThermalShutdownError",
     "UnknownEntryError",
     "Watts",
+    "dimension_of",
     "format_bytes",
     "format_seconds",
 ]

@@ -14,6 +14,7 @@ from functools import cached_property
 from typing import NamedTuple
 
 from repro.core.errors import OutOfMemoryError
+from repro.core.quantity import Seconds
 from repro.frameworks.base import DeployedModel
 from repro.engine.roofline import (
     FABRIC_SPILL_BANDWIDTH_FACTOR,
@@ -289,14 +290,14 @@ class InferenceSession:
         )
         return min(1.0, busy / latency)
 
-    def run(self, n_inferences: int) -> list[float]:
+    def run(self, n_inferences: int) -> list[Seconds]:
         """Simulate ``n_inferences`` timed runs, returning per-run seconds.
 
         Deterministic: the measurement layer adds instrument noise.
         """
         if n_inferences <= 0:
             raise ValueError(f"n_inferences must be positive, got {n_inferences}")
-        return [self.latency_s] * n_inferences
+        return [Seconds(self.latency_s)] * n_inferences
 
     def describe(self) -> str:
         plan = self.plan

@@ -27,7 +27,7 @@ from repro.hardware.device import Device, DeviceCategory
 
 # Single-core MAC/s of the reference desktop core the overhead constants
 # were expressed against (2.2 GHz x 16 MACs/cycle AVX2).
-_REFERENCE_CORE_MACS = 35.2e9
+_REFERENCE_CORE_MACS_PER_S = 35.2e9
 
 
 @dataclass(frozen=True)
@@ -344,7 +344,7 @@ class Framework(abc.ABC):
             cpu = device.unit(ComputeKind.CPU)
         except ValueError:
             return 1.0
-        return max(1.0, _REFERENCE_CORE_MACS / cpu.per_core_macs_per_s)
+        return max(1.0, _REFERENCE_CORE_MACS_PER_S / cpu.per_core_macs_per_s)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.quantity import Watts
+
 
 @dataclass(frozen=True)
 class PowerModel:
@@ -32,11 +34,11 @@ class PowerModel:
                 f"need 0 <= idle ({self.idle_w}) <= active ({self.active_w})"
             )
 
-    def power(self, utilization: float) -> float:
+    def power(self, utilization: float) -> Watts:
         """Instantaneous draw in watts at ``utilization`` in [0, 1]."""
         if not 0.0 <= utilization <= 1.0:
             raise ValueError(f"utilization must be in [0, 1], got {utilization}")
-        return self.idle_w + utilization * (self.active_w - self.idle_w)
+        return Watts(self.idle_w + utilization * (self.active_w - self.idle_w))
 
     @property
     def dynamic_range_w(self) -> float:

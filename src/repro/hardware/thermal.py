@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.core.quantity import Celsius
+
 DEFAULT_AMBIENT_C = 22.0
 
 
@@ -102,7 +104,7 @@ class ThermalSimulator:
             self.temperature_c = self.ambient_c
 
     @property
-    def resistance(self) -> float:
+    def resistance_c_per_w(self) -> float:
         if self.fan_on and self.spec.has_fan:
             return self.spec.r_active_c_per_w
         return self.spec.r_passive_c_per_w
@@ -112,7 +114,7 @@ class ThermalSimulator:
         """What a thermal camera sees (junction minus sink/package drop)."""
         return self.temperature_c - self.spec.surface_offset_c
 
-    def step(self, power_w: float, dt_s: float) -> float:
+    def step(self, power_w: float, dt_s: float) -> Celsius:
         """Advance ``dt_s`` seconds at constant ``power_w``; returns junction C.
 
         Uses the exact exponential solution of the RC node over the step, so
@@ -122,14 +124,14 @@ class ThermalSimulator:
             raise ValueError(f"dt must be positive, got {dt_s}")
         if self.shutdown:
             power_w = 0.0  # a tripped device stops drawing compute power
-        target = self.ambient_c + power_w * self.resistance
-        tau = self.resistance * self.spec.c_j_per_c
+        target = self.ambient_c + power_w * self.resistance_c_per_w
+        tau = self.resistance_c_per_w * self.spec.c_j_per_c
         self.temperature_c = target + (self.temperature_c - target) * math.exp(-dt_s / tau)
         self.time_s += dt_s
         self._update_fan()
         self._update_throttle()
         self._check_shutdown()
-        return self.temperature_c
+        return Celsius(self.temperature_c)
 
     @property
     def clock_factor(self) -> float:
@@ -183,7 +185,7 @@ class ThermalSimulator:
             trace.append((self.time_s, self.temperature_c))
             if self.shutdown:
                 break
-            target = self.ambient_c + power_w * self.resistance
+            target = self.ambient_c + power_w * self.resistance_c_per_w
             if abs(self.temperature_c - before) < tolerance_c and abs(
                 target - self.temperature_c
             ) < 10 * tolerance_c:

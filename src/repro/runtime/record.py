@@ -25,6 +25,7 @@ from repro.core.errors import (
     ThermalShutdownError,
     UnknownEntryError,
 )
+from repro.core.quantity import Seconds
 from repro.core.result import Measurement
 from repro.engine.executor import EngineConfig
 from repro.runtime.scenario import Scenario
@@ -233,12 +234,12 @@ class RunRecord:
     def failed(self) -> bool:
         return not self.ok
 
-    def latency(self) -> float:
+    def latency(self) -> Seconds:
         """The headline latency, raising the structured failure if any."""
         if self.failure is not None or self.latency_s is None:
             message = self.failure.message if self.failure else "no latency recorded"
             raise ReproError(f"{self.scenario.describe()} failed: {message}")
-        return self.latency_s
+        return Seconds(self.latency_s)
 
     def describe(self) -> str:
         if self.failed:

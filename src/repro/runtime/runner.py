@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.core.errors import ReproError, UnknownEntryError
+from repro.core.quantity import Seconds
 from repro.core.registry import canonical_name
 from repro.engine.cache import DEPLOY_CACHE, cached_deploy, caching_enabled
 from repro.engine.executor import EngineConfig, InferenceSession
@@ -116,7 +117,7 @@ class Runner:
 
     # -- measurement -------------------------------------------------------
     def measure(self, scenario: Scenario, use_timer: bool = True,
-                graph: Any = None) -> float:
+                graph: Any = None) -> Seconds:
         """Seconds per inference; raises :class:`ReproError` on failure.
 
         The exact semantics of the old ``measure_latency_s`` helper: with
@@ -125,8 +126,8 @@ class Runner:
         """
         session = self.session(scenario, graph)
         if use_timer:
-            return float(self.timer(scenario).measure(session))
-        return session.latency_s
+            return Seconds(self.timer(scenario).measure(session))
+        return Seconds(session.latency_s)
 
     def run(self, scenario: Scenario, *, use_timer: bool = True,
             graph: Any = None, energy_meter: EnergyMeter | None = None,

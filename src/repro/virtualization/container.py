@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.quantity import Seconds
 from repro.engine.executor import InferenceSession
 
 MAX_OVERHEAD_FRACTION = 0.05
@@ -68,8 +69,8 @@ class ContainerizedSession:
         # outside the timed loop.
         return self.session.init_time_s + 2.0
 
-    def run(self, n_inferences: int) -> list[float]:
-        return [self.latency_s] * n_inferences
+    def run(self, n_inferences: int) -> list[Seconds]:
+        return [Seconds(self.latency_s)] * n_inferences
 
     @property
     def deployed(self):

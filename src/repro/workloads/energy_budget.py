@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from repro.engine.executor import InferenceSession
 from repro.measurement.energy import active_power_w
 
+_DAY_HOURS = 24.0
+
 
 @dataclass(frozen=True)
 class EnergyBudget:
@@ -34,7 +36,7 @@ class EnergyBudget:
         return battery_wh / self.average_power_w
 
     def daily_energy_wh(self) -> float:
-        return self.average_power_w * 24.0
+        return self.average_power_w * _DAY_HOURS
 
 
 def duty_cycle_budget(session: InferenceSession, request_rate_hz: float) -> EnergyBudget:

@@ -172,3 +172,33 @@ class TestPathHandling:
     def test_locations_are_package_relative(self):
         findings = lint("ok = x == 0.5\n", "/somewhere/src/repro/cli_extras.py")
         assert findings[0].location == "repro/cli_extras.py:1"
+
+
+class TestFileLevelSuppression:
+    SNIPPET = """
+    # repro: allow-file[ARCH003] fixture module full of golden constants
+
+    ok_a = x == 0.5
+    ok_b = y != 1.25
+    """
+
+    def test_allow_file_silences_every_occurrence(self):
+        assert lint(self.SNIPPET) == []
+
+    def test_allow_file_is_rule_specific(self):
+        snippet = """
+        # repro: allow-file[ARCH001]
+
+        ok = x == 0.5
+        """
+        assert rules_of(lint(snippet)) == {"ARCH003"}
+
+    def test_allow_file_names_multiple_rules(self):
+        snippet = """
+        # repro: allow-file[ARCH003, ARCH001]
+        from repro.engine.executor import InferenceSession
+
+        session = InferenceSession(deployed)
+        ok = x == 0.5
+        """
+        assert lint(snippet) == []

@@ -29,3 +29,12 @@ class TestCheckVerb:
     def test_ignore_flag_is_accepted(self, capsys):
         assert main(["check", "tables", "--ignore", "TAB001"]) == 0
         capsys.readouterr()
+
+    def test_units_pass_selection_is_clean(self, capsys):
+        assert main(["check", "units", "--strict"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_github_format_emits_annotations_or_summary(self, capsys):
+        assert main(["check", "units", "--strict", "--format", "github"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.splitlines()[-1] == "no findings"

@@ -7,6 +7,7 @@ from repro.check.findings import (
     Finding,
     Severity,
     count_by_severity,
+    render_github,
     render_json,
     render_text,
     suppress,
@@ -67,14 +68,48 @@ class TestRuleCatalog:
         assert "IR" in prefixes
         assert "TAB" in prefixes
         assert "ARC" in prefixes
+        assert "UN" in prefixes
 
     def test_rule_ids_are_stable(self):
         catalog = rule_catalog()
         for expected in ("IR001", "IR008", "IR101", "IR104", "TAB001", "TAB012",
-                         "ARCH001", "ARCH004"):
+                         "ARCH001", "ARCH004", "UNIT001", "UNIT008"):
             assert expected in catalog
 
     def test_catalog_entries_carry_severity_and_description(self):
         for severity, description in rule_catalog().values():
             assert isinstance(severity, Severity)
             assert description
+
+
+class TestGithubReporter:
+    def test_file_locations_become_file_annotations(self):
+        finding = Finding("UNIT001", Severity.ERROR,
+                          "repro/analysis/example.py:12", "cannot add s and J")
+        line = render_github([finding]).splitlines()[0]
+        assert line.startswith("::error file=repro/analysis/example.py,line=12,")
+        assert "title=UNIT001" in line
+        assert line.endswith("::UNIT001: cannot add s and J")
+
+    def test_warning_maps_to_warning_level(self):
+        finding = Finding("UNIT008", Severity.WARNING,
+                          "repro/x.py:3", "undeclared public return")
+        assert render_github([finding]).startswith("::warning file=")
+
+    def test_non_file_locations_become_bare_annotations(self):
+        line = render_github([_finding()]).splitlines()[0]
+        assert line.startswith("::error title=IR001::")
+        assert "graph:TinyNet/conv_1" in line
+
+    def test_message_newlines_and_percents_are_escaped(self):
+        finding = Finding("TAB001", Severity.INFO, "device:nano",
+                          "50% off\nsecond line")
+        line = render_github([finding]).splitlines()[0]
+        assert "%25" in line and "%0A" in line and "\n" not in line
+
+    def test_summary_line_matches_text_reporter(self):
+        report = render_github([_finding()])
+        assert report.splitlines()[-1] == "1 finding(s): 1 error(s), 0 warning(s), 0 info"
+
+    def test_empty_report_says_no_findings(self):
+        assert render_github([]) == "no findings"

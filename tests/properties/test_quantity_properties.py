@@ -1,0 +1,90 @@
+"""Property-based tests of the quantity layer (hypothesis).
+
+Pins the two contracts PR 5 added: presentation round trips are *exact*
+(``from_ms``/``.ms`` and friends return the constructor argument bit for
+bit), and dimension-preserving arithmetic keeps the unit tag while
+cross-quantity arithmetic degrades to plain ``float``.
+"""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.quantity import (
+    GIGA,
+    MEGA,
+    MILLI,
+    Flops,
+    Hertz,
+    Joules,
+    Quantity,
+    Seconds,
+    Watts,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+magnitudes = st.floats(min_value=-1e12, max_value=1e12,
+                       allow_nan=False, allow_infinity=False)
+
+ROUND_TRIPS = [
+    (Seconds.from_ms, lambda q: q.ms, MILLI),
+    (Joules.from_mj, lambda q: q.mj, MILLI),
+    (Watts.from_mw, lambda q: q.mw, MILLI),
+    (Hertz.from_mhz, lambda q: q.mhz, MEGA),
+    (Hertz.from_ghz, lambda q: q.ghz, GIGA),
+    (Flops.from_gmacs, lambda q: q.gmacs, GIGA),
+]
+
+
+class TestExactRoundTrips:
+    @given(value=finite)
+    def test_every_scaled_constructor_round_trips_exactly(self, value):
+        for construct, present, _scale in ROUND_TRIPS:
+            assert present(construct(value)) == value or math.isnan(value)
+
+    @given(value=magnitudes)
+    def test_si_value_is_the_plain_product(self, value):
+        for construct, _present, scale in ROUND_TRIPS:
+            assert float(construct(value)) == value * scale
+
+    @given(value=magnitudes)
+    def test_unscaled_instances_still_present_by_division(self, value):
+        assert Seconds(value).ms == value / MILLI
+        assert Joules(value).mj == value / MILLI
+
+
+class TestUnitTagSurvivesArithmetic:
+    @given(value=magnitudes)
+    def test_unary_ops_keep_the_subclass_and_tag(self, value):
+        quantity = Seconds(value)
+        for result in (-quantity, +quantity, abs(quantity)):
+            assert type(result) is Seconds
+            assert repr(result).endswith(" s")
+
+    @given(value=magnitudes, scalar=st.floats(min_value=-1e6, max_value=1e6,
+                                              allow_nan=False))
+    def test_scaling_by_a_bare_number_keeps_the_tag(self, value, scalar):
+        quantity = Joules(value)
+        assert type(quantity * scalar) is Joules
+        assert type(scalar * quantity) is Joules
+        assert type(quantity + scalar) is Joules
+        assert float(quantity * scalar) == value * scalar
+
+    @given(value=magnitudes, other=magnitudes)
+    def test_cross_quantity_arithmetic_degrades_to_float(self, value, other):
+        product = Watts(value) * Seconds(other)
+        assert type(product) is float
+        assert product == value * other
+        assert type(Seconds(value) + Watts(other)) is float
+
+    @given(value=magnitudes, other=magnitudes)
+    def test_same_unit_ratio_is_a_plain_float(self, value, other):
+        if other != 0:
+            assert type(Seconds(value) / Seconds(other)) is float
+
+    @given(value=magnitudes)
+    def test_quantities_still_behave_as_their_float_value(self, value):
+        assert Seconds(value) == value
+        assert hash(Seconds(value)) == hash(value)
+        assert not isinstance(1.0 / Seconds(value or 1.0), Quantity)
