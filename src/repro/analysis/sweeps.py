@@ -71,10 +71,14 @@ def sparsity_sweep(
         caption="Frameworks without sparse kernels stay flat across the row "
         "(Table II, 'Pruning').",
     )
+    # prune_graph and deploy both clone their input, so one source graph and
+    # one pruned graph per sparsity can be shared across every framework.
+    source = load_model(model_name)
+    pruned = {sparsity: prune_graph(source, sparsity) for sparsity in sparsities}
     for framework_name in framework_names:
         cells = {}
         for sparsity in sparsities:
-            graph = prune_graph(load_model(model_name), sparsity)
+            graph = pruned[sparsity]
             record = _RUNNER.run(
                 Scenario(model_name, device_name, framework_name),
                 use_timer=False, graph=graph)

@@ -19,6 +19,10 @@ enforces them:
   ``uuid``, ``secrets``, unseeded ``default_rng``) in the pure cached paths
   (``engine``/``graphs``/``frameworks``/``models``/``hardware``), which the
   ``engine.cache`` purity contract relies on.
+* **ARCH005** — the sweep compiler (``engine/compile.py``) is a pure
+  lowering pass: no session/timer/meter construction (ARCH001's engine-layer
+  exemption does not extend to it), no RNG even seeded, and no wall clock —
+  its ``*_s`` compile stats are stamped by the driver.
 
 Suppress a finding by annotating its line, or a whole module with a
 file-level comment (see :mod:`repro.check.suppress` for both forms)::
@@ -43,13 +47,20 @@ RULES: dict[str, tuple[Severity, str]] = {
     "ARCH002": (Severity.ERROR, "deprecated wrapper call; use Scenario/Runner instead"),
     "ARCH003": (Severity.ERROR, "float literal compared with ==/!=; use a tolerance"),
     "ARCH004": (Severity.ERROR, "nondeterministic call in a pure cached path"),
+    "ARCH005": (Severity.ERROR, "impure call inside the sweep compiler; compile "
+                                "lowers cached inputs to arrays and nothing else"),
 }
 
 #: module path prefixes (relative to the repro package) per rule exemption.
 _SESSION_LAYERS = ("runtime", "engine", "measurement")
 _PURE_LAYERS = ("engine", "graphs", "frameworks", "models", "hardware")
+#: the sweep compiler holds a stricter contract than its engine siblings:
+#: ARCH001's engine-layer exemption does not apply, RNG is banned even
+#: seeded, and wall-clock stats are stamped by the driver (Runner.run_grid).
+_COMPILED_MODULE = ("engine", "compile.py")
 
 _SESSION_TYPES = ("InferenceSession", "InferenceTimer")
+_MEASUREMENT_TYPES = ("InferenceSession", "InferenceTimer", "EnergyMeter")
 _DEPRECATED_WRAPPERS = ("measurement_seed", "cell_timer", "measure_latency_s",
                         "build_session", "best_framework_latency", "deploy_key")
 _TIME_FUNCS = ("time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
@@ -116,9 +127,48 @@ class _ContractVisitor(ast.NodeVisitor):
                        f"direct {name} construction outside the runtime layer")
         if name in _DEPRECATED_WRAPPERS:
             self._emit("ARCH002", node, f"call to deprecated wrapper {name}()")
-        if self._layer() in _PURE_LAYERS:
+        handled = False
+        if self.parts == _COMPILED_MODULE:
+            handled = self._check_compiled_purity(node, name)
+        if not handled and self._layer() in _PURE_LAYERS:
             self._check_purity(node, name)
         self.generic_visit(node)
+
+    def _check_compiled_purity(self, node: ast.Call, name: str | None) -> bool:
+        """ARCH005: the sweep compiler is a pure lowering pass.
+
+        Returns True when the call was judged here (flagged or not), so the
+        looser ARCH004 pass does not double-report the same call.
+        """
+        if name in _MEASUREMENT_TYPES:
+            self._emit("ARCH005", node,
+                       f"{name} constructed inside the sweep compiler; sessions, "
+                       "timers and meters belong to the runtime layer")
+            return True
+        if name == "default_rng":
+            self._emit("ARCH005", node,
+                       "RNG in the sweep compiler (even seeded); measurement "
+                       "noise belongs to the timing driver")
+            return True
+        chain = _dotted_chain(node.func)
+        if chain:
+            root, leaf = chain[0], chain[-1]
+            if root in _RANDOM_MODULES or "random" in chain[:-1]:
+                self._emit("ARCH005", node,
+                           f"nondeterministic call {'.'.join(chain)}() in the "
+                           "sweep compiler")
+                return True
+            if root == "time" and leaf in _TIME_FUNCS:
+                self._emit("ARCH005", node,
+                           f"wall-clock call {'.'.join(chain)}() in the sweep "
+                           "compiler; compile stats are stamped by the driver")
+                return True
+        if isinstance(node.func, ast.Name) and node.func.id in self._random_imports:
+            self._emit("ARCH005", node,
+                       f"nondeterministic call {node.func.id}() (imported from a "
+                       "random/time module) in the sweep compiler")
+            return True
+        return False
 
     def _check_purity(self, node: ast.Call, name: str | None) -> None:
         chain = _dotted_chain(node.func)

@@ -174,6 +174,23 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         if args.executor == "process" and args.jobs > 1:
             print("  (process workers keep their own caches; "
                   "worker-side hits are not visible here)")
+        from repro.engine.compile import compile_stats
+
+        compiled = compile_stats()
+        print("\nsweep compiler statistics (this process):")
+        print(f"  grids={compiled['grids']} cells={compiled['cells']} "
+              f"deploys={compiled['unique_deploys']} "
+              f"plans={compiled['unique_plans']} "
+              f"plan_hits={compiled['plan_cache_hits']} "
+              f"dedup_ratio={compiled['dedup_ratio']:.2f}")
+        print(f"  array_programs={compiled['array_programs']} "
+              f"ops={compiled['ops_lowered']} "
+              f"macs={compiled['macs_lowered']:.3g} "
+              f"bytes={compiled['bytes_lowered']:.3g}")
+        print(f"  gather={compiled['gather_s'] * 1e3:.1f}ms "
+              f"lower={compiled['lower_s'] * 1e3:.1f}ms "
+              f"scatter={compiled['scatter_s'] * 1e3:.1f}ms "
+              f"timer={compiled['timer_s'] * 1e3:.1f}ms")
     if args.output:
         Path(args.output).write_text(json.dumps(result.snapshot, indent=1))
         print(f"\nwrote {args.output}")
@@ -335,7 +352,8 @@ def build_parser() -> argparse.ArgumentParser:
                               default="thread",
                               help="pool flavour for --jobs > 1")
     suite_parser.add_argument("--stats", action="store_true",
-                              help="print memoization hit/miss statistics")
+                              help="print memoization and sweep-compiler "
+                                   "statistics")
     suite_parser.add_argument("--output", metavar="PATH",
                               help="also write the snapshot JSON to PATH")
     suite_parser.add_argument("--no-cache", action="store_true",

@@ -65,6 +65,23 @@ class SplitPlanner:
         self._edge_times = self._per_op_times(edge)
         self._remote_times = self._per_op_times(remote)
         self._cuts = cut_points(edge.graph)
+        self._plans: list[SplitPlan] | None = None
+
+    def with_link(self, link: NetworkLink) -> SplitPlanner:
+        """A planner for the same deployments priced over a different link.
+
+        Shares the per-op timing tables and cut list (the expensive part —
+        two engine sessions per planner); only transfer pricing changes.
+        """
+        other = SplitPlanner.__new__(SplitPlanner)
+        other.edge = self.edge
+        other.remote = self.remote
+        other.link = link
+        other._edge_times = self._edge_times
+        other._remote_times = self._remote_times
+        other._cuts = self._cuts
+        other._plans = None
+        return other
 
     @staticmethod
     def _per_op_times(deployed: DeployedModel) -> dict[str, float]:
@@ -76,29 +93,41 @@ class SplitPlanner:
                                 + session.plan.input_transfer_s)
         return times
 
-    def _side_time(self, times: dict[str, float], op_names: list[str]) -> float:
-        if not op_names:
-            return 0.0
-        compute = sum(times.get(name, 0.0) for name in op_names)
-        return compute + times["__session__"]
-
     def sweep(self) -> list[SplitPlan]:
-        """Evaluate every cut point, input-side first."""
+        """Evaluate every cut point, input-side first.  Plans are memoized;
+        repeated calls (``best``/``all_edge``/``all_remote``) reuse them."""
+        if self._plans is None:
+            self._plans = self._sweep()
+        return list(self._plans)
+
+    def _sweep(self) -> list[SplitPlan]:
         schedulable = [op.name for op in self.edge.graph.schedulable_ops()]
+        edge_values = [self._edge_times.get(name, 0.0) for name in schedulable]
+        remote_values = [self._remote_times.get(name, 0.0) for name in schedulable]
+        count = len(schedulable)
+        # Running prefix sums accumulate left-to-right — the same float-op
+        # order as summing each prefix from scratch, so cuts price
+        # bit-identically to the quadratic form this replaces.
+        edge_prefix = [0.0]
+        acc = 0.0
+        for value in edge_values:
+            acc += value
+            edge_prefix.append(acc)
         plans = []
         for cut in self._cuts:
-            prefix = schedulable[:cut.index]
-            suffix = schedulable[cut.index:]
-            transfer = self.link.transfer_time_s(cut.transfer_bytes) if suffix or prefix else 0.0
-            if cut.index == len(schedulable):
+            index = cut.index
+            if count == 0 or index == count:
                 # Fully local: the result still returns to the caller on-device.
                 transfer = 0.0
+            else:
+                transfer = self.link.transfer_time_s(cut.transfer_bytes)
+            edge_s = (0.0 if index == 0
+                      else edge_prefix[index] + self._edge_times["__session__"])
+            remote_s = (0.0 if index == count
+                        else sum(remote_values[index:])
+                        + self._remote_times["__session__"])
             plans.append(SplitPlan(
-                cut=cut,
-                edge_s=self._side_time(self._edge_times, prefix),
-                transfer_s=transfer,
-                remote_s=self._side_time(self._remote_times, suffix),
-            ))
+                cut=cut, edge_s=edge_s, transfer_s=transfer, remote_s=remote_s))
         return plans
 
     def best(self) -> SplitPlan:

@@ -9,7 +9,7 @@ each artifact once and reusing it is therefore an observationally invisible
 optimization — which the identity suite proves by diffing cached against
 uncached exports at zero tolerance.
 
-Three caches, one per pipeline stage:
+Five caches, one per pipeline stage:
 
 * ``GRAPH_CACHE`` — zoo graphs keyed by canonical model name.
 * ``DEPLOY_CACHE`` — deployed models keyed by (model, device, framework,
@@ -20,6 +20,12 @@ Three caches, one per pipeline stage:
   (`EngineConfig`, efficiency scale).  Only deployments produced by
   :func:`cached_deploy` participate; ad-hoc deployments (mutated devices,
   pruned graphs, tests poking at ``storage_mode``) always re-plan.
+* ``RECORD_CACHE`` — finished ``RunRecord``s keyed by the scenario's full
+  canonical key plus the measurement flags.  Populated by the Runner and
+  the sweep compiler (:mod:`repro.engine.compile`); records are frozen
+  dataclasses, so sharing them is safe by construction.
+* ``PAYLOAD_CACHE`` — exported experiment payloads keyed by experiment id
+  (the warm-suite fast path of ``harness.suite.export_results``).
 
 The purity contract: cached graphs, deployments and plans are SHARED
 instances — callers must treat them as immutable.  Transforms already obey
@@ -98,6 +104,36 @@ class MemoCache:
             raise value
         return value
 
+    def cached_value(self, key: Any) -> tuple[bool, Any]:
+        """``(found, value)`` for ``key``, counting a hit or miss.
+
+        The two-phase face of :meth:`get_or_build` for callers that build
+        many missing entries in one batch (the sweep compiler): a cached
+        failure outcome re-raises exactly like ``get_or_build``; a miss
+        returns ``(False, None)`` and the caller is expected to
+        :meth:`store` the built value afterwards.
+        """
+        with self._lock:
+            outcome = self._entries.get(key, _MISSING)
+            if outcome is _MISSING:
+                self.stats.misses += 1
+                return False, None
+            self.stats.hits += 1
+        ok, value = outcome
+        if not ok:
+            raise value
+        return True, value
+
+    def store(self, key: Any, value: V) -> V:
+        """Insert a successful outcome; first store wins on a race.
+
+        Returns the shared entry, which is ``value`` unless another thread
+        stored first.
+        """
+        with self._lock:
+            _ok, stored = self._entries.setdefault(key, (True, value))
+        return stored
+
     def contains(self, key: Any) -> bool:
         """Whether an outcome is cached for ``key`` (no stats bump)."""
         with self._lock:
@@ -127,7 +163,9 @@ class MemoCache:
 GRAPH_CACHE = MemoCache("graph")
 DEPLOY_CACHE = MemoCache("deploy")
 PLAN_CACHE = MemoCache("plan")
-_CACHES = (GRAPH_CACHE, DEPLOY_CACHE, PLAN_CACHE)
+RECORD_CACHE = MemoCache("record")
+PAYLOAD_CACHE = MemoCache("payload")
+_CACHES = (GRAPH_CACHE, DEPLOY_CACHE, PLAN_CACHE, RECORD_CACHE, PAYLOAD_CACHE)
 
 _enabled = True
 

@@ -1,0 +1,454 @@
+"""Batched sweep compiler: lower a scenario grid into array programs.
+
+The harness's figures and sweeps price the same (model, device, framework)
+pipeline cell by cell, each cell walking graph -> deploy -> plan through
+Python objects.  This module takes the whole grid of
+:class:`repro.runtime.Scenario` cells at once and compiles it:
+
+* **gather** — walk the cells in order, deduplicating deployments (by
+  deploy key and power mode) and plan specs (by deployment and batch
+  size), recording the same deploy-cache outcome sequence the scalar
+  Runner would have produced and re-using plan-cache entries where they
+  already exist;
+* **lower** — concatenate every unresolved spec's per-op quantities
+  (MACs, weight bytes, activation I/O, kernel efficiency) into parallel
+  float64 arrays and evaluate the roofline for the entire grid through
+  ONE call to :func:`repro.engine.roofline.lower_rooflines_s`, then split
+  the result back into per-spec :class:`ExecutionPlan`s (written through
+  to the plan cache when caching is enabled);
+* **scatter** — derive the per-cell quantities a
+  :class:`repro.runtime.RunRecord` carries (plan latency, utilization,
+  power draw, init time, weight bytes) once per unique plan and fan them
+  back out to every cell that shares it.
+
+Every float comes out of the identical IEEE-754 operations in the
+identical order as the scalar path, so compiled grids are bit-identical
+to per-cell :meth:`Runner.run` — the equivalence suite diffs them at
+zero tolerance.
+
+Purity contract (enforced as ARCH005): this module never constructs
+sessions or timers, never draws random numbers — even seeded — and never
+reads the wall clock.  Measurement noise is applied by the runtime layer
+on top of the compiled latencies; the wall-clock fields of
+:class:`CompileStats` are stamped by the (impure) driver after the fact.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.engine import cache as engine_cache
+from repro.engine.executor import (
+    EngineConfig,
+    ExecutionPlan,
+    PlanSpec,
+    check_batch_memory,
+    deployed_init_time_s,
+    plan_utilization,
+    resolve_plan_spec,
+)
+from repro.engine.roofline import OpTiming, lower_rooflines_s
+from repro.runtime.scenario import Scenario
+
+
+@dataclass
+class CompileStats:
+    """Counters for one compiled grid (or the process-wide accumulation).
+
+    ``macs_lowered`` / ``bytes_lowered`` are the global FLOP and traffic
+    counters over everything the array program priced: MACs and (weight +
+    activation) bytes summed across every op of every plan built.  The
+    ``*_s`` wall-clock fields are stamped by the runtime driver — the
+    compiler itself never reads a clock.
+    """
+
+    cells: int = 0
+    unique_deploys: int = 0
+    deploy_failures: int = 0
+    unique_plans: int = 0
+    plan_cache_hits: int = 0
+    array_programs: int = 0
+    ops_lowered: int = 0
+    macs_lowered: float = 0.0
+    bytes_lowered: float = 0.0
+    gather_s: float = 0.0
+    lower_s: float = 0.0
+    scatter_s: float = 0.0
+    timer_s: float = 0.0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Cells priced per plan actually built (1.0 = nothing shared).
+
+        A fully warm grid builds no plans at all; it counts as maximally
+        shared rather than dividing by zero.
+        """
+        if self.unique_plans:
+            return self.cells / self.unique_plans
+        return float(self.cells) if self.cells else 1.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "cells": self.cells,
+            "unique_deploys": self.unique_deploys,
+            "deploy_failures": self.deploy_failures,
+            "unique_plans": self.unique_plans,
+            "plan_cache_hits": self.plan_cache_hits,
+            "dedup_ratio": self.dedup_ratio,
+            "array_programs": self.array_programs,
+            "ops_lowered": self.ops_lowered,
+            "macs_lowered": self.macs_lowered,
+            "bytes_lowered": self.bytes_lowered,
+            "gather_s": self.gather_s,
+            "lower_s": self.lower_s,
+            "scatter_s": self.scatter_s,
+            "timer_s": self.timer_s,
+        }
+
+
+@dataclass
+class CompiledCell:
+    """The pure (noise-free) outcome of one grid cell.
+
+    Exactly one of two shapes: ``error`` set and every other field None
+    (a Table V-style failure), or ``error`` None and every quantity the
+    runtime layer needs to assemble a ``RunRecord`` populated.  Latency
+    here is the bare-metal plan latency; container taxes and timing-loop
+    noise are applied by the runtime layer.
+    """
+
+    scenario: Scenario
+    cache_outcome: str
+    error: ReproError | None = None
+    plan: ExecutionPlan | None = None
+    latency_s: float | None = None
+    init_time_s: float | None = None
+    utilization: float | None = None
+    power_w: float | None = None
+    weight_bytes: int | None = None
+    cpu_scale: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class _PlanEntry:
+    """One unique (deployment, batch size) the grid prices."""
+
+    deployed: Any = None
+    error: ReproError | None = None
+    spec: PlanSpec | None = None
+    plan: ExecutionPlan | None = None
+    plan_key: tuple | None = None
+    # scatter memos (shared by every cell referencing this entry):
+    latency_s: float | None = None
+    init_time_s: float | None = None
+    utilization: float | None = None
+    power_w: float | None = None
+    weight_bytes: int | None = None
+
+
+@dataclass
+class GridProgram:
+    """The compiled form of one scenario grid between the phases."""
+
+    cells: list[tuple[Scenario, str, Any]] = field(default_factory=list)
+    plans: dict[Any, _PlanEntry] = field(default_factory=dict)
+    stats: CompileStats = field(default_factory=CompileStats)
+
+
+def _deploy(scenario: Scenario):
+    """Deploy one unique cell, mirroring ``Runner.deploy`` exactly."""
+    if scenario.is_default_runtime:
+        return engine_cache.cached_deploy(
+            scenario.model, scenario.device, scenario.framework,
+            dtype=scenario.dtype)
+    from repro.hardware import apply_operating_point, load_device
+    from repro.frameworks import load_framework
+    from repro.models import load_model
+
+    device = apply_operating_point(load_device(scenario.device),
+                                   scenario.power_mode)
+    return load_framework(scenario.framework).deploy(
+        load_model(scenario.model), device, dtype=scenario.dtype)
+
+
+def gather(scenarios: Sequence[Scenario]) -> GridProgram:
+    """Phase 1: dedup deployments and plan specs across the grid.
+
+    Cells are visited in input order and the recorded deploy-cache
+    outcomes reproduce the scalar Runner's sequence: the first cell to
+    need a deployment sees a ``"miss"`` (or ``"hit"`` when a previous
+    grid or scalar run already cached it), every later cell sharing it
+    sees a ``"hit"``, and uncacheable cells see ``"bypass"``.
+    """
+    from repro.engine.calibration import efficiency_scale as resolve_scale
+
+    program = GridProgram()
+    stats = program.stats
+    stats.cells = len(scenarios)
+    deploys: dict[Any, _PlanEntry] = {}
+
+    for scenario in scenarios:
+        dkey = (scenario.deploy_key, scenario.power_mode.lower())
+        cacheable = scenario.is_default_runtime and engine_cache.caching_enabled()
+        if not cacheable:
+            outcome = "bypass"
+        elif engine_cache.DEPLOY_CACHE.contains(scenario.deploy_key):
+            outcome = "hit"
+        else:
+            outcome = "miss"
+
+        if dkey not in deploys:
+            stats.unique_deploys += 1
+            entry = _PlanEntry()
+            try:
+                entry.deployed = _deploy(scenario)
+            except ReproError as error:
+                entry.error = error
+                stats.deploy_failures += 1
+            deploys[dkey] = entry
+        base = deploys[dkey]
+
+        skey = (dkey, scenario.batch_size)
+        if skey not in program.plans:
+            program.plans[skey] = _resolve_entry(base, scenario.batch_size,
+                                                 resolve_scale, stats)
+        program.cells.append((scenario, outcome, skey))
+    return program
+
+
+def _resolve_entry(base: _PlanEntry, batch_size: int, resolve_scale,
+                   stats: CompileStats) -> _PlanEntry:
+    """Resolve one unique (deployment, batch) into a plan or a spec.
+
+    Mirrors ``InferenceSession.__init__`` step for step: calibration
+    resolution, then the batch memory check, then the plan-cache lookup,
+    and only then spec resolution for plans the lowering phase must build.
+    """
+    if base.error is not None:
+        return base if batch_size == 1 else _PlanEntry(error=base.error)
+    deployed = base.deployed
+    entry = _PlanEntry(deployed=deployed)
+    config = EngineConfig(batch_size=batch_size)
+    scale = resolve_scale(deployed.framework.name, deployed.device.name)
+    try:
+        check_batch_memory(deployed, batch_size)
+    except ReproError as error:
+        entry.deployed = None
+        entry.error = error
+        return entry
+    pkey = engine_cache.plan_key(deployed, config, scale)
+    if pkey is not None:
+        found, plan = engine_cache.PLAN_CACHE.cached_value(pkey)
+        if found:
+            entry.plan = plan
+            stats.plan_cache_hits += 1
+            return entry
+        entry.plan_key = pkey
+    entry.spec = resolve_plan_spec(deployed, config, scale)
+    stats.unique_plans += 1
+    return entry
+
+
+def lower(program: GridProgram) -> None:
+    """Phase 2: price every unresolved spec through one array program.
+
+    Per-op quantities from every pending spec are concatenated into
+    parallel (ops x cells) arrays, evaluated elementwise in a single
+    :func:`lower_rooflines_s` call, and split back into per-spec
+    :class:`ExecutionPlan`s — bit-identical to pricing each spec alone,
+    since the program is elementwise.  Plans with a cacheable key are
+    written through to the shared plan cache.
+    """
+    pending = [entry for entry in program.plans.values()
+               if entry.spec is not None]
+    if not pending:
+        return
+    macs_parts, eff_parts, weight_parts, io_parts = [], [], [], []
+    peak_parts, batch_parts, wbw_parts, bw_parts, overhead_parts = [], [], [], [], []
+    counts = []
+    for entry in pending:
+        spec = entry.spec
+        ops = spec.ops
+        n = len(ops)
+        counts.append(n)
+        sparsity = spec.exploit_sparsity
+        macs_parts.append(np.array([op.effective_macs(sparsity) for op in ops],
+                                   dtype=np.float64))
+        eff_parts.append(np.asarray(spec.efficiencies, dtype=np.float64))
+        if spec.include_memory_term:
+            weight_parts.append(np.array(
+                [op.traffic_weight_bytes(sparsity) for op in ops],
+                dtype=np.float64))
+            io_parts.append(np.array(
+                [op.input_bytes() + op.output_bytes() for op in ops],
+                dtype=np.float64))
+        else:
+            # Zero traffic makes the memory quotient exactly 0.0, the same
+            # as the scalar path's ablation branch.
+            weight_parts.append(np.zeros(n))
+            io_parts.append(np.zeros(n))
+        inputs = spec.inputs
+        peak_parts.append(np.full(n, inputs.peak_macs_per_s))
+        batch_parts.append(np.full(n, spec.batch_size, dtype=np.float64))
+        wbw_parts.append(np.full(n, inputs.weight_bandwidth_bytes_per_s))
+        bw_parts.append(np.full(n, inputs.memory_bandwidth_bytes_per_s))
+        overhead_parts.append(np.full(
+            n, inputs.dispatch_overhead_s + spec.per_op_overhead_s))
+
+    macs = np.concatenate(macs_parts) if macs_parts else np.zeros(0)
+    efficiency = np.concatenate(eff_parts) if eff_parts else np.zeros(0)
+    if macs.size and np.any(efficiency <= 0):
+        worst = float(efficiency.min())
+        raise ValueError(f"efficiency must be positive, got {worst}")
+    compute_s, memory_s, dispatch_s = lower_rooflines_s(
+        macs,
+        efficiency,
+        np.concatenate(peak_parts) if peak_parts else np.zeros(0),
+        np.concatenate(weight_parts) if weight_parts else np.zeros(0),
+        np.concatenate(io_parts) if io_parts else np.zeros(0),
+        np.concatenate(batch_parts) if batch_parts else np.ones(0),
+        np.concatenate(wbw_parts) if wbw_parts else np.ones(0),
+        np.concatenate(bw_parts) if bw_parts else np.ones(0),
+        np.concatenate(overhead_parts) if overhead_parts else np.zeros(0),
+    )
+    stats = program.stats
+    stats.array_programs += 1
+    stats.ops_lowered += int(macs.size)
+    stats.macs_lowered += float(macs.sum())
+    stats.bytes_lowered += float(
+        np.concatenate(weight_parts).sum() + np.concatenate(io_parts).sum()
+    ) if weight_parts else 0.0
+
+    compute_list = compute_s.tolist()
+    memory_list = memory_s.tolist()
+    dispatch_list = dispatch_s.tolist()
+    offset = 0
+    for entry, n in zip(pending, counts):
+        spec = entry.spec
+        timings = [
+            OpTiming(op=op, compute_s=c, memory_s=m, dispatch_s=d)
+            for op, c, m, d in zip(
+                spec.ops,
+                compute_list[offset:offset + n],
+                memory_list[offset:offset + n],
+                dispatch_list[offset:offset + n],
+            )
+        ]
+        offset += n
+        plan = ExecutionPlan(
+            timings=timings,
+            session_overhead_s=spec.session_overhead_s,
+            input_transfer_s=spec.input_transfer_s,
+        )
+        if entry.plan_key is not None:
+            plan = engine_cache.PLAN_CACHE.store(entry.plan_key, plan)
+        entry.plan = plan
+        entry.spec = None
+
+
+def scatter(program: GridProgram) -> list[CompiledCell]:
+    """Phase 3: fan per-plan quantities back out to every cell."""
+    cells: list[CompiledCell] = []
+    for scenario, outcome, skey in program.cells:
+        entry = program.plans[skey]
+        if entry.error is not None:
+            cells.append(CompiledCell(scenario=scenario, cache_outcome="none",
+                                      error=entry.error))
+            continue
+        if entry.latency_s is None:
+            plan = entry.plan
+            deployed = entry.deployed
+            entry.latency_s = plan.latency_s
+            entry.utilization = plan_utilization(plan)
+            entry.power_w = deployed.device.power.power(entry.utilization)
+            entry.init_time_s = deployed_init_time_s(deployed)
+            entry.weight_bytes = deployed.weight_bytes()
+        cells.append(CompiledCell(
+            scenario=scenario,
+            cache_outcome=outcome,
+            plan=entry.plan,
+            latency_s=entry.latency_s,
+            init_time_s=entry.init_time_s,
+            utilization=entry.utilization,
+            power_w=entry.power_w,
+            weight_bytes=entry.weight_bytes,
+            cpu_scale=entry.deployed.cpu_scale,
+        ))
+    return cells
+
+
+def compile_cells(scenarios: Sequence[Scenario],
+                  ) -> tuple[list[CompiledCell], CompileStats]:
+    """Gather, lower and scatter one grid in a single call.
+
+    Drivers that want per-phase wall times (``Runner.run_grid``) call the
+    phases themselves and stamp the stats afterwards.
+    """
+    program = gather(list(scenarios))
+    lower(program)
+    return scatter(program), program.stats
+
+
+# -- process-wide stats plumbing (engine.cache style) ----------------------
+_LOCK = threading.Lock()
+_TOTALS = CompileStats()
+_GRIDS = 0
+
+
+def record_compile(stats: CompileStats) -> None:
+    """Fold one grid's counters into the process-wide accumulator."""
+    global _GRIDS
+    with _LOCK:
+        _GRIDS += 1
+        _TOTALS.cells += stats.cells
+        _TOTALS.unique_deploys += stats.unique_deploys
+        _TOTALS.deploy_failures += stats.deploy_failures
+        _TOTALS.unique_plans += stats.unique_plans
+        _TOTALS.plan_cache_hits += stats.plan_cache_hits
+        _TOTALS.array_programs += stats.array_programs
+        _TOTALS.ops_lowered += stats.ops_lowered
+        _TOTALS.macs_lowered += stats.macs_lowered
+        _TOTALS.bytes_lowered += stats.bytes_lowered
+        _TOTALS.gather_s += stats.gather_s
+        _TOTALS.lower_s += stats.lower_s
+        _TOTALS.scatter_s += stats.scatter_s
+        _TOTALS.timer_s += stats.timer_s
+
+
+def compile_stats() -> dict[str, Any]:
+    """JSON-safe snapshot of every grid compiled in this process."""
+    with _LOCK:
+        snapshot = _TOTALS.as_dict()
+        snapshot["grids"] = _GRIDS
+    return snapshot
+
+
+def reset_compile_stats() -> None:
+    """Zero the process-wide accumulator (benchmarks, tests)."""
+    global _TOTALS, _GRIDS
+    with _LOCK:
+        _TOTALS = CompileStats()
+        _GRIDS = 0
+
+
+__all__ = [
+    "CompileStats",
+    "CompiledCell",
+    "GridProgram",
+    "compile_cells",
+    "compile_stats",
+    "gather",
+    "lower",
+    "record_compile",
+    "reset_compile_stats",
+    "scatter",
+]

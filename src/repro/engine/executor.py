@@ -123,6 +123,174 @@ class ExecutionPlan:
         return totals.bound_roofline_s.get(bound, 0.0) / totals.roofline_s
 
 
+@dataclass(frozen=True)
+class PlanSpec:
+    """Everything needed to price one (deployment, config) pair.
+
+    The resolution work — op schedule, per-op kernel efficiencies, roofline
+    constants, framework overheads — is separated from the arithmetic so
+    the sweep compiler (:mod:`repro.engine.compile`) can gather many specs
+    and lower them through one array program.  ``plan_from_spec`` is the
+    single-spec path the session uses; both produce bit-identical plans.
+    """
+
+    ops: tuple
+    inputs: RooflineInputs
+    efficiencies: tuple[float, ...]
+    exploit_sparsity: bool
+    per_op_overhead_s: float
+    batch_size: int
+    include_memory_term: bool
+    session_overhead_s: float
+    input_transfer_s: float
+
+
+def check_batch_memory(deployed: DeployedModel, batch_size: int) -> None:
+    """Batched activations must still fit; deployment only checked batch 1
+    (the edge regime)."""
+    if batch_size == 1:
+        return
+    footprint = (
+        deployed.footprint_bytes()
+        + (batch_size - 1) * deployed.peak_activation_bytes()
+    )
+    usable = deployed.device.memory.usable_bytes
+    if footprint > usable:
+        raise OutOfMemoryError(
+            f"batch {batch_size} of {deployed.graph.name} needs "
+            f"{footprint / 2**20:.0f} MiB on {deployed.device.name} "
+            f"({usable / 2**20:.0f} MiB usable)",
+            required_bytes=footprint,
+            available_bytes=usable,
+        )
+
+
+def resolve_roofline_inputs(deployed: DeployedModel) -> RooflineInputs:
+    """Device-side roofline constants for one deployment (pure)."""
+    unit = deployed.unit
+    memory = deployed.device.memory
+    dtype = deployed.weight_dtype
+    peak = unit.peak(dtype) if unit.supports(dtype) else unit.peak(DType.FP32)
+
+    bandwidth = memory.bandwidth_bytes_per_s
+    weight_bandwidth = bandwidth
+    total_weights = deployed.weight_bytes()
+    if deployed.storage_mode == "paged":
+        # Dynamic-graph fallback: weights stream from backing store every
+        # inference — the order-of-magnitude penalty of Table V.
+        weight_bandwidth = memory.storage_bandwidth_bytes_per_s
+    elif deployed.storage_mode == "fabric_spill":
+        # Un-ported models stream every tile through host DDR3 with the
+        # overlay stalled on it: bandwidth collapses and the GEMM core
+        # runs at a fraction of its ported efficiency (Table V ^^).
+        bandwidth *= FABRIC_SPILL_BANDWIDTH_FACTOR
+        weight_bandwidth = bandwidth
+    elif unit.on_chip_buffer_bytes and total_weights <= unit.on_chip_buffer_bytes:
+        # The whole model lives in the accelerator scratchpad (EdgeTPU
+        # running MobileNet-class networks): weights AND the activation
+        # working set stay on-chip.
+        bandwidth *= ON_CHIP_BANDWIDTH_MULTIPLIER
+        weight_bandwidth = bandwidth
+    return RooflineInputs(
+        peak_macs_per_s=peak,
+        memory_bandwidth_bytes_per_s=bandwidth,
+        weight_bandwidth_bytes_per_s=weight_bandwidth,
+        dispatch_overhead_s=unit.dispatch_overhead_s,
+    )
+
+
+def resolve_plan_spec(deployed: DeployedModel, config: EngineConfig,
+                      efficiency_scale: float) -> PlanSpec:
+    """Resolve the op schedule, efficiencies and overheads for one plan."""
+    from repro.graphs.ops import Input
+
+    inputs = resolve_roofline_inputs(deployed)
+    framework = deployed.framework
+    session_overhead = deployed.session_overhead_s / config.batch_size
+    if not config.include_framework_overheads:
+        session_overhead = 0.0
+
+    input_transfer_s = 0.0
+    if deployed.device.transfer is not None:
+        input_bytes = sum(op.output_bytes() for op in deployed.graph.inputs)
+        output_bytes = sum(op.output_bytes() for op in deployed.graph.outputs)
+        input_transfer_s = deployed.device.transfer.transfer_time_s(
+            input_bytes + output_bytes
+        )
+
+    if config.respect_fusion:
+        ops = deployed.graph.schedulable_ops()
+    else:
+        ops = [op for op in deployed.graph.ops if not isinstance(op, Input)]
+    per_op_overhead = deployed.per_op_overhead_s
+    if not config.include_framework_overheads:
+        per_op_overhead = 0.0
+    spill_penalty = 0.5 if deployed.storage_mode == "fabric_spill" else 1.0
+    efficiencies = tuple(
+        framework.kernel_efficiency(
+            op, deployed.unit, deployed.weight_dtype, deployed.graph,
+            batch_size=config.batch_size,
+        ) * efficiency_scale * spill_penalty
+        for op in ops
+    )
+    return PlanSpec(
+        ops=tuple(ops),
+        inputs=inputs,
+        efficiencies=efficiencies,
+        exploit_sparsity=deployed.exploit_sparsity,
+        per_op_overhead_s=per_op_overhead,
+        batch_size=config.batch_size,
+        include_memory_term=config.include_memory_term,
+        session_overhead_s=session_overhead,
+        input_transfer_s=input_transfer_s,
+    )
+
+
+def plan_from_spec(spec: PlanSpec) -> ExecutionPlan:
+    """Price one resolved spec through the vectorized roofline."""
+    timings = time_ops(
+        spec.ops,
+        spec.inputs,
+        spec.efficiencies,
+        exploit_sparsity=spec.exploit_sparsity,
+        per_op_overhead_s=spec.per_op_overhead_s,
+        batch_size=spec.batch_size,
+        include_memory_term=spec.include_memory_term,
+    )
+    return ExecutionPlan(
+        timings=timings,
+        session_overhead_s=spec.session_overhead_s,
+        input_transfer_s=spec.input_transfer_s,
+    )
+
+
+def plan_utilization(plan: ExecutionPlan) -> float:
+    """Compute-unit busy fraction for one executed plan, in [0, 1].
+
+    Memory-bound phases keep the unit partially busy (prefetch + arithmetic
+    on the streaming data), overheads leave it idle.
+    """
+    latency = plan.latency_s
+    if latency == 0:
+        return 0.0
+    busy = sum(
+        t.compute_s if t.bound == "compute" else 0.65 * t.roofline_s
+        for t in plan.timings
+    )
+    return min(1.0, busy / latency)
+
+
+def deployed_init_time_s(deployed: DeployedModel) -> float:
+    """One-time setup cost of a deployment (outside the timed loop)."""
+    return (
+        deployed.library_load_s
+        + deployed.graph_setup_s
+        + deployed.weight_load_s
+        + deployed.transfer_setup_s
+        + deployed.device_staging_s
+    )
+
+
 class InferenceSession:
     """Single-batch inference of one deployed model.
 
@@ -142,62 +310,12 @@ class InferenceSession:
 
             efficiency_scale = resolve(deployed.framework.name, deployed.device.name)
         self.efficiency_scale = efficiency_scale
-        self._check_batch_memory()
+        check_batch_memory(deployed, self.config.batch_size)
         self.plan = self._build_plan()
-
-    def _check_batch_memory(self) -> None:
-        """Batched activations must still fit; deployment only checked
-        batch 1 (the edge regime)."""
-        batch = self.config.batch_size
-        if batch == 1:
-            return
-        footprint = (
-            self.deployed.footprint_bytes()
-            + (batch - 1) * self.deployed.graph.peak_activation_bytes()
-        )
-        usable = self.deployed.device.memory.usable_bytes
-        if footprint > usable:
-            raise OutOfMemoryError(
-                f"batch {batch} of {self.deployed.graph.name} needs "
-                f"{footprint / 2**20:.0f} MiB on {self.deployed.device.name} "
-                f"({usable / 2**20:.0f} MiB usable)",
-                required_bytes=footprint,
-                available_bytes=usable,
-            )
 
     # -- plan construction -------------------------------------------------
     def _roofline_inputs(self) -> RooflineInputs:
-        deployed = self.deployed
-        unit = deployed.unit
-        memory = deployed.device.memory
-        dtype = deployed.weight_dtype
-        peak = unit.peak(dtype) if unit.supports(dtype) else unit.peak(DType.FP32)
-
-        bandwidth = memory.bandwidth_bytes_per_s
-        weight_bandwidth = bandwidth
-        total_weights = deployed.graph.weight_bytes()
-        if deployed.storage_mode == "paged":
-            # Dynamic-graph fallback: weights stream from backing store every
-            # inference — the order-of-magnitude penalty of Table V.
-            weight_bandwidth = memory.storage_bandwidth_bytes_per_s
-        elif deployed.storage_mode == "fabric_spill":
-            # Un-ported models stream every tile through host DDR3 with the
-            # overlay stalled on it: bandwidth collapses and the GEMM core
-            # runs at a fraction of its ported efficiency (Table V ^^).
-            bandwidth *= FABRIC_SPILL_BANDWIDTH_FACTOR
-            weight_bandwidth = bandwidth
-        elif unit.on_chip_buffer_bytes and total_weights <= unit.on_chip_buffer_bytes:
-            # The whole model lives in the accelerator scratchpad (EdgeTPU
-            # running MobileNet-class networks): weights AND the activation
-            # working set stay on-chip.
-            bandwidth *= ON_CHIP_BANDWIDTH_MULTIPLIER
-            weight_bandwidth = bandwidth
-        return RooflineInputs(
-            peak_macs_per_s=peak,
-            memory_bandwidth_bytes_per_s=bandwidth,
-            weight_bandwidth_bytes_per_s=weight_bandwidth,
-            dispatch_overhead_s=unit.dispatch_overhead_s,
-        )
+        return resolve_roofline_inputs(self.deployed)
 
     def _build_plan(self) -> ExecutionPlan:
         from repro.engine import cache as engine_cache
@@ -208,53 +326,8 @@ class InferenceSession:
         return engine_cache.PLAN_CACHE.get_or_build(key, self._compute_plan)
 
     def _compute_plan(self) -> ExecutionPlan:
-        from repro.graphs.ops import Input
-
-        deployed = self.deployed
-        config = self.config
-        inputs = self._roofline_inputs()
-        framework = deployed.framework
-        session_overhead = deployed.session_overhead_s / config.batch_size
-        if not config.include_framework_overheads:
-            session_overhead = 0.0
-
-        input_transfer_s = 0.0
-        if deployed.device.transfer is not None:
-            input_bytes = sum(op.output_bytes() for op in deployed.graph.inputs)
-            output_bytes = sum(op.output_bytes() for op in deployed.graph.outputs)
-            input_transfer_s = deployed.device.transfer.transfer_time_s(
-                input_bytes + output_bytes
-            )
-
-        if config.respect_fusion:
-            ops = deployed.graph.schedulable_ops()
-        else:
-            ops = [op for op in deployed.graph.ops if not isinstance(op, Input)]
-        per_op_overhead = deployed.per_op_overhead_s
-        if not config.include_framework_overheads:
-            per_op_overhead = 0.0
-        spill_penalty = 0.5 if deployed.storage_mode == "fabric_spill" else 1.0
-        efficiencies = [
-            framework.kernel_efficiency(
-                op, deployed.unit, deployed.weight_dtype, deployed.graph,
-                batch_size=config.batch_size,
-            ) * self.efficiency_scale * spill_penalty
-            for op in ops
-        ]
-        timings = time_ops(
-            ops,
-            inputs,
-            efficiencies,
-            exploit_sparsity=deployed.exploit_sparsity,
-            per_op_overhead_s=per_op_overhead,
-            batch_size=config.batch_size,
-            include_memory_term=config.include_memory_term,
-        )
-        return ExecutionPlan(
-            timings=timings,
-            session_overhead_s=session_overhead,
-            input_transfer_s=input_transfer_s,
-        )
+        return plan_from_spec(
+            resolve_plan_spec(self.deployed, self.config, self.efficiency_scale))
 
     # -- user-facing quantities ---------------------------------------------
     @property
@@ -265,30 +338,12 @@ class InferenceSession:
     @property
     def init_time_s(self) -> float:
         """One-time setup cost, excluded from the paper's timing loop."""
-        deployed = self.deployed
-        return (
-            deployed.library_load_s
-            + deployed.graph_setup_s
-            + deployed.weight_load_s
-            + deployed.transfer_setup_s
-            + deployed.device_staging_s
-        )
+        return deployed_init_time_s(self.deployed)
 
     @property
     def utilization(self) -> float:
-        """Compute-unit busy fraction during an inference, in [0, 1].
-
-        Memory-bound phases keep the unit partially busy (prefetch +
-        arithmetic on the streaming data), overheads leave it idle.
-        """
-        latency = self.latency_s
-        if latency == 0:
-            return 0.0
-        busy = sum(
-            t.compute_s if t.bound == "compute" else 0.65 * t.roofline_s
-            for t in self.plan.timings
-        )
-        return min(1.0, busy / latency)
+        """Compute-unit busy fraction during an inference, in [0, 1]."""
+        return plan_utilization(self.plan)
 
     def run(self, n_inferences: int) -> list[Seconds]:
         """Simulate ``n_inferences`` timed runs, returning per-run seconds.

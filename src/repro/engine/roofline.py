@@ -114,6 +114,48 @@ def time_op(
     return OpTiming(op=op, compute_s=compute_s, memory_s=memory_s, dispatch_s=dispatch_s)
 
 
+def lower_rooflines_s(
+    macs,
+    efficiency,
+    peak_macs_per_s,
+    weight_bytes,
+    io_bytes,
+    batch_size,
+    weight_bandwidth_bytes_per_s,
+    memory_bandwidth_bytes_per_s,
+    overhead_s,
+):
+    """The roofline array program: elementwise timing over parallel arrays.
+
+    Every argument broadcasts, so the same program prices one plan (scalar
+    device constants against per-op arrays) or a whole scenario grid
+    (per-op arrays for every quantity, concatenated across plans).  Each
+    element goes through the identical IEEE-754 double operations as
+    :func:`time_op`, in the same order, so results are bit-identical to
+    the scalar path no matter how ops are batched.
+
+    Args:
+        macs / efficiency / weight_bytes / io_bytes: per-op gathers.
+            Callers ablating the memory term pass zero byte arrays — the
+            quotient is then exactly ``0.0``, matching the scalar branch.
+        peak_macs_per_s / batch_size / weight_bandwidth_bytes_per_s /
+            memory_bandwidth_bytes_per_s / overhead_s: device/plan
+            constants, scalar or expanded per op.  ``overhead_s`` is the
+            dispatch overhead plus the framework's per-op overhead.
+
+    Returns:
+        ``(compute_s, memory_s, dispatch_s)`` with the argument broadcast
+        shape.
+    """
+    compute_s = macs / (peak_macs_per_s * efficiency)
+    memory_s = (
+        weight_bytes / batch_size / weight_bandwidth_bytes_per_s
+        + io_bytes / memory_bandwidth_bytes_per_s
+    )
+    dispatch_s = overhead_s / batch_size
+    return compute_s, memory_s, dispatch_s
+
+
 def time_ops(
     ops: Sequence[Op],
     inputs: RooflineInputs,
@@ -151,21 +193,27 @@ def time_ops(
         raise ValueError(f"efficiency must be positive, got {worst}")
     macs = np.array([op.effective_macs(exploit_sparsity) for op in ops],
                     dtype=np.float64)
-    # 0 MACs / positive peak is exactly 0.0, matching the scalar short-circuit.
-    compute_s = macs / (inputs.peak_macs_per_s * efficiency)
     if include_memory_term:
         weight_bytes = np.array(
             [op.traffic_weight_bytes(exploit_sparsity) for op in ops],
             dtype=np.float64)
         io_bytes = np.array([op.input_bytes() + op.output_bytes() for op in ops],
                             dtype=np.float64)
-        memory_s = (
-            weight_bytes / batch_size / inputs.weight_bandwidth_bytes_per_s
-            + io_bytes / inputs.memory_bandwidth_bytes_per_s
-        )
     else:
-        memory_s = np.zeros(len(ops))
-    dispatch_s = (inputs.dispatch_overhead_s + per_op_overhead_s) / batch_size
+        # Zero traffic makes the quotient exactly 0.0 — the scalar branch.
+        weight_bytes = io_bytes = np.zeros(len(ops))
+    # 0 MACs / positive peak is exactly 0.0, matching the scalar short-circuit.
+    compute_s, memory_s, dispatch_s = lower_rooflines_s(
+        macs,
+        efficiency,
+        inputs.peak_macs_per_s,
+        weight_bytes,
+        io_bytes,
+        batch_size,
+        inputs.weight_bandwidth_bytes_per_s,
+        inputs.memory_bandwidth_bytes_per_s,
+        inputs.dispatch_overhead_s + per_op_overhead_s,
+    )
     return [
         OpTiming(op=op, compute_s=c, memory_s=m, dispatch_s=dispatch_s)
         for op, c, m in zip(ops, compute_s.tolist(), memory_s.tolist())

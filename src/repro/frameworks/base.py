@@ -100,17 +100,35 @@ class DeployedModel:
     #: built directly (and therefore free to be mutated) stay None and are
     #: never plan-cached.
     cache_key: tuple | None = None
+    # Lazy byte-count memos: the deployed graph is immutable once deploy()
+    # returns, so these integer walks are done once and shared by every
+    # consumer (roofline inputs, one-time costs, batch memory planning).
+    _weight_bytes: int | None = field(default=None, repr=False, compare=False)
+    _peak_activation_bytes: int | None = field(default=None, repr=False,
+                                               compare=False)
 
     @property
     def is_paged(self) -> bool:
         return self.storage_mode == "paged"
 
+    def weight_bytes(self) -> int:
+        """Total weight bytes of the deployed graph, memoized."""
+        if self._weight_bytes is None:
+            self._weight_bytes = self.graph.weight_bytes()
+        return self._weight_bytes
+
+    def peak_activation_bytes(self) -> int:
+        """Peak live activation bytes of the deployed graph, memoized."""
+        if self._peak_activation_bytes is None:
+            self._peak_activation_bytes = self.graph.peak_activation_bytes()
+        return self._peak_activation_bytes
+
     def footprint_bytes(self) -> int:
         over = self.framework.overheads
         return int(
             over.runtime_memory_bytes
-            + over.weight_memory_factor * self.graph.weight_bytes()
-            + self.graph.peak_activation_bytes()
+            + over.weight_memory_factor * self.weight_bytes()
+            + self.peak_activation_bytes()
         )
 
     # -- resolved overheads (device-scaled seconds) ----------------------
@@ -133,14 +151,14 @@ class DeployedModel:
     @property
     def weight_load_s(self) -> float:
         """One-time weight read from backing store at setup."""
-        return self.graph.weight_bytes() / self.device.memory.storage_bandwidth_bytes_per_s
+        return self.weight_bytes() / self.device.memory.storage_bandwidth_bytes_per_s
 
     @property
     def transfer_setup_s(self) -> float:
         """One-time host-to-accelerator weight copy (``model.to(device)``)."""
         if self.device.transfer is None:
             return 0.0
-        return self.device.transfer.transfer_time_s(self.graph.weight_bytes())
+        return self.device.transfer.transfer_time_s(self.weight_bytes())
 
     @property
     def device_staging_s(self) -> float:
@@ -154,7 +172,7 @@ class DeployedModel:
 
         if self.unit.kind is not ComputeKind.GPU:
             return 0.0
-        copy_s = self.graph.weight_bytes() / (self.device.memory.bandwidth_bytes_per_s / 2)
+        copy_s = self.weight_bytes() / (self.device.memory.bandwidth_bytes_per_s / 2)
         return self.framework.overheads.gpu_staging_base_s * self.cpu_scale + copy_s
 
     @property

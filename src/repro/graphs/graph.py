@@ -74,7 +74,13 @@ class Graph:
         graph while skipping the per-attribute recursion that made cloning
         the dominant cost of a deployment sweep.
         """
-        mapping = {id(op): copy.copy(op) for op in self.ops}
+        mapping: dict[int, O.Op] = {}
+        for op in self.ops:
+            # Ops are plain __dict__ classes, so this is ``copy.copy``
+            # without the __reduce_ex__ round-trip it dispatches through.
+            shallow = object.__new__(type(op))
+            shallow.__dict__.update(op.__dict__)
+            mapping[id(op)] = shallow
         for op in self.ops:
             cloned = mapping[id(op)]
             cloned.inputs = [mapping[id(parent)] for parent in op.inputs]

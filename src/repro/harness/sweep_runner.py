@@ -23,12 +23,17 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
-from repro.engine.cache import cache_stats
+from repro.engine.cache import cache_stats, caching_enabled
+from repro.engine.compile import compile_stats
 from repro.harness.registry import list_experiments
-from repro.harness.suite import SNAPSHOT_VERSION, experiment_payload
+from repro.harness.suite import (
+    SNAPSHOT_VERSION,
+    experiment_payload,
+    precompile_experiments,
+)
 from repro.runtime import RunRecord, Scenario, default_runner
 
 EXECUTORS = ("thread", "process")
@@ -52,6 +57,7 @@ class SweepResult:
     jobs: int
     executor: str
     cache: dict[str, dict[str, Any]]
+    compile: dict[str, Any] = field(default_factory=dict)
 
     @property
     def experiment_s(self) -> float:
@@ -68,6 +74,13 @@ class SweepResult:
             f"({self.experiment_s:.2f} s summed) with {self.jobs} "
             f"{self.executor} worker(s)"
         )
+        if self.compile.get("cells"):
+            lines.append(
+                f"sweep compiler: {self.compile['cells']} cells -> "
+                f"{self.compile['unique_plans']} plans "
+                f"({self.compile['dedup_ratio']:.1f}x dedup) in "
+                f"{self.compile['array_programs']} array program(s)"
+            )
         return "\n".join(lines)
 
 
@@ -94,6 +107,10 @@ def run_sweep(experiment_ids: list[str] | None = None, jobs: int = 1,
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     ids = list(experiment_ids or list_experiments())
     start = time.perf_counter()
+    if caching_enabled() and (executor == "thread" or jobs <= 1):
+        # Process workers build their own caches; precompiling here would
+        # only warm this process.  Thread workers share it.
+        precompile_experiments(ids)
     if jobs <= 1 or len(ids) <= 1:
         results = [_run_cell(experiment_id) for experiment_id in ids]
     else:
@@ -116,6 +133,7 @@ def run_sweep(experiment_ids: list[str] | None = None, jobs: int = 1,
         jobs=max(1, jobs),
         executor=executor,
         cache=cache_stats(),
+        compile=compile_stats(),
     )
 
 

@@ -46,12 +46,22 @@ class InferenceTimer:
 
     def measure(self, session: InferenceSession, n_runs: int | None = None) -> Measurement:
         """Run the timing loop and summarize it as a Measurement (seconds)."""
+        return self.measure_latency(session.latency_s, n_runs)
+
+    def measure_latency(self, latency_s: float, n_runs: int | None = None) -> Measurement:
+        """Apply the timing loop to a bare latency (the compiled-grid path).
+
+        Sessions run deterministically — every simulated inference takes
+        ``session.latency_s`` — so the loop only needs the latency itself.
+        ``np.full`` here is bit-identical to materializing the session's
+        per-run list.
+        """
         if n_runs is None:
-            n_runs = choose_run_count(session.latency_s)
+            n_runs = choose_run_count(latency_s)
         if n_runs <= 0:
             raise ValueError(f"n_runs must be positive, got {n_runs}")
         rng = np.random.default_rng(self.seed)
-        base = np.asarray(session.run(n_runs))
+        base = np.full(n_runs, float(latency_s))
         noisy = base * rng.lognormal(
             mean=0.0, sigma=self.jitter_fraction, size=n_runs
         )

@@ -12,20 +12,32 @@ each with its own string-triple plumbing.  The Runner owns that pipeline:
 * failures come back as :class:`RunRecord` data, classified by the Table V
   taxonomy, instead of propagating control flow.
 
-``run_cells`` fans a batch of scenarios across a thread or process pool
-with order-preserving results, mirroring the experiment-level sweep runner.
+``run_grid`` hands a whole batch of scenarios to the sweep compiler
+(:mod:`repro.engine.compile`): deployments and plans are deduplicated
+across the grid, the rooflines are lowered into one array program, and the
+results are scattered back into per-cell records that are bit-identical to
+running each cell alone.  Finished records land in the engine's record
+cache, so re-running a grid (or any overlapping figure) is a lookup.
+``run_cells`` routes serial batches through ``run_grid`` and fans larger
+ones across a thread or process pool with order-preserving results.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
 from repro.core.errors import ReproError, UnknownEntryError
 from repro.core.quantity import Seconds
 from repro.core.registry import canonical_name
-from repro.engine.cache import DEPLOY_CACHE, cached_deploy, caching_enabled
+from repro.engine.cache import (
+    DEPLOY_CACHE,
+    RECORD_CACHE,
+    cached_deploy,
+    caching_enabled,
+)
 from repro.engine.executor import EngineConfig, InferenceSession
 from repro.measurement.energy import EnergyMeter, active_power_w
 from repro.measurement.timer import InferenceTimer
@@ -124,6 +136,13 @@ class Runner:
         ``use_timer`` the paper's timing loop runs on the cell-seeded
         timer, without it the noise-free plan latency is returned.
         """
+        if graph is None and caching_enabled():
+            found, record = RECORD_CACHE.cached_value(
+                self._record_key(scenario, use_timer, None))
+            if found and record.ok:
+                return Seconds(record.latency_s)
+            # Cached failures fall through so the original error type
+            # propagates from the deploy pipeline, exactly as before.
         session = self.session(scenario, graph)
         if use_timer:
             return Seconds(self.timer(scenario).measure(session))
@@ -142,6 +161,22 @@ class Runner:
             energy_meter: when given, also measure energy per inference.
             n_runs: timing-loop length override (default: paper policy).
         """
+        cacheable = graph is None and energy_meter is None and caching_enabled()
+        if cacheable:
+            key = self._record_key(scenario, use_timer, n_runs)
+            found, cached = RECORD_CACHE.cached_value(key)
+            if found:
+                return self._refresh_provenance(cached)
+        record = self._run_uncached(scenario, use_timer=use_timer, graph=graph,
+                                    energy_meter=energy_meter, n_runs=n_runs)
+        if cacheable:
+            record = RECORD_CACHE.store(key, record)
+        return record
+
+    def _run_uncached(self, scenario: Scenario, *, use_timer: bool,
+                      graph: Any, energy_meter: EnergyMeter | None,
+                      n_runs: int | None) -> RunRecord:
+        """The scalar measurement pipeline behind :meth:`run`."""
         config = EngineConfig(batch_size=scenario.batch_size)
         try:
             session, cache_outcome = self._session(scenario, graph)
@@ -185,9 +220,32 @@ class Runner:
                 session_overhead_s=plan.session_overhead_s,
                 input_transfer_s=plan.input_transfer_s,
                 op_count=len(plan.timings),
-                weight_bytes=deployed.graph.weight_bytes(),
+                weight_bytes=deployed.weight_bytes(),
             ),
         )
+
+    # -- record caching ----------------------------------------------------
+    @staticmethod
+    def _record_key(scenario: Scenario, use_timer: bool,
+                    n_runs: int | None) -> tuple:
+        """Record-cache key: the cell's canonical key + measurement flags."""
+        return (scenario.key, bool(use_timer), n_runs)
+
+    @staticmethod
+    def _refresh_provenance(record: RunRecord) -> RunRecord:
+        """Re-derive the deploy-cache outcome for a cached record.
+
+        A record stored on a cold run says ``"miss"``; replaying the same
+        cell scalar-style would now find the deployment cached and say
+        ``"hit"``, so hits are refreshed to match.  Failures (``"none"``)
+        and uncacheable runtimes (``"bypass"``) replay unchanged.
+        """
+        if record.failed or not record.scenario.is_default_runtime:
+            return record
+        if record.provenance.deploy_cache == "hit":
+            return record
+        return replace(record,
+                       provenance=replace(record.provenance, deploy_cache="hit"))
 
     # -- batch API ---------------------------------------------------------
     def run_cells(self, scenarios: Iterable[Scenario], *, jobs: int = 1,
@@ -203,11 +261,129 @@ class Runner:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
         cells = list(scenarios)
         if jobs <= 1 or len(cells) <= 1:
-            return [self.run(scenario, use_timer=use_timer) for scenario in cells]
+            return self.run_grid(cells, use_timer=use_timer)
         pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
         payloads = [(self, scenario, use_timer) for scenario in cells]
         with pool_cls(max_workers=min(jobs, len(cells))) as pool:
             return list(pool.map(_run_cell, payloads))
+
+    def run_grid(self, scenarios: Iterable[Scenario], *,
+                 use_timer: bool = True) -> list[RunRecord]:
+        """Run a whole scenario grid through the sweep compiler.
+
+        Bit-identical to calling :meth:`run` on each cell in order, but the
+        grid is compiled as one unit: deployments and plans are shared
+        across cells, the rooflines are lowered into a single array
+        program, and already-finished cells come straight out of the
+        record cache.  Per-phase wall times land in the process-wide
+        compiler stats (``repro.engine.compile.compile_stats``).
+        """
+        from repro.engine import compile as sweep_compile
+
+        cells = list(scenarios)
+        use_cache = caching_enabled()
+        records: list[RunRecord | None] = [None] * len(cells)
+        pending: list[int] = []
+        pending_keys: set = set()
+        duplicates: list[tuple[int, tuple]] = []
+        for index, scenario in enumerate(cells):
+            if use_cache:
+                key = self._record_key(scenario, use_timer, None)
+                if key in pending_keys:
+                    # In-grid duplicate of a cell being compiled: resolve it
+                    # from the record cache afterwards, like a scalar replay.
+                    duplicates.append((index, key))
+                    continue
+                found, cached = RECORD_CACHE.cached_value(key)
+                if found:
+                    records[index] = self._refresh_provenance(cached)
+                    continue
+                pending_keys.add(key)
+            pending.append(index)
+        if pending:
+            start = time.perf_counter()
+            program = sweep_compile.gather([cells[i] for i in pending])
+            gathered = time.perf_counter()
+            sweep_compile.lower(program)
+            lowered = time.perf_counter()
+            compiled = sweep_compile.scatter(program)
+            scattered = time.perf_counter()
+            for index, cell in zip(pending, compiled):
+                record = self._record_from_cell(cell, use_timer)
+                if use_cache:
+                    record = RECORD_CACHE.store(
+                        self._record_key(cell.scenario, use_timer, None), record)
+                records[index] = record
+            stats = program.stats
+            stats.gather_s = gathered - start
+            stats.lower_s = lowered - gathered
+            stats.scatter_s = scattered - lowered
+            stats.timer_s = time.perf_counter() - scattered
+            sweep_compile.record_compile(stats)
+        for index, key in duplicates:
+            found, cached = RECORD_CACHE.cached_value(key)
+            assert found  # the first occurrence was compiled and stored above
+            records[index] = self._refresh_provenance(cached)
+        return records  # type: ignore[return-value]  # every slot is filled
+
+    def _record_from_cell(self, cell: Any, use_timer: bool) -> RunRecord:
+        """Assemble one :class:`RunRecord` from a compiled cell.
+
+        Field for field the same arithmetic as the scalar :meth:`run`
+        pipeline — container taxes via :meth:`Container.taxed_latency_s`, the
+        cell-seeded timing loop via ``measure_latency`` — so records match
+        the scalar path bitwise.
+        """
+        scenario = cell.scenario
+        config = EngineConfig(batch_size=scenario.batch_size)
+        if cell.error is not None:
+            return RunRecord(
+                scenario=scenario,
+                status="failed",
+                provenance=Provenance.build(scenario, "none", use_timer, config),
+                failure=FailureRecord.from_error(cell.error),
+            )
+        bare_s = cell.latency_s
+        if scenario.containerized:
+            model_latency_s = self.container.taxed_latency_s(bare_s, cell.cpu_scale)
+            overhead = (model_latency_s - bare_s) / bare_s
+            init_time_s = cell.init_time_s + 2.0
+        else:
+            model_latency_s = bare_s
+            overhead = None
+            init_time_s = cell.init_time_s
+        stats = None
+        if use_timer:
+            measurement = self.timer(scenario).measure_latency(model_latency_s)
+            stats = LatencyStats.from_measurement(measurement)
+            latency_s = measurement.value
+        else:
+            latency_s = model_latency_s
+        plan = cell.plan
+        return RunRecord(
+            scenario=scenario,
+            status="ok",
+            provenance=Provenance.build(scenario, cell.cache_outcome,
+                                        use_timer, config),
+            latency_s=latency_s,
+            model_latency_s=model_latency_s,
+            stats=stats,
+            init_time_s=init_time_s,
+            utilization=cell.utilization,
+            power_w=cell.power_w,
+            energy_j=None,
+            container_overhead=overhead,
+            plan=PlanBreakdown(
+                compute_s=plan.compute_s,
+                memory_s=plan.memory_s,
+                dispatch_s=plan.dispatch_s,
+                roofline_s=plan.roofline_s,
+                session_overhead_s=plan.session_overhead_s,
+                input_transfer_s=plan.input_transfer_s,
+                op_count=len(plan.timings),
+                weight_bytes=cell.weight_bytes,
+            ),
+        )
 
     # -- candidate search --------------------------------------------------
     def candidates_for(self, device_name: str,

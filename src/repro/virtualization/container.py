@@ -39,6 +39,12 @@ class Container:
     def wrap(self, session: InferenceSession) -> "ContainerizedSession":
         return ContainerizedSession(container=self, session=session)
 
+    def taxed_latency_s(self, bare_s: float, cpu_scale: float) -> float:
+        """The taxed latency for a bare-metal latency (compiled-grid path)."""
+        fixed = self.fixed_tax_s * cpu_scale
+        taxed = bare_s * (1.0 + self.proportional_tax) + fixed
+        return min(taxed, bare_s * (1.0 + MAX_OVERHEAD_FRACTION))
+
 
 @dataclass
 class ContainerizedSession:
@@ -49,10 +55,8 @@ class ContainerizedSession:
 
     @property
     def latency_s(self) -> float:
-        bare = self.session.latency_s
-        fixed = self.container.fixed_tax_s * self.session.deployed.cpu_scale
-        taxed = bare * (1.0 + self.container.proportional_tax) + fixed
-        return min(taxed, bare * (1.0 + MAX_OVERHEAD_FRACTION))
+        return self.container.taxed_latency_s(self.session.latency_s,
+                                              self.session.deployed.cpu_scale)
 
     @property
     def overhead_fraction(self) -> float:

@@ -10,6 +10,7 @@ batch.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Callable
 
@@ -81,17 +82,20 @@ def simulate_batch_serving(
     sojourns: list[float] = []
     batch_sizes: list[int] = []
     n = arrivals.size
+    # The serving loop runs once per batch — plain floats and bisect keep
+    # it out of per-element ndarray dispatch (identical doubles either way).
+    instants = arrivals.tolist()
     while index < n:
-        if arrivals[index] > now:
-            now = float(arrivals[index])  # idle until work exists
+        if instants[index] > now:
+            now = instants[index]  # idle until work exists
         # Everything that has arrived by `now` is queued; grab up to max.
-        queued_end = int(np.searchsorted(arrivals, now, side="right"))
+        queued_end = bisect.bisect_right(instants, now)
         batch = min(max_batch, queued_end - index)
         batch = max(batch, 1)
         duration = batch_time_fn(batch)
         finish = now + duration
-        for i in range(index, index + batch):
-            sojourns.append(finish - float(arrivals[i]))
+        sojourns.extend(finish - instant
+                        for instant in instants[index:index + batch])
         busy_s += duration
         batch_sizes.append(batch)
         index += batch

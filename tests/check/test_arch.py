@@ -163,6 +163,88 @@ class TestArch004PurityContract:
         assert lint(snippet, "src/repro/harness/example.py") == []
 
 
+class TestArch005CompiledPathPurity:
+    COMPILE = "src/repro/engine/compile.py"
+
+    def test_session_construction_is_flagged_despite_engine_exemption(self):
+        snippet = """
+        from repro.engine.executor import InferenceSession
+
+        def scatter(deployed):
+            return InferenceSession(deployed).latency_s
+        """
+        assert rules_of(lint(snippet, self.COMPILE)) == {"ARCH005"}
+
+    def test_timer_and_meter_construction_are_flagged(self):
+        snippet = """
+        from repro.measurement.energy import EnergyMeter
+        from repro.measurement.timer import InferenceTimer
+
+        timer = InferenceTimer(seed=7)
+        meter = EnergyMeter(seed=7)
+        """
+        findings = lint(snippet, self.COMPILE)
+        assert rules_of(findings) == {"ARCH005"}
+        assert len(findings) == 2
+
+    def test_seeded_rng_is_flagged_unlike_arch004(self):
+        snippet = """
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        """
+        assert rules_of(lint(snippet, self.COMPILE)) == {"ARCH005"}
+        # The same snippet is fine one directory over — ARCH005 is stricter
+        # than the engine-wide purity contract.
+        assert lint(snippet, "src/repro/engine/example.py") == []
+
+    def test_wall_clock_is_flagged_once_not_twice(self):
+        snippet = """
+        import time
+
+        def stamp():
+            return time.perf_counter()
+        """
+        findings = lint(snippet, self.COMPILE)
+        assert rules_of(findings) == {"ARCH005"}
+        assert len(findings) == 1
+
+    def test_random_module_call_is_flagged(self):
+        snippet = """
+        import random
+
+        def jitter():
+            return random.random()
+        """
+        assert rules_of(lint(snippet, self.COMPILE)) == {"ARCH005"}
+
+    def test_pure_lowering_code_is_clean(self):
+        snippet = """
+        import numpy as np
+
+        def lower(macs, rate):
+            return np.asarray(macs, dtype=float) / rate
+        """
+        assert lint(snippet, self.COMPILE) == []
+
+    def test_other_engine_modules_are_not_held_to_arch005(self):
+        snippet = """
+        from repro.engine.executor import InferenceSession
+
+        def build(deployed):
+            return InferenceSession(deployed)
+        """
+        assert lint(snippet, "src/repro/engine/cache.py") == []
+
+    def test_inline_suppression_works(self):
+        snippet = """
+        import numpy as np
+
+        rng = np.random.default_rng(1234)  # repro: allow[ARCH005]
+        """
+        assert lint(snippet, self.COMPILE) == []
+
+
 class TestPathHandling:
     def test_paths_without_a_repro_root_are_linted_globally(self):
         findings = arch.lint_source("ok = x == 0.5\n", "scratch.py")

@@ -210,7 +210,7 @@ class TestStats:
     def test_cache_stats_shape(self):
         cached_deploy("ResNet-18", "Jetson TX2", "PyTorch")
         stats = cache_stats()
-        assert set(stats) == {"graph", "deploy", "plan"}
+        assert set(stats) == {"graph", "deploy", "plan", "record", "payload"}
         for snapshot in stats.values():
             assert set(snapshot) == {"entries", "hits", "misses", "hit_rate"}
         assert stats["deploy"]["entries"] == 1

@@ -1,0 +1,61 @@
+"""The CI bench-regression guard over BENCH_sweep.json."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_guard", REPO / "tools" / "bench_guard.py")
+bench_guard = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_guard)
+
+GOOD = {
+    "speedup_warm": 600.0,
+    "min_warm_speedup": 3.0,
+    "compiled_warm_s": 0.004,
+    "max_compiled_warm_s": 0.2,
+    "compiled_uncached_s": 0.75,
+    "max_compiled_uncached_s": 1.0,
+    "dedup_ratio": 1.9,
+    "identical_at_zero_tolerance": True,
+}
+
+
+class TestCheck:
+    def test_good_bench_passes(self):
+        assert bench_guard.check(dict(GOOD)) == []
+
+    def test_committed_bench_passes(self):
+        bench = json.loads((REPO / "BENCH_sweep.json").read_text())
+        assert bench_guard.check(bench) == []
+
+    def test_each_budget_is_enforced(self):
+        for field, bad in [("speedup_warm", 2.0),
+                           ("compiled_warm_s", 0.5),
+                           ("compiled_uncached_s", 1.5),
+                           ("dedup_ratio", 1.0),
+                           ("identical_at_zero_tolerance", False)]:
+            bench = dict(GOOD, **{field: bad})
+            failures = bench_guard.check(bench)
+            assert failures, field
+            assert any(field.split("_")[0] in line or "identical" in line
+                       for line in failures), field
+
+    def test_missing_field_is_reported(self):
+        bench = dict(GOOD)
+        del bench["compiled_warm_s"]
+        assert any("compiled_warm_s" in line
+                   for line in bench_guard.check(bench))
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(GOOD))
+        assert bench_guard.main(["bench_guard.py", str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(dict(GOOD, compiled_warm_s=5.0)))
+        assert bench_guard.main(["bench_guard.py", str(bad)]) == 1
+        assert bench_guard.main(["bench_guard.py", str(tmp_path / "nope")]) == 2
+        capsys.readouterr()

@@ -77,7 +77,8 @@ class TestRunSweep:
 
     def test_cache_stats_attached(self):
         result = run_sweep(["fig08"], jobs=1)
-        assert set(result.cache) == {"graph", "deploy", "plan"}
+        assert set(result.cache) == {"graph", "deploy", "plan", "record",
+                                     "payload"}
         assert result.cache["deploy"]["entries"] > 0
 
 

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Bench-regression guard: hold BENCH_sweep.json to its committed targets.
+
+CI runs the sweep benchmark (which rewrites ``BENCH_sweep.json``) and then
+this guard, so a perf regression fails the job with the specific budget it
+broke instead of a bare assert.  It can also be pointed at the committed
+file locally::
+
+    python tools/bench_guard.py            # repo-root BENCH_sweep.json
+    python tools/bench_guard.py path.json  # an explicit snapshot
+
+Checks (targets travel inside the file, written by the benchmark):
+
+* ``speedup_warm``        >= ``min_warm_speedup``
+* ``compiled_warm_s``     <  ``max_compiled_warm_s``
+* ``compiled_uncached_s`` <  ``max_compiled_uncached_s``
+* ``dedup_ratio``         >  1.0 and snapshots identical at zero tolerance
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+
+
+def check(bench: dict) -> list[str]:
+    """Every broken budget as a human-readable failure line."""
+    failures: list[str] = []
+
+    def require(name: str) -> float | None:
+        value = bench.get(name)
+        if value is None:
+            failures.append(f"missing field {name!r} - regenerate the "
+                            "benchmark (pytest benchmarks/test_perf_sweep.py)")
+        return value
+
+    speedup = require("speedup_warm")
+    floor = require("min_warm_speedup")
+    if speedup is not None and floor is not None and speedup < floor:
+        failures.append(f"speedup_warm {speedup}x < required {floor}x")
+
+    warm = require("compiled_warm_s")
+    warm_max = require("max_compiled_warm_s")
+    if warm is not None and warm_max is not None and warm >= warm_max:
+        failures.append(f"compiled_warm_s {warm}s >= budget {warm_max}s")
+
+    uncached = require("compiled_uncached_s")
+    uncached_max = require("max_compiled_uncached_s")
+    if uncached is not None and uncached_max is not None and uncached >= uncached_max:
+        failures.append(
+            f"compiled_uncached_s {uncached}s >= budget {uncached_max}s")
+
+    dedup = require("dedup_ratio")
+    if dedup is not None and dedup <= 1.0:
+        failures.append(f"dedup_ratio {dedup} <= 1.0 - the sweep compiler "
+                        "is not batching anything")
+
+    if bench.get("identical_at_zero_tolerance") is not True:
+        failures.append("snapshots were not identical at zero tolerance")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    try:
+        bench = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"bench guard: {path} not found", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"bench guard: {path} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+
+    failures = check(bench)
+    if failures:
+        for line in failures:
+            print(f"bench guard: {line}", file=sys.stderr)
+        return 1
+    print(f"bench guard: {path.name} ok - "
+          f"warm {bench['compiled_warm_s']}s, "
+          f"uncached {bench['compiled_uncached_s']}s, "
+          f"{bench['speedup_warm']}x warm speedup, "
+          f"{bench['dedup_ratio']}x dedup")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
