@@ -1,0 +1,89 @@
+"""Fleet-simulator performance: a million requests in single-digit seconds.
+
+Not a paper artifact: this guards the vectorized event loop in
+``repro.fleet.simulate``.  The loop's contract is that per-request work is
+array work — Lindley scans for batch-1 pools, one lean iteration per
+*batch* for dynamic-batching pools — so simulating 10^6 requests over a
+three-pool heterogeneous fleet must finish well under the 5 s budget (a
+per-request Python heap takes minutes).  The run also re-simulates the
+same stream and asserts the two reports serialize byte-identically, the
+determinism half of the fleet contract.  Numbers land in
+``BENCH_fleet.json`` at the repo root so regressions show up in review
+diffs (``tools/bench_guard.py`` re-checks the committed file in CI).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.fleet import FleetSimulation, PoolSpec
+from repro.runtime import Scenario
+from repro.workloads.arrivals import PoissonArrivals, first_n, reseeded
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+REQUESTS = 1_000_000
+MAX_SIMULATE_S = 5.0
+SEED = 7
+
+
+def _pools() -> list[PoolSpec]:
+    return [
+        PoolSpec(name="nano", replicas=8, max_batch=8,
+                 scenario=Scenario("ResNet-18", "Jetson Nano", "TensorRT")),
+        PoolSpec(name="tx2", replicas=4, max_batch=4,
+                 scenario=Scenario("ResNet-18", "Jetson TX2", "PyTorch")),
+        PoolSpec(name="pi", replicas=2,
+                 scenario=Scenario("ResNet-18", "Raspberry Pi 3B", "TFLite")),
+    ]
+
+
+def test_fleet_million_requests_under_budget():
+    pools = _pools()
+    simulation = FleetSimulation(pools, epochs=1024)
+    rate_hz = 0.7 * simulation.capacity_rps
+
+    start = time.perf_counter()
+    arrival_times = first_n(reseeded(PoissonArrivals(rate_hz=rate_hz), SEED),
+                            REQUESTS)
+    generate_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stats = simulation.run(arrival_times, seed=SEED)
+    simulate_s = time.perf_counter() - start
+
+    # Conservation and coverage: every request is accounted for.
+    assert stats.requests == REQUESTS
+    assert stats.completed + stats.dropped + stats.rejected == REQUESTS
+    for pool in stats.pools:
+        assert pool.assigned == pool.completed + pool.dropped
+
+    # The budget that makes fleet-scale studies interactive.
+    assert simulate_s < MAX_SIMULATE_S, (
+        f"simulated {REQUESTS} requests in {simulate_s:.2f}s "
+        f">= {MAX_SIMULATE_S}s budget")
+
+    # Determinism: the same stream re-simulated is byte-identical.
+    repeat = simulation.run(arrival_times, seed=SEED)
+    identical = stats.to_json() == repeat.to_json()
+    assert identical, "same-seed fleet reports differ"
+
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "fleet simulate 1M requests over 3 pools",
+        "requests": REQUESTS,
+        "pools": [pool.describe() for pool in pools],
+        "policy": stats.policy,
+        "epochs": stats.epochs,
+        "rate_rps": round(rate_hz, 1),
+        "generate_s": round(generate_s, 4),
+        "simulate_s": round(simulate_s, 4),
+        "requests_per_wall_s": round(REQUESTS / simulate_s),
+        "completed": stats.completed,
+        "dropped": stats.dropped,
+        "rejected": stats.rejected,
+        "p99_sojourn_s": round(stats.sojourn.p99_s, 6),
+        "min_requests": REQUESTS,
+        "max_simulate_s": MAX_SIMULATE_S,
+        "identical_across_seed_repeat": identical,
+    }, indent=1) + "\n")

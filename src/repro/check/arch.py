@@ -23,6 +23,11 @@ enforces them:
   lowering pass: no session/timer/meter construction (ARCH001's engine-layer
   exemption does not extend to it), no RNG even seeded, and no wall clock —
   its ``*_s`` compile stats are stamped by the driver.
+* **ARCH006** — the fleet simulator (``fleet/``) is deterministic per seed:
+  no wall clock (simulated time only), no ``random``/``uuid``/``secrets``,
+  and no ``default_rng`` even seeded — workload randomness enters exclusively
+  through seeded ``workloads.arrivals`` processes, so the same pools,
+  stream and seed always produce byte-identical reports.
 
 Suppress a finding by annotating its line, or a whole module with a
 file-level comment (see :mod:`repro.check.suppress` for both forms)::
@@ -49,6 +54,8 @@ RULES: dict[str, tuple[Severity, str]] = {
     "ARCH004": (Severity.ERROR, "nondeterministic call in a pure cached path"),
     "ARCH005": (Severity.ERROR, "impure call inside the sweep compiler; compile "
                                 "lowers cached inputs to arrays and nothing else"),
+    "ARCH006": (Severity.ERROR, "nondeterministic call inside the fleet simulator; "
+                                "randomness enters via seeded arrival processes only"),
 }
 
 #: module path prefixes (relative to the repro package) per rule exemption.
@@ -58,6 +65,10 @@ _PURE_LAYERS = ("engine", "graphs", "frameworks", "models", "hardware")
 #: ARCH001's engine-layer exemption does not apply, RNG is banned even
 #: seeded, and wall-clock stats are stamped by the driver (Runner.run_grid).
 _COMPILED_MODULE = ("engine", "compile.py")
+#: the fleet simulator promises byte-identical reports per seed, so clocks
+#: and RNG (even seeded) are banned outright; arrival randomness lives in
+#: the seeded ``workloads.arrivals`` processes the simulator consumes.
+_FLEET_LAYER = "fleet"
 
 _SESSION_TYPES = ("InferenceSession", "InferenceTimer")
 _MEASUREMENT_TYPES = ("InferenceSession", "InferenceTimer", "EnergyMeter")
@@ -130,6 +141,8 @@ class _ContractVisitor(ast.NodeVisitor):
         handled = False
         if self.parts == _COMPILED_MODULE:
             handled = self._check_compiled_purity(node, name)
+        elif self._layer() == _FLEET_LAYER:
+            handled = self._check_fleet_determinism(node, name)
         if not handled and self._layer() in _PURE_LAYERS:
             self._check_purity(node, name)
         self.generic_visit(node)
@@ -167,6 +180,45 @@ class _ContractVisitor(ast.NodeVisitor):
             self._emit("ARCH005", node,
                        f"nondeterministic call {node.func.id}() (imported from a "
                        "random/time module) in the sweep compiler")
+            return True
+        return False
+
+    def _check_fleet_determinism(self, node: ast.Call,
+                                 name: str | None) -> bool:
+        """ARCH006: the fleet simulator is deterministic per seed.
+
+        Simulated time is the only clock and seeded arrival processes are
+        the only randomness, which is what makes fleet reports
+        byte-identical artifacts.  Returns True when the call was judged
+        here, mirroring the ARCH005 handler.
+        """
+        if name == "default_rng":
+            self._emit("ARCH006", node,
+                       "RNG inside the fleet simulator (even seeded); draw "
+                       "randomness from a seeded workloads.arrivals process")
+            return True
+        chain = _dotted_chain(node.func)
+        if chain:
+            root, leaf = chain[0], chain[-1]
+            if root in _RANDOM_MODULES or "random" in chain[:-1]:
+                self._emit("ARCH006", node,
+                           f"nondeterministic call {'.'.join(chain)}() in the "
+                           "fleet simulator")
+                return True
+            if root == "time" and leaf in _TIME_FUNCS:
+                self._emit("ARCH006", node,
+                           f"wall-clock call {'.'.join(chain)}() in the fleet "
+                           "simulator; the event loop keeps simulated time")
+                return True
+            if root == "datetime" and leaf in ("now", "utcnow", "today"):
+                self._emit("ARCH006", node,
+                           f"wall-clock call {'.'.join(chain)}() in the fleet "
+                           "simulator; the event loop keeps simulated time")
+                return True
+        if isinstance(node.func, ast.Name) and node.func.id in self._random_imports:
+            self._emit("ARCH006", node,
+                       f"nondeterministic call {node.func.id}() (imported from "
+                       "a random/time module) in the fleet simulator")
             return True
         return False
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro time ResNet-18 "Jetson Nano" TensorRT --batch 4
     python -m repro compat                    # Table V matrix
     python -m repro suite --jobs 4 --stats    # parallel sweep + cache stats
+    python -m repro fleet --requests 1000000  # million-request fleet sim
 """
 
 from __future__ import annotations
@@ -197,6 +198,101 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+_DEFAULT_FLEET_POOLS = (
+    "8x Jetson Nano:TensorRT:8",
+    "4x Jetson TX2:PyTorch:4",
+    "2x Raspberry Pi 3B:TFLite",
+)
+
+
+def _parse_pool_spec(spec: str, model: str, index: int) -> "PoolSpec":
+    import re
+
+    from repro.fleet import PoolSpec
+
+    match = re.match(r"^\s*(\d+)\s*x\s*(.+)$", spec)
+    if not match:
+        raise ValueError(
+            f"bad pool spec {spec!r}; expected 'COUNTx DEVICE:FRAMEWORK[:MAX_BATCH]'")
+    replicas = int(match.group(1))
+    parts = [part.strip() for part in match.group(2).split(":")]
+    if len(parts) == 2:
+        device, framework = parts
+        max_batch = 1
+    elif len(parts) == 3:
+        device, framework = parts[:2]
+        max_batch = int(parts[2])
+    else:
+        raise ValueError(
+            f"bad pool spec {spec!r}; expected 'COUNTx DEVICE:FRAMEWORK[:MAX_BATCH]'")
+    return PoolSpec(name=f"{index}:{device}", replicas=replicas,
+                    scenario=Scenario(model, device, framework),
+                    max_batch=max_batch)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.fleet import AdmissionControl, Autoscaler, FleetSimulation
+    from repro.workloads.arrivals import (
+        BurstyArrivals,
+        DiurnalArrivals,
+        PeriodicArrivals,
+        PoissonArrivals,
+        first_n,
+        reseeded,
+    )
+
+    if args.requests is None and args.horizon is None:
+        print("error: pass --requests or --horizon", file=sys.stderr)
+        return 2
+    if args.requests is not None and args.horizon is not None:
+        print("error: pass --requests or --horizon, not both", file=sys.stderr)
+        return 2
+    try:
+        pools = [_parse_pool_spec(spec, args.model, index)
+                 for index, spec in enumerate(args.pool or _DEFAULT_FLEET_POOLS)]
+        autoscaler = Autoscaler() if args.autoscale else None
+        admission = (AdmissionControl(max_queue_per_node=args.admit_limit)
+                     if args.admit_limit else None)
+        simulation = FleetSimulation(pools, router=args.policy,
+                                     autoscaler=autoscaler,
+                                     admission=admission, epochs=args.epochs)
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # Default load: 70% of the fleet's peak service rate — busy but stable.
+    rate_hz = args.rate if args.rate else 0.7 * simulation.capacity_rps
+    span_s = (args.horizon if args.horizon is not None
+              else args.requests / rate_hz)
+    processes = {
+        "poisson": lambda: PoissonArrivals(rate_hz=rate_hz),
+        "periodic": lambda: PeriodicArrivals(rate_hz=rate_hz,
+                                             jitter_fraction=0.5),
+        "bursty": lambda: BurstyArrivals(
+            burst_rate_hz=rate_hz / args.burst_size,
+            burst_size=args.burst_size),
+        "diurnal": lambda: DiurnalArrivals(
+            base_rate_hz=rate_hz,
+            period_s=args.period if args.period else span_s / 2),
+    }
+    process = reseeded(processes[args.arrivals](), args.seed)
+    if args.requests is not None:
+        arrival_times = first_n(process, args.requests)
+    else:
+        arrival_times = process.generate(args.horizon)
+    stats = simulation.run(arrival_times, seed=args.seed)
+    text = (json.dumps(stats.to_dict(), indent=1) if args.format == "json"
+            else stats.describe())
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.harness.suite import save_results
 
@@ -378,6 +474,52 @@ def build_parser() -> argparse.ArgumentParser:
     recommend_parser.add_argument("--top", type=int, default=10,
                                   help="rows to print (default 10)")
     recommend_parser.set_defaults(handler=_cmd_recommend)
+
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="simulate a heterogeneous serving fleet")
+    fleet_parser.add_argument("--model", default="ResNet-18",
+                              help="model every pool serves")
+    fleet_parser.add_argument("--pool", action="append", metavar="SPEC",
+                              help="pool spec 'COUNTx DEVICE:FRAMEWORK"
+                                   "[:MAX_BATCH]' (repeatable; default: "
+                                   "8x Nano + 4x TX2 + 2x Pi 3B)")
+    fleet_parser.add_argument("--requests", type=int, default=None,
+                              help="simulate exactly this many requests")
+    fleet_parser.add_argument("--horizon", type=float, default=None,
+                              metavar="SECONDS",
+                              help="simulate this horizon instead of a count")
+    fleet_parser.add_argument("--rate", type=float, default=None,
+                              help="mean request rate in req/s "
+                                   "(default: 70%% of fleet capacity)")
+    fleet_parser.add_argument("--arrivals", default="poisson",
+                              choices=("poisson", "periodic", "bursty",
+                                       "diurnal"),
+                              help="arrival process (default poisson)")
+    fleet_parser.add_argument("--burst-size", type=int, default=8,
+                              help="requests per burst for --arrivals bursty")
+    fleet_parser.add_argument("--period", type=float, default=None,
+                              metavar="SECONDS",
+                              help="cycle length for --arrivals diurnal "
+                                   "(default: half the horizon)")
+    fleet_parser.add_argument("--policy", default="least-outstanding",
+                              choices=("round-robin", "least-outstanding",
+                                       "energy-aware"),
+                              help="routing policy")
+    fleet_parser.add_argument("--epochs", type=int, default=1024,
+                              help="routing epochs (default 1024)")
+    fleet_parser.add_argument("--seed", type=int, default=0,
+                              help="workload seed (reports are byte-identical "
+                                   "per seed)")
+    fleet_parser.add_argument("--admit-limit", type=int, default=None,
+                              metavar="N",
+                              help="admission control: max queue per node")
+    fleet_parser.add_argument("--autoscale", action="store_true",
+                              help="enable the queue-depth autoscaler")
+    fleet_parser.add_argument("--format", choices=("json", "text"),
+                              default="json", help="output format")
+    fleet_parser.add_argument("--output", metavar="PATH",
+                              help="write the report to PATH instead of stdout")
+    fleet_parser.set_defaults(handler=_cmd_fleet)
 
     diff_parser = subparsers.add_parser(
         "diff", help="compare two result snapshots")

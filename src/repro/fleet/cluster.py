@@ -1,0 +1,254 @@
+"""Device pools: the fleet's capacity, priced by the engine.
+
+A :class:`PoolSpec` is *n* identical replicas of one deployment — one
+:class:`~repro.runtime.scenario.Scenario` (model, device, framework,
+dtype) plus a dynamic-batching limit.  Before a simulation starts, every
+pool's per-batch service times are resolved in a single
+``Runner.run_grid`` call (:func:`resolve_profiles`): the whole fleet's
+pricing is one compiled sweep, cached in the engine's record cache, and
+bit-identical to measuring each cell alone.  A batch size that fails to
+deploy (out of memory, Table V style) caps the pool's effective batch
+limit instead of crashing the fleet.
+
+During the simulation each replica is a :class:`NodeState`: a FIFO of
+assigned arrival instants, a Lindley clock (``free_at_s``), a thermal
+integrator, and the counters the report aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.core.errors import ReproError
+from repro.hardware import load_device
+from repro.hardware.thermal import ThermalSimulator, ThermalSpec
+from repro.runtime.record import RunRecord
+from repro.runtime.runner import Runner, default_runner
+from repro.runtime.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """A homogeneous pool of replicas serving one deployment.
+
+    Attributes:
+        name: pool label in reports (defaults to the device name).
+        scenario: the deployment every replica runs; must have
+            ``batch_size == 1`` — the pool sweeps batch sizes itself.
+        replicas: number of identical nodes.
+        max_batch: dynamic-batching limit per node (1 = the paper's
+            single-batch edge regime).
+    """
+
+    name: str
+    scenario: Scenario
+    replicas: int
+    max_batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.scenario.batch_size != 1:
+            raise ValueError(
+                "pool scenarios are batch-1; the pool sweeps batch sizes "
+                f"up to max_batch (got batch_size={self.scenario.batch_size})")
+
+    def scenario_grid(self) -> list[Scenario]:
+        """One scenario per candidate batch size, for ``Runner.run_grid``."""
+        return [replace(self.scenario, batch_size=batch)
+                for batch in range(1, self.max_batch + 1)]
+
+    def describe(self) -> str:
+        return (f"{self.replicas}x {self.scenario.device} via "
+                f"{self.scenario.framework} (max_batch {self.max_batch})")
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """A pool's engine-priced serving characteristics, resolved once.
+
+    Attributes:
+        batch_wall_s: seconds to finish a whole batch, indexed by
+            ``batch - 1`` (``batched_latency_fn`` semantics: per-inference
+            latency times the batch size).
+        max_batch: effective batching limit — the requested limit, capped
+            below the first batch size whose deployment failed.
+        power_w: device draw while inferencing (from the run record).
+        idle_w: device draw while idle (from ``hardware.power``).
+        init_time_s: one-time session setup cost (autoscale wake latency).
+        thermal: the device's lumped-RC thermal spec.
+        cell_seed: the pool scenario's canonical measurement seed.
+    """
+
+    batch_wall_s: tuple[float, ...]
+    max_batch: int
+    power_w: float
+    idle_w: float
+    init_time_s: float
+    thermal: ThermalSpec
+    cell_seed: int
+
+    @property
+    def service_s(self) -> float:
+        """Batch-1 service time (one request, one inference)."""
+        return self.batch_wall_s[0]
+
+    @property
+    def full_batch_request_s(self) -> float:
+        """Per-request service time at the full batch (peak throughput)."""
+        return self.batch_wall_s[self.max_batch - 1] / self.max_batch
+
+    @property
+    def energy_per_request_j(self) -> float:
+        """Active energy of one unbatched inference (routing heuristic)."""
+        return self.power_w * self.service_s
+
+    def batch_time_s(self, batch: int) -> float:
+        return self.batch_wall_s[batch - 1]
+
+
+def resolve_profiles(pools: Sequence[PoolSpec],
+                     runner: Runner | None = None,
+                     use_timer: bool = False) -> dict[str, ServiceProfile]:
+    """Price every pool in one compiled, cached sweep.
+
+    All pools' batch-size grids are concatenated into a single
+    ``Runner.run_grid`` call, so deployments and plans are deduplicated
+    across pools and every service time comes from (and lands in) the
+    engine's record cache.  A failure at batch 1 means the pool cannot
+    serve at all and re-raises the structured error; a failure at a larger
+    batch (e.g. activation memory overflow) caps ``max_batch`` there.
+    """
+    runner = runner or default_runner()
+    pools = list(pools)
+    _check_unique_names(pools)
+    grid = [scenario for pool in pools for scenario in pool.scenario_grid()]
+    records = runner.run_grid(grid, use_timer=use_timer)
+    profiles: dict[str, ServiceProfile] = {}
+    cursor = 0
+    for pool in pools:
+        pool_records = records[cursor:cursor + pool.max_batch]
+        cursor += pool.max_batch
+        profiles[pool.name] = _profile_from_records(pool, pool_records)
+    return profiles
+
+
+def _check_unique_names(pools: Sequence[PoolSpec]) -> None:
+    seen: set[str] = set()
+    for pool in pools:
+        if pool.name in seen:
+            raise ValueError(f"duplicate pool name {pool.name!r}")
+        seen.add(pool.name)
+
+
+def _profile_from_records(pool: PoolSpec,
+                          records: Sequence[RunRecord]) -> ServiceProfile:
+    base = records[0]
+    if base.failed:
+        assert base.failure is not None
+        raise ReproError(
+            f"pool {pool.name!r} cannot deploy {pool.scenario.describe()}: "
+            f"[{base.failure.kind}] {base.failure.message}")
+    batch_wall_s: list[float] = []
+    for batch, record in enumerate(records, start=1):
+        if record.failed:
+            break  # e.g. OOM at this batch size: cap the pool below it
+        assert record.latency_s is not None
+        batch_wall_s.append(record.latency_s * batch)
+    device = load_device(pool.scenario.device)
+    assert base.power_w is not None and base.init_time_s is not None
+    return ServiceProfile(
+        batch_wall_s=tuple(batch_wall_s),
+        max_batch=len(batch_wall_s),
+        power_w=base.power_w,
+        idle_w=device.power.idle_w,
+        init_time_s=base.init_time_s,
+        thermal=device.thermal,
+        cell_seed=pool.scenario.seed,
+    )
+
+
+@dataclass
+class NodeState:
+    """One replica's mutable serving state.
+
+    The pending FIFO holds assigned-but-unserved arrival instants;
+    ``head`` is the consumption cursor (the list is compacted
+    periodically rather than popped per request).  ``free_at_s`` is the
+    Lindley clock: when the node finishes everything already started.
+    """
+
+    pool: str
+    index: int
+    profile: ServiceProfile
+    active: bool = True
+    available_at_s: float = 0.0
+    free_at_s: float = 0.0
+    busy_s: float = 0.0
+    epoch_busy_s: float = 0.0
+    completed: int = 0
+    batches: int = 0
+    shutdown: bool = False
+    throttle_scale: float = 1.0
+    pending: list[float] = field(default_factory=list)
+    head: int = 0
+    max_depth: int = 0
+    thermal_sim: ThermalSimulator | None = None
+
+    def __post_init__(self) -> None:
+        if self.thermal_sim is None:
+            self.thermal_sim = ThermalSimulator(self.profile.thermal)
+
+    @property
+    def depth(self) -> int:
+        """Requests assigned and not yet completed (queued + batching)."""
+        return len(self.pending) - self.head
+
+    def outstanding(self, now_s: float) -> int:
+        """Queue depth plus the batch still in service at ``now_s``."""
+        return self.depth + (1 if self.free_at_s > now_s else 0)
+
+    def assign(self, arrival_times: Iterable[float]) -> int:
+        """Append newly routed arrivals (already sorted); returns count."""
+        before = len(self.pending)
+        self.pending.extend(arrival_times)
+        added = len(self.pending) - before
+        self.max_depth = max(self.max_depth, self.depth)
+        return added
+
+    def compact(self) -> None:
+        """Drop consumed prefix so the FIFO does not grow without bound."""
+        if self.head:
+            del self.pending[:self.head]
+            self.head = 0
+
+    def drain_pending(self) -> int:
+        """Discard the queue (thermal shutdown); returns requests lost."""
+        lost = self.depth
+        self.pending.clear()
+        self.head = 0
+        return lost
+
+
+class Cluster:
+    """The fleet: every pool's nodes plus the index arrays routers use."""
+
+    def __init__(self, pools: Sequence[PoolSpec],
+                 profiles: dict[str, ServiceProfile]):
+        self.pools = list(pools)
+        self.profiles = profiles
+        self.nodes: list[NodeState] = []
+        for pool in self.pools:
+            profile = profiles[pool.name]
+            for index in range(pool.replicas):
+                self.nodes.append(NodeState(pool=pool.name, index=index,
+                                            profile=profile))
+
+    def pool_nodes(self, name: str) -> list[NodeState]:
+        return [node for node in self.nodes if node.pool == name]
+
+    def __len__(self) -> int:
+        return len(self.nodes)

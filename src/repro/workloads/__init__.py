@@ -9,9 +9,13 @@ percentiles and utilization a deployment actually experiences.
 """
 
 from repro.workloads.arrivals import (
+    Arrivals,
     BurstyArrivals,
+    DiurnalArrivals,
     PeriodicArrivals,
     PoissonArrivals,
+    first_n,
+    reseeded,
 )
 from repro.workloads.batch_server import (
     BatchServerStats,
@@ -22,14 +26,18 @@ from repro.workloads.energy_budget import EnergyBudget, duty_cycle_budget
 from repro.workloads.queueing import QueueStats, simulate_serving
 
 __all__ = [
+    "Arrivals",
     "BatchServerStats",
     "BurstyArrivals",
+    "DiurnalArrivals",
     "EnergyBudget",
     "PeriodicArrivals",
     "PoissonArrivals",
     "QueueStats",
     "batched_latency_fn",
     "duty_cycle_budget",
+    "first_n",
+    "reseeded",
     "simulate_batch_serving",
     "simulate_serving",
 ]

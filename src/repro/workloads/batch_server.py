@@ -31,6 +31,7 @@ class BatchServerStats:
     throughput_rps: float
     mean_sojourn_s: float
     p99_sojourn_s: float
+    p999_sojourn_s: float
     utilization: float
 
 
@@ -111,5 +112,6 @@ def simulate_batch_serving(
         throughput_rps=n / horizon,
         mean_sojourn_s=float(sojourn_array.mean()),
         p99_sojourn_s=float(np.percentile(sojourn_array, 99)),
+        p999_sojourn_s=float(np.percentile(sojourn_array, 99.9)),
         utilization=float(busy_s / horizon),
     )

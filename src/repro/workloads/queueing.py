@@ -27,6 +27,7 @@ class QueueStats:
     p50_sojourn_s: float
     p95_sojourn_s: float
     p99_sojourn_s: float
+    p999_sojourn_s: float
     max_queue_depth: int
     mean_wait_s: float
 
@@ -40,7 +41,8 @@ class QueueStats:
         if self.dropped:
             return False
         target = {0.5: self.p50_sojourn_s, 0.95: self.p95_sojourn_s,
-                  0.99: self.p99_sojourn_s}.get(percentile)
+                  0.99: self.p99_sojourn_s,
+                  0.999: self.p999_sojourn_s}.get(percentile)
         if target is None:
             raise ValueError(f"unsupported percentile {percentile}")
         return target <= deadline_s
@@ -109,8 +111,8 @@ def simulate_serving(
         return QueueStats(
             requests=arrivals.size, completed=0, dropped=dropped,
             utilization=0.0, mean_sojourn_s=0.0, p50_sojourn_s=0.0,
-            p95_sojourn_s=0.0, p99_sojourn_s=0.0, max_queue_depth=0,
-            mean_wait_s=0.0,
+            p95_sojourn_s=0.0, p99_sojourn_s=0.0, p999_sojourn_s=0.0,
+            max_queue_depth=0, mean_wait_s=0.0,
         )
     horizon = max(finish, arrivals[-1])
     sojourn_array = np.asarray(sojourns)
@@ -123,6 +125,7 @@ def simulate_serving(
         p50_sojourn_s=float(np.percentile(sojourn_array, 50)),
         p95_sojourn_s=float(np.percentile(sojourn_array, 95)),
         p99_sojourn_s=float(np.percentile(sojourn_array, 99)),
+        p999_sojourn_s=float(np.percentile(sojourn_array, 99.9)),
         max_queue_depth=max_depth,
         mean_wait_s=float(np.mean(waits)),
     )

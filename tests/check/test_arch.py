@@ -245,6 +245,86 @@ class TestArch005CompiledPathPurity:
         assert lint(snippet, self.COMPILE) == []
 
 
+class TestArch006FleetDeterminism:
+    FLEET = "src/repro/fleet/simulate.py"
+
+    def test_seeded_rng_is_flagged_anywhere_in_the_fleet_layer(self):
+        snippet = """
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        """
+        assert rules_of(lint(snippet, self.FLEET)) == {"ARCH006"}
+        assert rules_of(lint(snippet, "src/repro/fleet/router.py")) == {"ARCH006"}
+
+    def test_wall_clock_is_flagged(self):
+        snippet = """
+        import time
+
+        def stamp():
+            return time.perf_counter()
+        """
+        findings = lint(snippet, self.FLEET)
+        assert rules_of(findings) == {"ARCH006"}
+        assert len(findings) == 1
+
+    def test_random_module_and_from_import_are_flagged(self):
+        snippet = """
+        import random
+        from uuid import uuid4
+
+        def tag():
+            return (random.random(), uuid4())
+        """
+        findings = lint(snippet, "src/repro/fleet/cluster.py")
+        assert rules_of(findings) == {"ARCH006"}
+        assert len(findings) == 2
+
+    def test_datetime_now_is_flagged(self):
+        snippet = """
+        import datetime
+
+        stamp = datetime.now()
+        """
+        assert rules_of(lint(snippet, self.FLEET)) == {"ARCH006"}
+
+    def test_session_construction_in_fleet_still_reports_arch001(self):
+        snippet = """
+        from repro.engine.executor import InferenceSession
+
+        def price(deployed):
+            return InferenceSession(deployed).latency_s
+        """
+        assert rules_of(lint(snippet, self.FLEET)) == {"ARCH001"}
+
+    def test_simulated_time_arithmetic_is_clean(self):
+        snippet = """
+        import numpy as np
+
+        def advance(pending, service_s, free_at_s):
+            offsets = service_s * np.arange(pending.size)
+            level = np.maximum.accumulate(pending - offsets)
+            return offsets + service_s + np.maximum(free_at_s, level)
+        """
+        assert lint(snippet, self.FLEET) == []
+
+    def test_outside_the_fleet_layer_seeded_rng_is_fine(self):
+        snippet = """
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        """
+        assert lint(snippet, "src/repro/workloads/arrivals.py") == []
+
+    def test_inline_suppression_works(self):
+        snippet = """
+        import numpy as np
+
+        rng = np.random.default_rng(1234)  # repro: allow[ARCH006]
+        """
+        assert lint(snippet, self.FLEET) == []
+
+
 class TestPathHandling:
     def test_paths_without_a_repro_root_are_linted_globally(self):
         findings = arch.lint_source("ok = x == 0.5\n", "scratch.py")

@@ -1,0 +1,1 @@
+"""Tests for the fleet-scale serving simulator."""

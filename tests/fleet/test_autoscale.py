@@ -1,0 +1,96 @@
+"""Queue-depth autoscaling and admission control."""
+
+import pytest
+
+from repro.fleet import AdmissionControl, Autoscaler, NodeState, PoolSpec, resolve_profiles
+from repro.runtime import Scenario
+
+
+@pytest.fixture(scope="module")
+def profile():
+    pool = PoolSpec(name="p", replicas=1,
+                    scenario=Scenario("ResNet-18", "Jetson Nano", "TensorRT"))
+    return resolve_profiles([pool])["p"]
+
+
+def _nodes(profile, count):
+    return [NodeState(pool="p", index=index, profile=profile)
+            for index in range(count)]
+
+
+class TestAdmissionControl:
+    def test_unbounded_by_default(self):
+        assert AdmissionControl().headroom(10**9) == float("inf")
+
+    def test_headroom_counts_down_and_floors_at_zero(self):
+        admission = AdmissionControl(max_queue_per_node=4)
+        assert admission.headroom(1) == 3.0
+        assert admission.headroom(4) == 0.0
+        assert admission.headroom(9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionControl(max_queue_per_node=0)
+
+
+class TestAutoscaler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Autoscaler(high_depth=1.0, low_depth=2.0)
+        with pytest.raises(ValueError):
+            Autoscaler(min_replicas=0)
+        with pytest.raises(ValueError):
+            Autoscaler(cooldown_epochs=-1)
+
+    def test_scales_up_on_deep_queues_and_charges_init_time(self, profile):
+        nodes = _nodes(profile, 2)
+        nodes[1].active = False
+        nodes[0].assign([0.0] * 10)  # depth 10 > high_depth 8
+        scaler = Autoscaler(cooldown_epochs=0)
+        assert scaler.scale("p", nodes, now_s=5.0) == 1
+        assert nodes[1].active
+        assert nodes[1].available_at_s == pytest.approx(
+            5.0 + profile.init_time_s)
+
+    def test_scales_down_the_quietest_node(self, profile):
+        nodes = _nodes(profile, 3)
+        nodes[0].assign([0.0])
+        scaler = Autoscaler(cooldown_epochs=0)
+        assert scaler.scale("p", nodes, now_s=0.0) == -1
+        # Depth ties between nodes 1 and 2 break by index.
+        assert [node.active for node in nodes] == [True, False, True]
+
+    def test_min_replicas_floor_holds(self, profile):
+        nodes = _nodes(profile, 2)
+        nodes[1].active = False
+        scaler = Autoscaler(min_replicas=1, cooldown_epochs=0)
+        assert scaler.scale("p", nodes, now_s=0.0) == 0
+        assert nodes[0].active
+
+    def test_cooldown_spaces_actions(self, profile):
+        nodes = _nodes(profile, 3)
+        for node in nodes[1:]:
+            node.active = False
+        nodes[0].assign([0.0] * 20)
+        scaler = Autoscaler(cooldown_epochs=2)
+        assert scaler.scale("p", nodes, 0.0) == 1
+        assert scaler.scale("p", nodes, 1.0) == 0  # cooling down
+        assert scaler.scale("p", nodes, 2.0) == 0
+        assert scaler.scale("p", nodes, 3.0) == 1
+
+    def test_all_shutdown_pool_is_left_alone(self, profile):
+        nodes = _nodes(profile, 2)
+        for node in nodes:
+            node.shutdown = True
+            node.active = False
+        assert Autoscaler(cooldown_epochs=0).scale("p", nodes, 0.0) == 0
+
+    def test_reset_clears_cooldowns(self, profile):
+        nodes = _nodes(profile, 2)
+        nodes[1].active = False
+        nodes[0].assign([0.0] * 20)
+        scaler = Autoscaler(cooldown_epochs=5)
+        assert scaler.scale("p", nodes, 0.0) == 1
+        nodes[1].active = False
+        scaler.reset()
+        assert scaler.scale("p", nodes, 1.0) == 1

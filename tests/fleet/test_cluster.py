@@ -1,0 +1,104 @@
+"""Pool specs, engine-priced service profiles, and node state."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.fleet import NodeState, PoolSpec, resolve_profiles
+from repro.runtime import Scenario
+
+
+def _pool(device="Jetson Nano", framework="TensorRT", replicas=2,
+          max_batch=1, name="pool", model="ResNet-18"):
+    return PoolSpec(name=name, replicas=replicas, max_batch=max_batch,
+                    scenario=Scenario(model, device, framework))
+
+
+class TestPoolSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="replicas"):
+            _pool(replicas=0)
+        with pytest.raises(ValueError, match="max_batch"):
+            _pool(max_batch=0)
+        with pytest.raises(ValueError, match="batch-1"):
+            PoolSpec(name="p", replicas=1,
+                     scenario=Scenario("ResNet-18", "Jetson Nano", "TensorRT",
+                                       batch_size=4))
+
+    def test_scenario_grid_sweeps_batch_sizes(self):
+        grid = _pool(max_batch=4).scenario_grid()
+        assert [scenario.batch_size for scenario in grid] == [1, 2, 3, 4]
+        assert all(scenario.device == "Jetson Nano" for scenario in grid)
+
+    def test_describe(self):
+        assert "2x Jetson Nano" in _pool().describe()
+
+
+class TestResolveProfiles:
+    def test_profiles_priced_by_the_engine(self):
+        pools = [_pool(max_batch=4, name="nano"),
+                 _pool("Jetson TX2", "PyTorch", name="tx2")]
+        profiles = resolve_profiles(pools)
+        nano = profiles["nano"]
+        assert len(nano.batch_wall_s) == 4
+        assert nano.max_batch == 4
+        # Per-batch wall time grows; per-request time shrinks (amortization).
+        assert nano.batch_wall_s[3] > nano.batch_wall_s[0]
+        assert nano.full_batch_request_s < nano.service_s
+        assert nano.power_w > nano.idle_w > 0
+        assert nano.energy_per_request_j == pytest.approx(
+            nano.power_w * nano.service_s)
+        assert profiles["tx2"].max_batch == 1
+
+    def test_undeployable_pool_raises_structured_error(self):
+        # EdgeTPU cannot convert ResNet-18 (Table V): batch 1 fails.
+        with pytest.raises(ReproError, match="cannot deploy"):
+            resolve_profiles([_pool("EdgeTPU", "TFLite")])
+
+    def test_duplicate_pool_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            resolve_profiles([_pool(name="same"), _pool(name="same")])
+
+    def test_batch_failure_caps_effective_max_batch(self):
+        # A huge batch eventually exhausts activation memory; the pool is
+        # capped below the first failing size instead of erroring out.
+        profile = resolve_profiles(
+            [_pool("Jetson Nano", "TensorRT", max_batch=4096, name="big",
+                   model="VGG16")])["big"]
+        assert 1 <= profile.max_batch < 4096
+        assert len(profile.batch_wall_s) == profile.max_batch
+
+
+class TestNodeState:
+    def _node(self):
+        profiles = resolve_profiles([_pool(name="p")])
+        return NodeState(pool="p", index=0, profile=profiles["p"])
+
+    def test_assign_and_depth(self):
+        node = self._node()
+        assert node.depth == 0
+        assert node.assign([0.1, 0.2, 0.3]) == 3
+        assert node.depth == 3
+        assert node.max_depth == 3
+
+    def test_outstanding_counts_in_service_work(self):
+        node = self._node()
+        node.assign([0.0])
+        node.free_at_s = 5.0
+        assert node.outstanding(1.0) == 2  # queued + one still in service
+        assert node.outstanding(6.0) == 1
+
+    def test_compact_preserves_the_unserved_suffix(self):
+        node = self._node()
+        node.assign([0.1, 0.2, 0.3, 0.4])
+        node.head = 3
+        node.compact()
+        assert node.pending == [0.4]
+        assert node.head == 0
+        assert node.depth == 1
+
+    def test_drain_pending_reports_losses(self):
+        node = self._node()
+        node.assign([0.1, 0.2])
+        node.head = 1
+        assert node.drain_pending() == 1
+        assert node.depth == 0

@@ -1,0 +1,113 @@
+"""Routing policies: water-fill, interleave, and the three strategies."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    ROUTER_POLICIES,
+    EnergyAwareRouter,
+    LeastOutstandingRouter,
+    RoundRobinRouter,
+    RoutingView,
+    make_router,
+)
+from repro.fleet.router import interleave, water_fill
+
+
+def _view(outstanding, limits=None, energy=None, capacity=None):
+    outstanding = np.asarray(outstanding, dtype=np.float64)
+    n = outstanding.size
+    return RoutingView(
+        outstanding=outstanding,
+        limits=(np.full(n, np.inf) if limits is None
+                else np.asarray(limits, dtype=np.float64)),
+        energy_per_request_j=(np.ones(n) if energy is None
+                              else np.asarray(energy, dtype=np.float64)),
+        capacity=(np.full(n, np.inf) if capacity is None
+                  else np.asarray(capacity, dtype=np.float64)),
+    )
+
+
+class TestWaterFill:
+    def test_equalizes_levels(self):
+        quotas = water_fill(9, np.array([0.0, 3.0, 6.0]), np.full(3, np.inf))
+        # Levels after fill: 6, 6, 6.
+        assert quotas.tolist() == [6, 3, 0]
+
+    def test_total_is_exact_when_capacity_allows(self):
+        base = np.array([2.0, 5.0, 1.0, 7.0])
+        quotas = water_fill(17, base, np.full(4, np.inf))
+        assert quotas.sum() == 17
+        assert np.all(quotas >= 0)
+
+    def test_limits_cap_and_shrink_the_total(self):
+        quotas = water_fill(10, np.zeros(2), np.array([3.0, 4.0]))
+        assert quotas.tolist() == [3, 4]  # capacity-bound: only 7 admitted
+
+    def test_deterministic_tiebreak_by_index(self):
+        quotas = water_fill(3, np.zeros(2), np.full(2, np.inf))
+        assert quotas.tolist() == [2, 1]  # remainder goes to the lower index
+
+
+class TestInterleave:
+    def test_assignment_counts_match_quotas(self):
+        quotas = np.array([3, 0, 5, 1])
+        assignment = interleave(quotas)
+        assert assignment.size == 9
+        assert np.bincount(assignment, minlength=4).tolist() == [3, 0, 5, 1]
+
+    def test_shares_spread_rather_than_clump(self):
+        assignment = interleave(np.array([4, 4]))
+        # Perfectly alternating: no node takes two in a row.
+        assert np.all(np.diff(assignment.astype(int)) != 0)
+
+    def test_empty(self):
+        assert interleave(np.zeros(3, dtype=np.int64)).size == 0
+
+
+class TestPolicies:
+    def test_registry_round_trip(self):
+        for name in ROUTER_POLICIES:
+            assert make_router(name).name == name
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("coin-flip")
+
+    def test_least_outstanding_levels_the_queues(self):
+        router = LeastOutstandingRouter()
+        quotas = router.quotas(_view([0.0, 8.0]), 10)
+        assert quotas.tolist() == [9, 1]  # both end at 9
+
+    def test_least_outstanding_respects_limits(self):
+        router = LeastOutstandingRouter()
+        quotas = router.quotas(_view([0.0, 0.0], limits=[2.0, np.inf]), 10)
+        assert quotas[0] <= 2
+        assert quotas.sum() == 10
+
+    def test_round_robin_splits_evenly_and_rotates(self):
+        router = RoundRobinRouter()
+        first = router.quotas(_view([0.0, 0.0, 0.0]), 4)
+        assert first.sum() == 4
+        assert first.max() - first.min() == 1
+        second = router.quotas(_view([0.0, 0.0, 0.0]), 4)
+        # The remainder lands on a different node after rotation.
+        assert not np.array_equal(first, second)
+
+    def test_energy_aware_fills_cheapest_first(self):
+        router = EnergyAwareRouter()
+        quotas = router.quotas(
+            _view([0.0, 0.0], energy=[5.0, 1.0], capacity=[10.0, 6.0]), 8)
+        assert quotas.tolist() == [2, 6]  # node 1 is cheaper: fill it first
+
+    def test_energy_aware_overflow_degrades_to_queueing(self):
+        router = EnergyAwareRouter()
+        quotas = router.quotas(
+            _view([0.0, 0.0], energy=[1.0, 2.0], capacity=[3.0, 3.0]), 20)
+        assert quotas.sum() == 20  # beyond capacity: queues absorb the rest
+        assert quotas[0] >= quotas[1]  # cheaper node still preferred
+
+    def test_policies_never_exceed_admission_limits(self):
+        view = _view([1.0, 2.0, 3.0], limits=[2.0, 2.0, 2.0],
+                     energy=[3.0, 2.0, 1.0], capacity=[5.0, 5.0, 5.0])
+        for name in ROUTER_POLICIES:
+            quotas = make_router(name).quotas(view, 50)
+            assert np.all(quotas <= 2), name

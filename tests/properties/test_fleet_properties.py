@@ -1,0 +1,84 @@
+"""Property-based tests of the fleet simulator (hypothesis).
+
+The three invariants the fleet promises for *any* configuration:
+conservation (every request is completed, dropped, or rejected — nothing
+vanishes), queueing physics (a stationary single-node segment obeys
+Little's law / Pollaczek-Khinchine within sampling tolerance), and seed
+determinism (the same seed serializes to the same bytes).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (
+    ROUTER_POLICIES,
+    AdmissionControl,
+    FleetSimulation,
+    PoolSpec,
+    simulate_fleet,
+)
+from repro.runtime import Scenario
+from repro.workloads import PoissonArrivals
+
+_NANO = Scenario("ResNet-18", "Jetson Nano", "TensorRT")
+_TX2 = Scenario("ResNet-18", "Jetson TX2", "PyTorch")
+
+
+class TestFleetProperties:
+    @given(
+        replicas=st.integers(1, 3),
+        max_batch=st.integers(1, 4),
+        rate=st.floats(20.0, 250.0),
+        policy=st.sampled_from(sorted(ROUTER_POLICIES)),
+        limit=st.one_of(st.none(), st.integers(2, 16)),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_per_pool_and_fleet_wide(
+            self, replicas, max_batch, rate, policy, limit, seed):
+        pools = [PoolSpec(name="nano", scenario=_NANO, replicas=replicas,
+                          max_batch=max_batch),
+                 PoolSpec(name="tx2", scenario=_TX2, replicas=1)]
+        admission = (AdmissionControl(max_queue_per_node=limit)
+                     if limit else None)
+        stats = simulate_fleet(pools, PoissonArrivals(rate), requests=800,
+                               seed=seed, epochs=64, router=policy,
+                               admission=admission)
+        assert stats.completed + stats.dropped + stats.rejected == 800
+        for pool in stats.pools:
+            assert pool.assigned == pool.completed + pool.dropped
+        assert (sum(pool.assigned for pool in stats.pools)
+                + stats.rejected == 800)
+
+    @given(rho=st.floats(0.2, 0.7), seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_littles_law_on_a_stationary_single_node(self, rho, seed):
+        """A one-replica fleet is an M/D/1 queue: its mean sojourn must
+        match Little's law with the Pollaczek-Khinchine queue length,
+        W = s + rho * s / (2 * (1 - rho))."""
+        simulation = FleetSimulation(
+            [PoolSpec(name="nano", scenario=_NANO, replicas=1)], epochs=256)
+        service_s = simulation.profiles["nano"].service_s
+        arrivals = PoissonArrivals(rho / service_s, seed=seed).generate(2000.0)
+        stats = simulation.run(arrivals, seed=seed)
+        assert stats.completed == len(arrivals)
+        expected_w = service_s + rho * service_s / (2 * (1 - rho))
+        assert stats.sojourn.mean_s == pytest.approx(expected_w, rel=0.2)
+        # Little's law on the server itself: busy fraction == lambda * s.
+        assert stats.pools[0].utilization == pytest.approx(
+            stats.throughput_rps * service_s, rel=1e-6)
+
+    @given(
+        seed=st.integers(0, 2**32),
+        policy=st.sampled_from(sorted(ROUTER_POLICIES)),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_serializes_to_identical_bytes(self, seed, policy):
+        pools = [PoolSpec(name="nano", scenario=_NANO, replicas=2,
+                          max_batch=2)]
+        reports = [simulate_fleet(pools, PoissonArrivals(60.0), requests=600,
+                                  seed=seed, epochs=64,
+                                  router=policy).to_json()
+                   for _ in range(2)]
+        assert reports[0] == reports[1]

@@ -38,6 +38,14 @@ class TestMechanics:
         assert stats.max_batch_observed <= 4
         assert stats.batches == 3  # 4 + 4 + 2
 
+    def test_p999_tracks_the_sojourn_tail(self):
+        arrivals = PoissonArrivals(80.0, seed=5).generate(60.0)
+        stats = simulate_batch_serving(arrivals, _linear_batch_time(0.01), 8)
+        assert stats.p99_sojourn_s <= stats.p999_sojourn_s
+        # Deterministic burst: every sojourn identical, so all tails agree.
+        burst = simulate_batch_serving(np.zeros(8), _linear_batch_time(0.01), 16)
+        assert burst.p999_sojourn_s == pytest.approx(burst.p99_sojourn_s)
+
     def test_low_load_stays_unbatched(self):
         arrivals = np.arange(0.0, 10.0, 1.0)  # 1 Hz vs 10 ms service
         stats = simulate_batch_serving(arrivals, _linear_batch_time(0.01), 32)

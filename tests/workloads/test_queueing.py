@@ -16,6 +16,7 @@ class TestBasics:
         stats = simulate_serving(arrivals, service_time_s=0.05)
         assert stats.mean_wait_s == 0.0
         assert stats.p99_sojourn_s == pytest.approx(0.05)
+        assert stats.p999_sojourn_s == pytest.approx(0.05)
         assert stats.max_queue_depth == 1
         assert stats.dropped == 0
 
@@ -70,6 +71,16 @@ class TestDeadline:
         assert not stats.meets_deadline(0.01, percentile=0.99)
         with pytest.raises(ValueError):
             stats.meets_deadline(0.05, percentile=0.42)
+
+    def test_p999_orders_above_p99_and_gates_deadlines(self):
+        arrivals = PoissonArrivals(70.0, seed=14).generate(500.0)
+        stats = simulate_serving(arrivals, service_time_s=0.01)
+        assert stats.p50_sojourn_s <= stats.p99_sojourn_s <= stats.p999_sojourn_s
+        # The 99.9th percentile is the stricter gate at the same deadline.
+        assert stats.meets_deadline(stats.p999_sojourn_s, percentile=0.999)
+        assert not stats.meets_deadline(
+            (stats.p99_sojourn_s + stats.p999_sojourn_s) / 2,
+            percentile=0.999) or stats.p99_sojourn_s == stats.p999_sojourn_s
 
 
 class TestAgainstTheory:

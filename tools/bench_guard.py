@@ -1,20 +1,27 @@
 #!/usr/bin/env python
-"""Bench-regression guard: hold BENCH_sweep.json to its committed targets.
+"""Bench-regression guard: hold the committed BENCH_*.json to their targets.
 
-CI runs the sweep benchmark (which rewrites ``BENCH_sweep.json``) and then
-this guard, so a perf regression fails the job with the specific budget it
-broke instead of a bare assert.  It can also be pointed at the committed
-file locally::
+CI runs the perf benchmarks (which rewrite ``BENCH_sweep.json`` and
+``BENCH_fleet.json``) and then this guard, so a perf regression fails the
+job with the specific budget it broke instead of a bare assert.  It can
+also be pointed at committed files locally::
 
-    python tools/bench_guard.py            # repo-root BENCH_sweep.json
-    python tools/bench_guard.py path.json  # an explicit snapshot
+    python tools/bench_guard.py                       # both repo-root files
+    python tools/bench_guard.py BENCH_fleet.json      # explicit snapshots
 
-Checks (targets travel inside the file, written by the benchmark):
+Sweep checks (targets travel inside the file, written by the benchmark):
 
 * ``speedup_warm``        >= ``min_warm_speedup``
 * ``compiled_warm_s``     <  ``max_compiled_warm_s``
 * ``compiled_uncached_s`` <  ``max_compiled_uncached_s``
 * ``dedup_ratio``         >  1.0 and snapshots identical at zero tolerance
+
+Fleet checks:
+
+* ``requests``    >= ``min_requests`` (the million-request scale floor)
+* ``simulate_s``  <  ``max_simulate_s`` (< 5 s per million requests)
+* ``completed + dropped + rejected == requests`` (conservation)
+* ``identical_across_seed_repeat`` is true (byte-identical reports)
 """
 
 from __future__ import annotations
@@ -23,37 +30,40 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_PATHS = (_ROOT / "BENCH_sweep.json", _ROOT / "BENCH_fleet.json")
 
 
-def check(bench: dict) -> list[str]:
-    """Every broken budget as a human-readable failure line."""
+def _require(bench: dict, failures: list[str], name: str, hint: str):
+    value = bench.get(name)
+    if value is None:
+        failures.append(f"missing field {name!r} - regenerate the "
+                        f"benchmark (pytest {hint})")
+    return value
+
+
+def check_sweep(bench: dict) -> list[str]:
+    """Every broken sweep budget as a human-readable failure line."""
     failures: list[str] = []
+    hint = "benchmarks/test_perf_sweep.py"
 
-    def require(name: str) -> float | None:
-        value = bench.get(name)
-        if value is None:
-            failures.append(f"missing field {name!r} - regenerate the "
-                            "benchmark (pytest benchmarks/test_perf_sweep.py)")
-        return value
-
-    speedup = require("speedup_warm")
-    floor = require("min_warm_speedup")
+    speedup = _require(bench, failures, "speedup_warm", hint)
+    floor = _require(bench, failures, "min_warm_speedup", hint)
     if speedup is not None and floor is not None and speedup < floor:
         failures.append(f"speedup_warm {speedup}x < required {floor}x")
 
-    warm = require("compiled_warm_s")
-    warm_max = require("max_compiled_warm_s")
+    warm = _require(bench, failures, "compiled_warm_s", hint)
+    warm_max = _require(bench, failures, "max_compiled_warm_s", hint)
     if warm is not None and warm_max is not None and warm >= warm_max:
         failures.append(f"compiled_warm_s {warm}s >= budget {warm_max}s")
 
-    uncached = require("compiled_uncached_s")
-    uncached_max = require("max_compiled_uncached_s")
+    uncached = _require(bench, failures, "compiled_uncached_s", hint)
+    uncached_max = _require(bench, failures, "max_compiled_uncached_s", hint)
     if uncached is not None and uncached_max is not None and uncached >= uncached_max:
         failures.append(
             f"compiled_uncached_s {uncached}s >= budget {uncached_max}s")
 
-    dedup = require("dedup_ratio")
+    dedup = _require(bench, failures, "dedup_ratio", hint)
     if dedup is not None and dedup <= 1.0:
         failures.append(f"dedup_ratio {dedup} <= 1.0 - the sweep compiler "
                         "is not batching anything")
@@ -63,28 +73,73 @@ def check(bench: dict) -> list[str]:
     return failures
 
 
-def main(argv: list[str]) -> int:
-    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
-    try:
-        bench = json.loads(path.read_text())
-    except FileNotFoundError:
-        print(f"bench guard: {path} not found", file=sys.stderr)
-        return 2
-    except json.JSONDecodeError as error:
-        print(f"bench guard: {path} is not valid JSON: {error}", file=sys.stderr)
-        return 2
+def check_fleet(bench: dict) -> list[str]:
+    """Every broken fleet budget as a human-readable failure line."""
+    failures: list[str] = []
+    hint = "benchmarks/test_perf_fleet.py"
 
-    failures = check(bench)
-    if failures:
-        for line in failures:
-            print(f"bench guard: {line}", file=sys.stderr)
-        return 1
-    print(f"bench guard: {path.name} ok - "
-          f"warm {bench['compiled_warm_s']}s, "
-          f"uncached {bench['compiled_uncached_s']}s, "
-          f"{bench['speedup_warm']}x warm speedup, "
-          f"{bench['dedup_ratio']}x dedup")
-    return 0
+    requests = _require(bench, failures, "requests", hint)
+    floor = _require(bench, failures, "min_requests", hint)
+    if requests is not None and floor is not None and requests < floor:
+        failures.append(f"requests {requests} < required {floor} - the "
+                        "benchmark is not exercising fleet scale")
+
+    simulate_s = _require(bench, failures, "simulate_s", hint)
+    budget_s = _require(bench, failures, "max_simulate_s", hint)
+    if simulate_s is not None and budget_s is not None and simulate_s >= budget_s:
+        failures.append(f"simulate_s {simulate_s}s >= budget {budget_s}s "
+                        f"for {requests} requests")
+
+    served = (bench.get("completed"), bench.get("dropped"), bench.get("rejected"))
+    if requests is not None and None not in served and sum(served) != requests:
+        failures.append(f"conservation broken: completed+dropped+rejected "
+                        f"{sum(served)} != requests {requests}")
+
+    if bench.get("identical_across_seed_repeat") is not True:
+        failures.append("same-seed fleet reports were not byte-identical")
+    return failures
+
+
+def check(bench: dict) -> list[str]:
+    """Dispatch on the benchmark kind recorded in the file."""
+    if str(bench.get("benchmark", "")).startswith("fleet"):
+        return check_fleet(bench)
+    return check_sweep(bench)
+
+
+def _summary(bench: dict) -> str:
+    if str(bench.get("benchmark", "")).startswith("fleet"):
+        return (f"{bench['requests']} requests in {bench['simulate_s']}s "
+                f"({bench['requests_per_wall_s']}/wall-s), deterministic")
+    return (f"warm {bench['compiled_warm_s']}s, "
+            f"uncached {bench['compiled_uncached_s']}s, "
+            f"{bench['speedup_warm']}x warm speedup, "
+            f"{bench['dedup_ratio']}x dedup")
+
+
+def main(argv: list[str]) -> int:
+    paths = [Path(arg) for arg in argv[1:]] or list(DEFAULT_PATHS)
+    status = 0
+    for path in paths:
+        try:
+            bench = json.loads(path.read_text())
+        except FileNotFoundError:
+            print(f"bench guard: {path} not found", file=sys.stderr)
+            status = max(status, 2)
+            continue
+        except json.JSONDecodeError as error:
+            print(f"bench guard: {path} is not valid JSON: {error}",
+                  file=sys.stderr)
+            status = max(status, 2)
+            continue
+        failures = check(bench)
+        if failures:
+            for line in failures:
+                print(f"bench guard: {path.name}: {line}", file=sys.stderr)
+            status = max(status, 1)
+        else:
+            print(f"bench guard: {path.name} ok - {_summary(bench)}")
+    return status
 
 
 if __name__ == "__main__":
