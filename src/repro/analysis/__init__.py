@@ -13,9 +13,15 @@ from repro.analysis.advisor import (
     Requirements,
     best_deployment,
     recommend_deployments,
+    recommend_placements,
 )
 from repro.analysis.efficiency import energy_delay_metrics, energy_delay_table
-from repro.analysis.pareto import ParetoPoint, pareto_frontier
+from repro.analysis.pareto import (
+    ParetoPoint,
+    frontier_indices,
+    frontier_points,
+    pareto_frontier,
+)
 from repro.analysis.sustained import SustainedResult, simulate_sustained
 from repro.analysis.sweeps import batch_size_sweep, dtype_sweep, sparsity_sweep
 
@@ -26,10 +32,13 @@ __all__ = [
     "SustainedResult",
     "best_deployment",
     "recommend_deployments",
+    "recommend_placements",
     "batch_size_sweep",
     "dtype_sweep",
     "energy_delay_metrics",
     "energy_delay_table",
+    "frontier_indices",
+    "frontier_points",
     "pareto_frontier",
     "simulate_sustained",
     "sparsity_sweep",

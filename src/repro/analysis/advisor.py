@@ -114,3 +114,29 @@ def best_deployment(model_name: str, requirements: Requirements,
         if recommendation.feasible:
             return recommendation
     return None
+
+
+def recommend_placements(model_name: str, requirements: Requirements, *,
+                         link: str = "wifi",
+                         devices: tuple[str, ...] = EDGE_DEVICES,
+                         remote_devices: tuple[str, ...] = (),
+                         max_pipeline_depth: int = 3):
+    """The multi-device counterpart of :func:`recommend_deployments`.
+
+    Maps the advisor's :class:`Requirements` onto the placement
+    optimizer's SLO and returns its
+    :class:`~repro.placement.optimizer.PlacementFrontier`: single nodes,
+    splits and pipelines ranked together.  (The power budget has no
+    placement analogue — a multi-stage deployment has one draw per
+    stage — so it maps to nothing; use the energy budget instead.)
+    """
+    # Imported lazily: repro.placement imports this package's pareto
+    # module at import time, so a top-level import here would cycle.
+    from repro.placement import SLO, search_placements
+
+    slo = SLO(deadline_s=requirements.deadline_s,
+              max_energy_j=requirements.energy_budget_j)
+    return search_placements(
+        model_name, edge_devices=devices, remote_devices=remote_devices,
+        link=link, slo=slo, max_pipeline_depth=max_pipeline_depth,
+        runner=_RUNNER)

@@ -1,16 +1,22 @@
-"""Pareto-frontier extraction for the Figure 12 scatter.
+"""Pareto-frontier extraction for the Figure 12 scatter — and beyond.
 
 The paper reads its time-vs-power plot qualitatively ("Movidius is the
 platform with the lowest active power usage ... EdgeTPU is the platform
 with the lowest inference time ... Jetson Nano resides in the middle").
 This module makes that reading precise: which (platform, model) points are
 non-dominated in (latency, power)?
+
+The placement optimizer generalizes the question to N minimized axes —
+(latency, energy, cost) deployments — so :func:`frontier_indices` extracts
+the non-dominated subset of arbitrary objective tuples; the classic
+two-axis :class:`ParetoPoint` API is the N=2 special case and is kept
+unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 
 @dataclass(frozen=True)
@@ -45,3 +51,33 @@ def dominated_by(point: ParetoPoint, points: Iterable[ParetoPoint]) -> list[Pare
     """Every point that dominates ``point`` — the 'why is this off the
     frontier' explanation."""
     return [other for other in points if other.dominates(point)]
+
+
+# -- N-dimensional frontier ---------------------------------------------------
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Minimize-all dominance: ``a`` no worse on every axis, strictly
+    better on at least one."""
+    if len(a) != len(b):
+        raise ValueError(f"objective arity mismatch: {len(a)} vs {len(b)}")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    strictly = any(x < y for x, y in zip(a, b))
+    return no_worse and strictly
+
+
+def frontier_indices(objectives: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated objective tuples, in input order.
+
+    Every axis is minimized.  Duplicated tuples are all kept (neither
+    strictly beats the other), so callers dedup by identity first if they
+    want a set-like frontier.
+    """
+    rows = [tuple(row) for row in objectives]
+    return [index for index, row in enumerate(rows)
+            if not any(dominates(other, row) for other in rows)]
+
+
+def frontier_points(objectives: Sequence[Sequence[float]]) -> list[tuple[float, ...]]:
+    """The non-dominated objective tuples themselves, sorted ascending."""
+    rows = [tuple(row) for row in objectives]
+    return sorted(rows[index] for index in frontier_indices(rows))

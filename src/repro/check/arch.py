@@ -28,6 +28,11 @@ enforces them:
   and no ``default_rng`` even seeded — workload randomness enters exclusively
   through seeded ``workloads.arrivals`` processes, so the same pools,
   stream and seed always produce byte-identical reports.
+* **ARCH007** — the placement layer (``placement/``) is a deterministic
+  search over engine-priced deployments: no wall clock, no RNG even
+  seeded (the same model, fleet, link and SLO must always yield the same
+  frontier), and — via ARCH001, which has no placement exemption — no
+  ad-hoc session construction; pricing goes through the Runner.
 
 Suppress a finding by annotating its line, or a whole module with a
 file-level comment (see :mod:`repro.check.suppress` for both forms)::
@@ -56,6 +61,8 @@ RULES: dict[str, tuple[Severity, str]] = {
                                 "lowers cached inputs to arrays and nothing else"),
     "ARCH006": (Severity.ERROR, "nondeterministic call inside the fleet simulator; "
                                 "randomness enters via seeded arrival processes only"),
+    "ARCH007": (Severity.ERROR, "nondeterministic call inside the placement layer; "
+                                "the same inputs must yield the same frontier"),
 }
 
 #: module path prefixes (relative to the repro package) per rule exemption.
@@ -65,10 +72,18 @@ _PURE_LAYERS = ("engine", "graphs", "frameworks", "models", "hardware")
 #: ARCH001's engine-layer exemption does not apply, RNG is banned even
 #: seeded, and wall-clock stats are stamped by the driver (Runner.run_grid).
 _COMPILED_MODULE = ("engine", "compile.py")
-#: the fleet simulator promises byte-identical reports per seed, so clocks
-#: and RNG (even seeded) are banned outright; arrival randomness lives in
-#: the seeded ``workloads.arrivals`` processes the simulator consumes.
-_FLEET_LAYER = "fleet"
+#: layers promising byte-identical outputs per input: clocks and RNG (even
+#: seeded) are banned outright.  layer -> (rule, noun, RNG hint, clock hint).
+#: The fleet simulator draws randomness only from seeded arrival processes;
+#: the placement layer is a pure search over engine-priced deployments.
+_DETERMINISTIC_LAYERS: dict[str, tuple[str, str, str, str]] = {
+    "fleet": ("ARCH006", "fleet simulator",
+              "draw randomness from a seeded workloads.arrivals process",
+              "the event loop keeps simulated time"),
+    "placement": ("ARCH007", "placement optimizer",
+                  "the search must be reproducible input-for-input",
+                  "deployments are priced in engine seconds, not wall time"),
+}
 
 _SESSION_TYPES = ("InferenceSession", "InferenceTimer")
 _MEASUREMENT_TYPES = ("InferenceSession", "InferenceTimer", "EnergyMeter")
@@ -139,10 +154,12 @@ class _ContractVisitor(ast.NodeVisitor):
         if name in _DEPRECATED_WRAPPERS:
             self._emit("ARCH002", node, f"call to deprecated wrapper {name}()")
         handled = False
+        deterministic = _DETERMINISTIC_LAYERS.get(self._layer())
         if self.parts == _COMPILED_MODULE:
             handled = self._check_compiled_purity(node, name)
-        elif self._layer() == _FLEET_LAYER:
-            handled = self._check_fleet_determinism(node, name)
+        elif deterministic is not None:
+            handled = self._check_deterministic_layer(
+                node, name, *deterministic)
         if not handled and self._layer() in _PURE_LAYERS:
             self._check_purity(node, name)
         self.generic_visit(node)
@@ -183,42 +200,43 @@ class _ContractVisitor(ast.NodeVisitor):
             return True
         return False
 
-    def _check_fleet_determinism(self, node: ast.Call,
-                                 name: str | None) -> bool:
-        """ARCH006: the fleet simulator is deterministic per seed.
+    def _check_deterministic_layer(self, node: ast.Call, name: str | None,
+                                   rule: str, noun: str, rng_hint: str,
+                                   clock_hint: str) -> bool:
+        """ARCH006/ARCH007: layers that promise byte-identical outputs.
 
-        Simulated time is the only clock and seeded arrival processes are
-        the only randomness, which is what makes fleet reports
-        byte-identical artifacts.  Returns True when the call was judged
-        here, mirroring the ARCH005 handler.
+        The fleet simulator's only clock is simulated time and its only
+        randomness the seeded arrival processes; the placement optimizer
+        must map the same inputs to the same frontier.  Either way, wall
+        clocks and RNG (even seeded) are banned.  Returns True when the
+        call was judged here, mirroring the ARCH005 handler.
         """
         if name == "default_rng":
-            self._emit("ARCH006", node,
-                       "RNG inside the fleet simulator (even seeded); draw "
-                       "randomness from a seeded workloads.arrivals process")
+            self._emit(rule, node,
+                       f"RNG inside the {noun} (even seeded); {rng_hint}")
             return True
         chain = _dotted_chain(node.func)
         if chain:
             root, leaf = chain[0], chain[-1]
             if root in _RANDOM_MODULES or "random" in chain[:-1]:
-                self._emit("ARCH006", node,
-                           f"nondeterministic call {'.'.join(chain)}() in the "
-                           "fleet simulator")
+                self._emit(rule, node,
+                           f"nondeterministic call {'.'.join(chain)}() in "
+                           f"the {noun}")
                 return True
             if root == "time" and leaf in _TIME_FUNCS:
-                self._emit("ARCH006", node,
-                           f"wall-clock call {'.'.join(chain)}() in the fleet "
-                           "simulator; the event loop keeps simulated time")
+                self._emit(rule, node,
+                           f"wall-clock call {'.'.join(chain)}() in the "
+                           f"{noun}; {clock_hint}")
                 return True
             if root == "datetime" and leaf in ("now", "utcnow", "today"):
-                self._emit("ARCH006", node,
-                           f"wall-clock call {'.'.join(chain)}() in the fleet "
-                           "simulator; the event loop keeps simulated time")
+                self._emit(rule, node,
+                           f"wall-clock call {'.'.join(chain)}() in the "
+                           f"{noun}; {clock_hint}")
                 return True
         if isinstance(node.func, ast.Name) and node.func.id in self._random_imports:
-            self._emit("ARCH006", node,
-                       f"nondeterministic call {node.func.id}() (imported from "
-                       "a random/time module) in the fleet simulator")
+            self._emit(rule, node,
+                       f"nondeterministic call {node.func.id}() (imported "
+                       f"from a random/time module) in the {noun}")
             return True
         return False
 

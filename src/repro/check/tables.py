@@ -47,6 +47,10 @@ RULES: dict[str, tuple[Severity, str]] = {
                                "models/devices with known symbols"),
     "TAB012": (Severity.ERROR, "best-framework candidates must be registered, supported "
                                "and cover the Table V chain"),
+    "TAB013": (Severity.ERROR, "network link presets must be sane and cover the "
+                               "required preset names"),
+    "TAB014": (Severity.ERROR, "placement device prices must cover exactly the "
+                               "registered devices with positive finite values"),
 }
 
 
@@ -315,7 +319,90 @@ def check_table_v(
     return findings
 
 
+def check_links(links: Mapping[str, object] | None = None,
+                required: Sequence[str] | None = None) -> list[Finding]:
+    """Validate the network link preset table (TAB013).
+
+    Every preset must be keyed by its own name with positive finite
+    bandwidth, non-negative finite latency and reliability in (0, 1],
+    and the required preset names the distributed-inference surface
+    depends on must all exist.
+    """
+    from repro.distribution.network import LINK_PRESETS, REQUIRED_LINK_PRESETS
+
+    if links is None:
+        links = LINK_PRESETS
+    if required is None:
+        required = REQUIRED_LINK_PRESETS
+    findings: list[Finding] = []
+    for name, link in links.items():
+        where = f"link:{name}"
+        if getattr(link, "name", None) != name:
+            findings.append(_finding(
+                "TAB013", where,
+                f"preset is keyed {name!r} but names itself "
+                f"{getattr(link, 'name', None)!r}"))
+        if not _positive_finite(getattr(link, "bandwidth_bytes_per_s", None)):
+            findings.append(_finding(
+                "TAB013", where, "bandwidth must be positive and finite"))
+        latency = getattr(link, "latency_s", None)
+        if not (isinstance(latency, (int, float)) and latency >= 0
+                and math.isfinite(float(latency))):
+            findings.append(_finding(
+                "TAB013", where, "latency must be non-negative and finite"))
+        reliability = getattr(link, "reliability", None)
+        if not (isinstance(reliability, (int, float))
+                and 0 < reliability <= 1):
+            findings.append(_finding(
+                "TAB013", where, "reliability must lie in (0, 1]"))
+    for name in required:
+        if name not in links:
+            findings.append(_finding(
+                "TAB013", f"link:{name}",
+                "required preset is missing from LINK_PRESETS"))
+    return findings
+
+
+def check_placement_prices(prices: Mapping[str, float] | None = None,
+                           devices: Iterable | None = None) -> list[Finding]:
+    """Validate the placement cost table against the registry (TAB014).
+
+    The optimizer prices every candidate deployment by its boards, so an
+    unpriced device would crash the search and an orphan price entry is a
+    stale row.  Both directions are checked through canonical names.
+    """
+    from repro.core.registry import canonical_name
+    from repro.placement.cost import DEVICE_PRICE_USD
+
+    if prices is None:
+        prices = DEVICE_PRICE_USD
+    if devices is None:
+        devices = list_devices()
+    device_names = {canonical_name(name): name for name in devices}
+    findings: list[Finding] = []
+    priced: set[str] = set()
+    for name, price in prices.items():
+        where = f"price:{name}"
+        canon = canonical_name(name)
+        if canon in priced:
+            findings.append(_finding(
+                "TAB014", where, "duplicate price entry for this device"))
+        priced.add(canon)
+        if canon not in device_names:
+            findings.append(_finding(
+                "TAB014", where, "priced device is not registered"))
+        if not _positive_finite(price):
+            findings.append(_finding(
+                "TAB014", where, "price must be positive and finite"))
+    for canon, name in device_names.items():
+        if canon not in priced:
+            findings.append(_finding(
+                "TAB014", f"price:{name}",
+                "registered device has no placement price"))
+    return findings
+
+
 def run() -> list[Finding]:
     """Tables pass entry point: every checker over the real declarations."""
     return (check_devices() + check_frameworks() + check_calibration()
-            + check_table_v())
+            + check_table_v() + check_links() + check_placement_prices())

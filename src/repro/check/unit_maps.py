@@ -73,6 +73,7 @@ UNIT_TOKENS: dict[str, tuple[Dim, float]] = {
     # frequency
     "hz": (FREQUENCY, 1.0),
     "fps": (FREQUENCY, 1.0),
+    "rps": (FREQUENCY, 1.0),  # requests/inferences per second
     "khz": (FREQUENCY, KILO),
     "mhz": (FREQUENCY, MEGA),
     "ghz": (FREQUENCY, GIGA),

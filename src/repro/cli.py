@@ -9,6 +9,8 @@ Usage::
     python -m repro compat                    # Table V matrix
     python -m repro suite --jobs 4 --stats    # parallel sweep + cache stats
     python -m repro fleet --requests 1000000  # million-request fleet sim
+    python -m repro place MobileNet-v2 --link lan --min-rps 2
+    python -m repro fleet --placement frontier.json --requests 10000
 """
 
 from __future__ import annotations
@@ -198,6 +200,42 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_place(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.placement import SLO, search_placements
+
+    slo = None
+    if (args.deadline_ms is not None or args.min_rps is not None
+            or args.energy_j is not None):
+        slo = SLO(
+            deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+            min_throughput_rps=args.min_rps,
+            max_energy_j=args.energy_j,
+        )
+    try:
+        frontier = search_placements(
+            args.model,
+            edge_devices=args.device or None,
+            remote_devices=tuple(args.remote or ()),
+            link=args.link,
+            slo=slo,
+            max_pipeline_depth=args.max_depth,
+        )
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    text = (json.dumps(frontier.to_dict(), indent=1)
+            if args.format == "json" else frontier.describe())
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0 if frontier.frontier else 1
+
+
 _DEFAULT_FLEET_POOLS = (
     "8x Jetson Nano:TensorRT:8",
     "4x Jetson TX2:PyTorch:4",
@@ -230,6 +268,30 @@ def _parse_pool_spec(spec: str, model: str, index: int) -> "PoolSpec":
                     max_batch=max_batch)
 
 
+def _placement_pool(path: str, replicas: int) -> "PoolSpec":
+    """Build the serving pool from a ``repro place`` frontier file.
+
+    Takes the best (lowest-latency) frontier point — the one
+    :meth:`PlacementFrontier.best` would return.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.fleet import PoolSpec
+    from repro.placement import Deployment
+
+    payload = json.loads(Path(path).read_text())
+    frontier = payload.get("frontier", ())
+    if not frontier:
+        raise ValueError(
+            f"{path}: no frontier points (was the SLO satisfiable?); "
+            "regenerate with 'repro place ... --format json --output'")
+    deployment = Deployment.from_dict(frontier[0]["deployment"])
+    return PoolSpec.from_deployment(
+        name=f"placement:{'+'.join(deployment.devices)}",
+        deployment=deployment, replicas=replicas)
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -250,9 +312,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.requests is not None and args.horizon is not None:
         print("error: pass --requests or --horizon, not both", file=sys.stderr)
         return 2
+    if args.placement and args.pool:
+        print("error: pass --placement or --pool, not both", file=sys.stderr)
+        return 2
     try:
-        pools = [_parse_pool_spec(spec, args.model, index)
-                 for index, spec in enumerate(args.pool or _DEFAULT_FLEET_POOLS)]
+        if args.placement:
+            pools = [_placement_pool(args.placement, args.replicas)]
+        else:
+            pools = [_parse_pool_spec(spec, args.model, index)
+                     for index, spec in enumerate(args.pool or _DEFAULT_FLEET_POOLS)]
         autoscaler = Autoscaler() if args.autoscale else None
         admission = (AdmissionControl(max_queue_per_node=args.admit_limit)
                      if args.admit_limit else None)
@@ -475,6 +543,35 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="rows to print (default 10)")
     recommend_parser.set_defaults(handler=_cmd_recommend)
 
+    place_parser = subparsers.add_parser(
+        "place", help="search single-node/split/pipeline placements and "
+                      "print the Pareto frontier")
+    place_parser.add_argument("model")
+    place_parser.add_argument("--device", action="append", metavar="NAME",
+                              help="edge device that may host the input "
+                                   "stage (repeatable; default: every edge "
+                                   "platform)")
+    place_parser.add_argument("--remote", action="append", metavar="NAME",
+                              help="offload-only remote endpoint, e.g. "
+                                   "'GTX Titan X' (repeatable)")
+    place_parser.add_argument("--link", default="wifi",
+                              help="network link preset: wifi, lte, 5g, "
+                                   "lan, loopback (default wifi)")
+    place_parser.add_argument("--deadline-ms", type=float, default=None,
+                              help="SLO: end-to-end latency bound")
+    place_parser.add_argument("--min-rps", type=float, default=None,
+                              help="SLO: steady-state inferences per second")
+    place_parser.add_argument("--energy-j", type=float, default=None,
+                              help="SLO: joules per inference budget")
+    place_parser.add_argument("--max-depth", type=int, default=3,
+                              help="deepest homogeneous pipeline (default 3)")
+    place_parser.add_argument("--format", choices=("text", "json"),
+                              default="text", help="output format")
+    place_parser.add_argument("--output", metavar="PATH",
+                              help="write the frontier to PATH (feed the "
+                                   "JSON form to 'fleet --placement')")
+    place_parser.set_defaults(handler=_cmd_place)
+
     fleet_parser = subparsers.add_parser(
         "fleet", help="simulate a heterogeneous serving fleet")
     fleet_parser.add_argument("--model", default="ResNet-18",
@@ -483,6 +580,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="pool spec 'COUNTx DEVICE:FRAMEWORK"
                                    "[:MAX_BATCH]' (repeatable; default: "
                                    "8x Nano + 4x TX2 + 2x Pi 3B)")
+    fleet_parser.add_argument("--placement", metavar="PATH",
+                              help="serve the best frontier point from a "
+                                   "'repro place --format json' file "
+                                   "instead of --pool specs")
+    fleet_parser.add_argument("--replicas", type=int, default=2,
+                              help="replica chains for --placement "
+                                   "(default 2)")
     fleet_parser.add_argument("--requests", type=int, default=None,
                               help="simulate exactly this many requests")
     fleet_parser.add_argument("--horizon", type=float, default=None,

@@ -51,10 +51,16 @@ LINK_PRESETS: dict[str, NetworkLink] = {
     "wifi-congested": NetworkLink("wifi-congested", bandwidth_bytes_per_s=1.25 * MEBI,
                                   latency_s=10e-3, reliability=0.9),
     "ethernet": NetworkLink("ethernet", bandwidth_bytes_per_s=117 * MEBI, latency_s=0.3e-3),
+    "lan": NetworkLink("lan", bandwidth_bytes_per_s=117 * MEBI, latency_s=0.5e-3),
     "lte": NetworkLink("lte", bandwidth_bytes_per_s=1.5 * MEBI, latency_s=50e-3),
+    "5g": NetworkLink("5g", bandwidth_bytes_per_s=31.25 * MEBI, latency_s=12e-3),
     "bluetooth": NetworkLink("bluetooth", bandwidth_bytes_per_s=0.25 * MEBI, latency_s=20e-3),
     "loopback": NetworkLink("loopback", bandwidth_bytes_per_s=4000 * MEBI, latency_s=10e-6),
 }
+
+#: presets the distributed-inference literature expects to exist by name;
+#: the TAB013 rule (repro.check.tables) enforces their presence and sanity.
+REQUIRED_LINK_PRESETS = ("wifi", "lte", "5g", "lan", "loopback")
 
 
 def load_link(name: str) -> NetworkLink:
@@ -64,3 +70,11 @@ def load_link(name: str) -> NetworkLink:
     except KeyError:
         options = ", ".join(sorted(LINK_PRESETS))
         raise UnknownEntryError(f"unknown link {name!r}; options: {options}") from None
+
+
+def resolve_link(link: NetworkLink | str) -> NetworkLink:
+    """Accept a link object or a preset name (the lowering-rule calling
+    convention)."""
+    if isinstance(link, NetworkLink):
+        return link
+    return load_link(link)

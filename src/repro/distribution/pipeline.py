@@ -1,20 +1,34 @@
-"""Pipeline partitioning across a chain of identical edge devices.
+"""Pipeline partitioning across a chain of edge devices.
 
 The authors' collaborative-robots line of work distributes one DNN across
 several resource-constrained devices stage-by-stage and streams inputs
 through the pipeline.  Steady-state throughput is set by the slowest stage
 (compute plus its outgoing transfer), so the partitioner minimizes the
 bottleneck over all contiguous stage assignments via dynamic programming.
+
+Since the :class:`~repro.placement.deployment.Deployment` refactor this
+module is a *lowering rule*: :func:`lower_pipeline` runs the partitioner
+over a chain of scenarios and emits a servable multi-stage Deployment;
+:class:`PipelinePlan` remains as its scenario-free projection
+(:func:`as_pipeline_plan` recovers the plan from the deployment exactly).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.distribution.network import NetworkLink
+from repro.distribution.network import NetworkLink, resolve_link
 from repro.distribution.partition import cut_points
 from repro.engine.executor import InferenceSession
 from repro.frameworks.base import DeployedModel
+from repro.placement.deployment import Deployment, StageSpec
+
+if TYPE_CHECKING:
+    from collections.abc import Sequence
+
+    from repro.runtime.runner import Runner
+    from repro.runtime.scenario import Scenario
 
 
 @dataclass(frozen=True)
@@ -209,3 +223,65 @@ def partition_pipeline(deployed: DeployedModel, num_devices: int,
             outgoing_transfer_s=0.0 if (is_last and end == n) else transfer_at[end],
         ))
     return PipelinePlan(stages=tuple(stages))
+
+
+# -- lowering to Deployments -------------------------------------------------
+
+def lower_pipeline(scenarios: "Sequence[Scenario]", link: NetworkLink | str, *,
+                   runner: "Runner | None" = None) -> Deployment:
+    """Lower an ordered chain of scenarios to a pipelined Deployment.
+
+    Runs :func:`partition_pipeline_heterogeneous` over the scenarios'
+    engine sessions (one per device position, so heterogeneous chains are
+    fine) and attaches the per-device pricing — active power, idle power,
+    session init — a served stage needs.  The
+    :func:`as_pipeline_plan` projection of the result equals the
+    partitioner's plan exactly.
+    """
+    from repro.distribution.split import _lowered_side
+
+    link = resolve_link(link)
+    scenarios = list(scenarios)
+    if len(scenarios) < 2:
+        raise ValueError("a pipeline needs at least two scenarios")
+    if runner is None:
+        from repro.runtime.runner import default_runner
+        runner = default_runner()
+    sessions = [runner.session(scenario) for scenario in scenarios]
+    plan = partition_pipeline_heterogeneous(
+        [session.deployed for session in sessions], link)
+    bytes_at = [cut.transfer_bytes
+                for cut in cut_points(sessions[0].deployed.graph)]
+    stages = []
+    consumed = 0
+    last = len(scenarios) - 1
+    for position, (scenario, session, stage) in enumerate(
+            zip(scenarios, sessions, plan.stages)):
+        consumed += len(stage.op_names)
+        stages.append(StageSpec(
+            scenario=scenario,
+            op_names=stage.op_names,
+            compute_s=stage.compute_s,
+            transfer_s=stage.outgoing_transfer_s,
+            transfer_bytes=0 if position == last else bytes_at[consumed],
+            **_lowered_side(scenario, session),
+        ))
+    return Deployment(kind="pipeline", link=link.name, stages=tuple(stages))
+
+
+def as_pipeline_plan(deployment: Deployment) -> PipelinePlan:
+    """Project a pipelined deployment back onto its :class:`PipelinePlan`.
+
+    Inverse of :func:`lower_pipeline`:
+    ``as_pipeline_plan(lower_pipeline(chain, link))`` equals the
+    partitioner's plan exactly (dataclass equality, zero float tolerance).
+    """
+    if deployment.kind != "pipeline":
+        raise ValueError(
+            f"expected a pipeline deployment, got {deployment.kind!r}")
+    return PipelinePlan(stages=tuple(
+        PipelineStage(device_index=position,
+                      op_names=stage.op_names or (),
+                      compute_s=stage.compute_s,
+                      outgoing_transfer_s=stage.transfer_s)
+        for position, stage in enumerate(deployment.stages)))

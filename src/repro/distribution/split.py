@@ -1,4 +1,4 @@
-"""Neurosurgeon-style cloud-edge split planning.
+"""Neurosurgeon-style cloud-edge split planning, lowered to Deployments.
 
 For every cut point: run the prefix on the edge device, ship the crossing
 activations over the link, run the suffix on the remote platform.  The
@@ -6,17 +6,30 @@ planner evaluates all cuts with the engine's per-op timings and returns the
 latency-optimal plan, together with the all-edge and all-remote baselines
 the paper's offloading discussion contrasts (Section I: privacy, connectivity
 and timing constraints are what rule the all-remote point out in practice).
+
+Since the :class:`~repro.placement.deployment.Deployment` refactor this
+module is a *lowering rule*: :func:`lower_split` prices a (edge scenario,
+remote scenario, link) triple and emits a servable two-stage Deployment,
+and the scenario-free :class:`SplitPlan`/:class:`SplitPlanner` entry
+points remain as the per-cut projection of those deployments
+(:func:`as_split_plan` recovers the plan from the deployment exactly).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.distribution.network import NetworkLink
+from repro.distribution.network import NetworkLink, resolve_link
 from repro.distribution.partition import CutPoint, cut_points
 from repro.engine.executor import InferenceSession
 from repro.frameworks.base import DeployedModel
+from repro.placement.deployment import Deployment, StageSpec
+
+if TYPE_CHECKING:
+    from repro.runtime.runner import Runner
+    from repro.runtime.scenario import Scenario
 
 
 @dataclass(frozen=True)
@@ -142,3 +155,109 @@ class SplitPlanner:
     def offload_speedup(self) -> float:
         """Best split latency improvement over staying fully on the edge."""
         return self.all_edge().total_s / self.best().total_s
+
+
+# -- lowering to Deployments -------------------------------------------------
+
+def _lowered_side(scenario: Scenario, session) -> dict[str, float]:
+    """Per-device pricing a served stage needs beyond its compute time."""
+    from repro.hardware.catalog import load_device
+    from repro.measurement.energy import active_power_w
+
+    return {
+        "power_w": active_power_w(session),
+        "idle_w": load_device(scenario.device).power.idle_w,
+        "init_time_s": session.init_time_s,
+    }
+
+
+def _split_context(edge: Scenario, remote: Scenario, link: NetworkLink,
+                   runner: "Runner | None"):
+    """Sessions, sweep and per-side pricing shared by the split lowerings."""
+    if runner is None:
+        from repro.runtime.runner import default_runner
+        runner = default_runner()
+    edge_session = runner.session(edge)
+    remote_session = runner.session(remote)
+    planner = SplitPlanner(edge_session.deployed, remote_session.deployed, link)
+    schedulable = tuple(
+        op.name for op in edge_session.deployed.graph.schedulable_ops())
+    return (planner.sweep(), schedulable,
+            _lowered_side(edge, edge_session),
+            _lowered_side(remote, remote_session))
+
+
+def _deployment_from_split(plan: SplitPlan, edge: Scenario, remote: Scenario,
+                           schedulable: tuple[str, ...], link: NetworkLink,
+                           edge_side: dict[str, float],
+                           remote_side: dict[str, float]) -> Deployment:
+    index = plan.cut.index
+    if index == len(schedulable):
+        # All-edge: nothing crosses the link, so this IS a single-node
+        # deployment — normalize so the fleet serves it on the legacy path.
+        return Deployment.single(edge, compute_s=plan.edge_s, **edge_side)
+    head = StageSpec(scenario=edge, op_names=schedulable[:index],
+                     compute_s=plan.edge_s, transfer_s=plan.transfer_s,
+                     transfer_bytes=plan.cut.transfer_bytes, **edge_side)
+    tail = StageSpec(scenario=remote, op_names=schedulable[index:],
+                     compute_s=plan.remote_s, **remote_side)
+    return Deployment(kind="split", link=link.name, stages=(head, tail))
+
+
+def lower_split(edge: Scenario, remote: Scenario, link: NetworkLink | str, *,
+                cut_index: int | None = None,
+                runner: "Runner | None" = None) -> Deployment:
+    """Lower one (edge scenario, remote scenario, link) split to a Deployment.
+
+    With ``cut_index`` the plan at that cut is lowered; otherwise the
+    latency-optimal cut is chosen (exactly :meth:`SplitPlanner.best`).  The
+    all-edge cut normalizes to a single-node deployment; every other cut
+    becomes a two-stage ``"split"`` deployment whose
+    :func:`as_split_plan` projection equals the planner's plan exactly.
+    """
+    link = resolve_link(link)
+    plans, schedulable, edge_side, remote_side = _split_context(
+        edge, remote, link, runner)
+    if cut_index is None:
+        cut_index = min(range(len(plans)), key=lambda i: plans[i].total_s)
+    plan = plans[cut_index]
+    return _deployment_from_split(
+        plan, edge, remote, schedulable, link, edge_side, remote_side)
+
+
+def split_deployments(edge: Scenario, remote: Scenario,
+                      link: NetworkLink | str, *,
+                      runner: "Runner | None" = None) -> list[Deployment]:
+    """Lower the FULL cut sweep, input-side cut first.
+
+    One engine session per side prices every cut (the planner's prefix-sum
+    sweep), so enumerating all placements of a pair costs no more than
+    pricing its best one.
+    """
+    link = resolve_link(link)
+    plans, schedulable, edge_side, remote_side = _split_context(
+        edge, remote, link, runner)
+    return [_deployment_from_split(plan, edge, remote, schedulable, link,
+                                   edge_side, remote_side)
+            for plan in plans]
+
+
+def as_split_plan(deployment: Deployment) -> SplitPlan:
+    """Project a two-stage split deployment back onto its :class:`SplitPlan`.
+
+    Inverse of :func:`lower_split` for non-degenerate cuts:
+    ``as_split_plan(lower_split(e, r, link, cut_index=k))`` equals
+    ``SplitPlanner.sweep()[k]`` exactly (dataclass equality, zero float
+    tolerance).  All-edge deployments normalize to single-node and carry no
+    cut anymore, so they cannot be projected.
+    """
+    if deployment.kind != "split" or deployment.num_stages != 2:
+        raise ValueError(
+            f"expected a two-stage split deployment, got {deployment.kind!r} "
+            f"with {deployment.num_stages} stage(s)")
+    head, tail = deployment.stages
+    ops = head.op_names or ()
+    cut = CutPoint(index=len(ops), after_op=ops[-1] if ops else "",
+                   transfer_bytes=head.transfer_bytes)
+    return SplitPlan(cut=cut, edge_s=head.compute_s,
+                     transfer_s=head.transfer_s, remote_s=tail.compute_s)

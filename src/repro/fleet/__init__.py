@@ -31,6 +31,7 @@ from repro.fleet.cluster import (
     NodeState,
     PoolSpec,
     ServiceProfile,
+    StageProfile,
     resolve_profiles,
 )
 from repro.fleet.report import FleetStats, PoolStats, SojournSummary
@@ -61,6 +62,7 @@ __all__ = [
     "Router",
     "RoutingView",
     "ServiceProfile",
+    "StageProfile",
     "SojournSummary",
     "make_router",
     "resolve_profiles",

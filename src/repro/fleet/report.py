@@ -156,12 +156,19 @@ class FleetStats:
     def meets_slo(self, deadline_s: float, percentile: float = 0.99,
                   max_drop_fraction: float = 0.0) -> bool:
         """True when the sojourn percentile fits the deadline and losses
-        stay within ``max_drop_fraction``."""
+        stay within ``max_drop_fraction``.
+
+        A run that completed nothing never meets an SLO: its percentile
+        summary is the degenerate all-zeros one (no sojourns to
+        summarize), which would otherwise pass any deadline.
+        """
         target = {0.5: self.sojourn.p50_s, 0.95: self.sojourn.p95_s,
                   0.99: self.sojourn.p99_s,
                   0.999: self.sojourn.p999_s}.get(percentile)
         if target is None:
             raise ValueError(f"unsupported percentile {percentile}")
+        if not self.completed:
+            return False
         return target <= deadline_s and self.drop_fraction <= max_drop_fraction
 
     def describe(self) -> str:

@@ -10,9 +10,12 @@ loop instead advances the whole fleet epoch by epoch:
    policy computes per-node headroom, and the router turns the epoch's
    arrival count into per-node quotas (all vectorized);
 3. each node then serves its FIFO with an array program: batch-1 pools
-   run the Lindley recursion as a ``np.maximum.accumulate`` scan, and
+   run the Lindley recursion as a ``np.maximum.accumulate`` scan,
    dynamic-batching pools run one lean iteration per *batch* (not per
-   request), exactly the greedy ``batch_server`` semantics;
+   request), exactly the greedy ``batch_server`` semantics, and
+   pipelined pools (multi-stage ``Deployment`` replicas) chain one
+   Lindley scan per stage — stage ``k`` consumes stage ``k-1``'s finish
+   instants;
 4. at the epoch's end every node's thermal RC model integrates the
    epoch's average power — DVFS throttling stretches the next epoch's
    service times, and a shutdown drops the node's queue (the Raspberry
@@ -143,7 +146,76 @@ def _advance_batched(node: NodeState, epoch_end_s: float) -> np.ndarray:
     return finish - arrivals
 
 
+def _advance_pipeline(node: NodeState, epoch_end_s: float) -> np.ndarray:
+    """Serve a pipelined node (device chain) up to ``epoch_end_s``.
+
+    Each stage is its own single-server FIFO with constant service time
+    (compute plus outgoing transfer), so the chain is a sequence of
+    Lindley scans: stage 0 consumes the node's pending arrivals, stage
+    ``k`` consumes stage ``k-1``'s finish instants.  A request commits
+    when its stage-0 service *starts* before the epoch end — the rest of
+    its chain then runs to completion at the current throttle state, the
+    pipelined analogue of the batched path running a started batch past
+    the epoch boundary.  Sojourns are last-stage finish minus arrival.
+    """
+    profile = node.profile
+    stages = profile.stages
+    assert stages is not None
+    assert node.stage_free_at_s is not None
+    assert node.stage_busy_s is not None
+    assert node.stage_epoch_busy_s is not None
+    scale = node.throttle_scale
+    free = node.stage_free_at_s
+    pending = node.pending
+    head = node.head
+    count = len(pending) - head
+    if count == 0:
+        return _EMPTY
+    first_service_s = stages[0].service_s * scale
+    first_start_s = max(pending[head], free[0])
+    if first_start_s >= epoch_end_s:
+        return _EMPTY
+    if np.isfinite(epoch_end_s):
+        # Stage-0 starts advance by >= its service each (same cap as the
+        # plain FIFO — commitment is decided at stage 0).
+        count = min(count, int((epoch_end_s - first_start_s)
+                               / first_service_s) + 2)
+    arrivals = np.asarray(pending[head:head + count])
+    offsets = first_service_s * np.arange(count)
+    level = np.maximum.accumulate(arrivals - offsets)
+    finish = offsets + first_service_s + np.maximum(free[0], level)
+    starts = finish - first_service_s
+    served = int(np.searchsorted(starts, epoch_end_s, side="left"))
+    if not served:
+        return _EMPTY
+    finish = finish[:served]
+    node.head = head + served
+    free[0] = float(finish[-1])
+    stage_busy_s = served * first_service_s
+    node.stage_busy_s[0] += stage_busy_s
+    node.stage_epoch_busy_s[0] += stage_busy_s
+    total_busy_s = stage_busy_s
+    for position in range(1, len(stages)):
+        service_s = stages[position].service_s * scale
+        offsets = service_s * np.arange(served)
+        level = np.maximum.accumulate(finish - offsets)
+        finish = offsets + service_s + np.maximum(free[position], level)
+        free[position] = float(finish[-1])
+        stage_busy_s = served * service_s
+        node.stage_busy_s[position] += stage_busy_s
+        node.stage_epoch_busy_s[position] += stage_busy_s
+        total_busy_s += stage_busy_s
+    node.free_at_s = free[-1]  # the chain frees when its last stage does
+    node.busy_s += total_busy_s
+    node.epoch_busy_s += total_busy_s
+    node.completed += served
+    node.batches += served
+    return finish - arrivals[:served]
+
+
 def _advance(node: NodeState, epoch_end_s: float) -> np.ndarray:
+    if node.profile.stages is not None:
+        return _advance_pipeline(node, epoch_end_s)
     if node.profile.max_batch == 1:
         return _advance_fifo(node, epoch_end_s)
     return _advance_batched(node, epoch_end_s)
@@ -187,10 +259,16 @@ class FleetSimulation:
     def run(self, arrival_times: np.ndarray, *, seed: int = 0) -> FleetStats:
         """Serve one arrival stream; returns the :class:`FleetStats` report."""
         arrivals = np.asarray(arrival_times, dtype=np.float64)
-        if arrivals.size == 0:
-            raise ValueError("no arrivals to serve")
         if np.any(np.diff(arrivals) < 0):
             raise ValueError("arrival times must be sorted")
+        if arrivals.size == 0:
+            # A zero-request run is a valid degenerate simulation: the
+            # report is all zeros and never meets an SLO.
+            return self._build_stats(
+                Cluster(self.pools, self.profiles), arrivals,
+                {pool.name: [] for pool in self.pools},
+                {pool.name: 0 for pool in self.pools},
+                {pool.name: 0 for pool in self.pools}, 0, 0, 0, seed)
         self.router.reset()
         if self.autoscaler is not None:
             self.autoscaler.reset()
@@ -229,7 +307,17 @@ class FleetSimulation:
                                         epoch_start_s, epoch_end_s, assigned)
             for node in nodes:
                 node.epoch_busy_s = 0.0
-                carry_s = max(0.0, node.free_at_s - epoch_start_s)
+                if node.stage_epoch_busy_s is not None:
+                    # Pipelined node: thermal tracks the bottleneck stage,
+                    # so the carry is that stage's overhang.
+                    for position in range(len(node.stage_epoch_busy_s)):
+                        node.stage_epoch_busy_s[position] = 0.0
+                    assert node.stage_free_at_s is not None
+                    bottleneck = node.profile.bottleneck_index
+                    carry_s = max(0.0, node.stage_free_at_s[bottleneck]
+                                  - epoch_start_s)
+                else:
+                    carry_s = max(0.0, node.free_at_s - epoch_start_s)
                 if node.depth and not node.shutdown:
                     sojourns = _advance(node, epoch_end_s)
                     if sojourns.size:
@@ -311,8 +399,19 @@ class FleetSimulation:
         if sim.shutdown:
             return
         profile = node.profile
-        busy_frac = min(1.0, (carry_s + node.epoch_busy_s) / dt_s)
-        power_w = profile.idle_w + busy_frac * (profile.power_w - profile.idle_w)
+        if profile.stages is not None:
+            # The profile's thermal spec belongs to the bottleneck stage's
+            # device, so integrate that stage's duty cycle and draw.
+            assert node.stage_epoch_busy_s is not None
+            bottleneck = profile.bottleneck_index
+            stage = profile.stages[bottleneck]
+            busy_frac = min(1.0, (carry_s + node.stage_epoch_busy_s[bottleneck])
+                            / dt_s)
+            power_w = stage.idle_w + busy_frac * (stage.power_w - stage.idle_w)
+        else:
+            busy_frac = min(1.0, (carry_s + node.epoch_busy_s) / dt_s)
+            power_w = profile.idle_w + busy_frac * (profile.power_w
+                                                    - profile.idle_w)
         sim.step(power_w, dt_s)
         if sim.shutdown:
             node.shutdown = True
@@ -327,7 +426,7 @@ class FleetSimulation:
                      assigned: dict[str, int], dropped: dict[str, int],
                      rejected: int, scale_ups: int, scale_downs: int,
                      seed: int) -> FleetStats:
-        horizon_s = max(float(arrivals[-1]),
+        horizon_s = max(float(arrivals[-1]) if arrivals.size else 0.0,
                         max(node.free_at_s for node in cluster.nodes))
         pool_stats: list[PoolStats] = []
         fleet_sojourns: list[np.ndarray] = []
@@ -341,10 +440,22 @@ class FleetSimulation:
             completed = sum(node.completed for node in pool_nodes)
             batches = sum(node.batches for node in pool_nodes)
             busy_s = sum(node.busy_s for node in pool_nodes)
-            energy_j = sum(
-                node.busy_s * profile.power_w
-                + (horizon_s - node.busy_s) * profile.idle_w
-                for node in pool_nodes)
+            if profile.stages is not None:
+                # One energy integral per stage device: each stage idles
+                # whenever it is not computing or sending.
+                energy_j = sum(
+                    node.stage_busy_s[position] * stage.power_w
+                    + (horizon_s - node.stage_busy_s[position]) * stage.idle_w
+                    for node in pool_nodes
+                    for position, stage in enumerate(profile.stages))
+                device_seconds = (len(pool_nodes) * len(profile.stages)
+                                  * horizon_s)
+            else:
+                energy_j = sum(
+                    node.busy_s * profile.power_w
+                    + (horizon_s - node.busy_s) * profile.idle_w
+                    for node in pool_nodes)
+                device_seconds = len(pool_nodes) * horizon_s
             fleet_energy_j += energy_j
             events = [event for node in pool_nodes
                       for event in node.thermal_sim.events]  # type: ignore[union-attr]
@@ -359,8 +470,10 @@ class FleetSimulation:
                 batches=batches,
                 mean_batch_size=completed / batches if batches else 0.0,
                 max_queue_depth=max(node.max_depth for node in pool_nodes),
-                utilization=busy_s / (len(pool_nodes) * horizon_s),
-                throughput_rps=completed / horizon_s,
+                utilization=(busy_s / device_seconds
+                             if device_seconds > 0 else 0.0),
+                throughput_rps=(completed / horizon_s
+                                if horizon_s > 0 else 0.0),
                 sojourn=SojournSummary.from_times(sojourn_s),
                 energy_j=energy_j,
                 energy_per_request_j=energy_j / completed if completed else 0.0,
@@ -381,7 +494,7 @@ class FleetSimulation:
             dropped=sum(stats.dropped for stats in pool_stats),
             rejected=rejected,
             horizon_s=horizon_s,
-            throughput_rps=completed / horizon_s,
+            throughput_rps=completed / horizon_s if horizon_s > 0 else 0.0,
             sojourn=SojournSummary.from_times(all_sojourn_s),
             energy_j=fleet_energy_j,
             energy_per_request_j=(fleet_energy_j / completed

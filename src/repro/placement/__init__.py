@@ -1,0 +1,29 @@
+"""Placement: one Deployment type for every way a model can be served.
+
+:mod:`repro.placement.deployment` defines the unified type; the lowering
+rules in :mod:`repro.distribution` emit it; the fleet prices and serves
+it; and :mod:`repro.placement.optimizer` searches the placement space —
+single-node, Neurosurgeon splits, device pipelines — for the Pareto
+frontier of (latency, energy, cost) under an SLO.
+"""
+
+from repro.placement.deployment import DEPLOYMENT_KINDS, Deployment, StageSpec
+from repro.placement.cost import DEVICE_PRICE_USD, device_price_usd
+from repro.placement.optimizer import (
+    SLO,
+    PlacementCandidate,
+    PlacementFrontier,
+    search_placements,
+)
+
+__all__ = [
+    "DEPLOYMENT_KINDS",
+    "DEVICE_PRICE_USD",
+    "Deployment",
+    "PlacementCandidate",
+    "PlacementFrontier",
+    "SLO",
+    "StageSpec",
+    "device_price_usd",
+    "search_placements",
+]

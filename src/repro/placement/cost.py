@@ -1,0 +1,48 @@
+"""Hardware cost axis for the placement optimizer.
+
+The paper characterizes latency, energy and temperature; a deployment
+decision in practice also weighs what the hardware *costs*.  This table
+records one launch-era street price (USD) per registered device —
+Table III's edge boards at their retail prices, the HPC comparison
+points at their launch MSRPs.  A deployment's cost is the sum of its
+stage devices' prices (two Nanos in a pipeline are two boards).
+
+The table is validated against the device registry by the TAB014 rule
+(:mod:`repro.check.tables`): every registered device must be priced and
+every price must name a registered device.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import UnknownEntryError
+from repro.core.registry import canonical_name
+
+#: device name -> approximate unit price in USD at the paper's timeframe.
+DEVICE_PRICE_USD: dict[str, float] = {
+    "Raspberry Pi 3B": 35.0,
+    "Jetson TX2": 599.0,
+    "Jetson Nano": 99.0,
+    "EdgeTPU": 149.0,
+    "Movidius NCS": 79.0,
+    "PYNQ-Z1": 199.0,
+    "Xeon E5-2696 v4": 4599.0,
+    "GTX Titan X": 999.0,
+    "Titan Xp": 1199.0,
+    "RTX 2080": 699.0,
+}
+
+_CANONICAL_PRICES = {canonical_name(name): price
+                     for name, price in DEVICE_PRICE_USD.items()}
+
+
+def device_price_usd(device_name: str) -> float:
+    """Unit price of one device (aliases canonicalize like everywhere else)."""
+    try:
+        return _CANONICAL_PRICES[canonical_name(device_name)]
+    except KeyError:
+        options = ", ".join(sorted(DEVICE_PRICE_USD))
+        raise UnknownEntryError(
+            f"no price for device {device_name!r}; priced: {options}") from None
+
+
+__all__ = ["DEVICE_PRICE_USD", "device_price_usd"]

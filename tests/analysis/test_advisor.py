@@ -96,3 +96,25 @@ class TestBestDeployment:
         assert best is not None
         assert best.device in ("Movidius NCS", "Jetson Nano", "Raspberry Pi 3B")
         assert best.power_w <= 3.0
+
+
+class TestRecommendPlacements:
+    def test_maps_requirements_onto_the_placement_slo(self):
+        from repro.analysis import recommend_placements
+
+        frontier = recommend_placements(
+            "MobileNet-v2", Requirements(deadline_s=0.060),
+            devices=("Jetson Nano", "Jetson TX2"), link="wifi",
+            max_pipeline_depth=2)
+        assert frontier.slo.deadline_s == 0.060
+        assert frontier.frontier
+        assert all(c.latency_s <= 0.060 for c in frontier.frontier)
+
+    def test_multi_device_shapes_compete_with_single_nodes(self):
+        from repro.analysis import recommend_placements
+
+        frontier = recommend_placements(
+            "MobileNet-v2", Requirements(),
+            devices=("Raspberry Pi 3B",), link="lan", max_pipeline_depth=2)
+        kinds = {c.deployment.kind for c in frontier.candidates}
+        assert "single" in kinds and "pipeline" in kinds

@@ -58,3 +58,41 @@ class TestDominatedBy:
     def test_frontier_point_has_no_explainers(self):
         points = [_p("fast", 1, 10), _p("frugal", 10, 1)]
         assert dominated_by(points[0], points) == []
+
+
+class TestNDimensionalFrontier:
+    """The generic (latency, energy, cost) machinery the placement
+    optimizer ranks deployments with."""
+
+    def test_dominates_requires_all_leq_and_any_lt(self):
+        from repro.analysis.pareto import dominates
+
+        assert dominates((1.0, 1.0, 1.0), (2.0, 2.0, 2.0))
+        assert dominates((1.0, 2.0, 2.0), (2.0, 2.0, 2.0))
+        assert not dominates((1.0, 1.0, 1.0), (1.0, 1.0, 1.0))
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+
+    def test_dominates_rejects_mixed_arity(self):
+        import pytest
+
+        from repro.analysis.pareto import dominates
+
+        with pytest.raises(ValueError):
+            dominates((1.0, 2.0), (1.0, 2.0, 3.0))
+
+    def test_frontier_indices_keep_input_order(self):
+        from repro.analysis.pareto import frontier_indices
+
+        objectives = [(2.0, 1.0), (1.0, 2.0), (3.0, 3.0), (1.0, 2.0)]
+        assert frontier_indices(objectives) == [0, 1, 3]
+
+    def test_frontier_indices_of_empty_is_empty(self):
+        from repro.analysis.pareto import frontier_indices
+
+        assert frontier_indices([]) == []
+
+    def test_frontier_points_sorted_unique_view(self):
+        from repro.analysis.pareto import frontier_points
+
+        objectives = [(2.0, 1.0), (1.0, 2.0), (3.0, 3.0)]
+        assert frontier_points(objectives) == [(1.0, 2.0), (2.0, 1.0)]

@@ -325,6 +325,88 @@ class TestArch006FleetDeterminism:
         assert lint(snippet, self.FLEET) == []
 
 
+class TestArch007PlacementDeterminism:
+    """The placement layer is held to the fleet's determinism contract
+    under its own rule id — same inputs, same frontier."""
+
+    OPTIMIZER = "src/repro/placement/optimizer.py"
+
+    def test_seeded_rng_is_flagged_anywhere_in_the_placement_layer(self):
+        snippet = """
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        """
+        assert rules_of(lint(snippet, self.OPTIMIZER)) == {"ARCH007"}
+        assert rules_of(lint(
+            snippet, "src/repro/placement/deployment.py")) == {"ARCH007"}
+
+    def test_wall_clock_is_flagged(self):
+        snippet = """
+        import time
+
+        def stamp():
+            return time.perf_counter()
+        """
+        findings = lint(snippet, self.OPTIMIZER)
+        assert rules_of(findings) == {"ARCH007"}
+        assert len(findings) == 1
+
+    def test_random_module_and_from_import_are_flagged(self):
+        snippet = """
+        import random
+        from uuid import uuid4
+
+        def tag():
+            return (random.random(), uuid4())
+        """
+        findings = lint(snippet, "src/repro/placement/cost.py")
+        assert rules_of(findings) == {"ARCH007"}
+        assert len(findings) == 2
+
+    def test_datetime_now_is_flagged(self):
+        snippet = """
+        import datetime
+
+        stamp = datetime.now()
+        """
+        assert rules_of(lint(snippet, self.OPTIMIZER)) == {"ARCH007"}
+
+    def test_session_construction_in_placement_reports_arch001(self):
+        """Pricing must go through the Runner, not ad-hoc sessions — the
+        existing layering rule covers the new package too."""
+        snippet = """
+        from repro.engine.executor import InferenceSession
+
+        def price(deployed):
+            return InferenceSession(deployed).latency_s
+        """
+        assert rules_of(lint(snippet, self.OPTIMIZER)) == {"ARCH001"}
+
+    def test_pure_search_code_is_clean(self):
+        snippet = """
+        def frontier(candidates):
+            return sorted(candidates, key=lambda c: c.latency_s)
+        """
+        assert lint(snippet, self.OPTIMIZER) == []
+
+    def test_fleet_snippets_still_report_arch006(self):
+        snippet = """
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        """
+        assert rules_of(lint(snippet, "src/repro/fleet/simulate.py")) == {"ARCH006"}
+
+    def test_inline_suppression_works(self):
+        snippet = """
+        import numpy as np
+
+        rng = np.random.default_rng(1234)  # repro: allow[ARCH007]
+        """
+        assert lint(snippet, self.OPTIMIZER) == []
+
+
 class TestPathHandling:
     def test_paths_without_a_repro_root_are_linted_globally(self):
         findings = arch.lint_source("ok = x == 0.5\n", "scratch.py")

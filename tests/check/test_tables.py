@@ -26,6 +26,12 @@ class TestRealTablesAreClean:
     def test_table_v(self):
         assert tables.check_table_v() == []
 
+    def test_links(self):
+        assert tables.check_links() == []
+
+    def test_placement_prices(self):
+        assert tables.check_placement_prices() == []
+
     def test_full_pass(self):
         assert tables.run() == []
 
@@ -152,3 +158,78 @@ class TestSeededTableVDefects:
             table_v={"EdgeTPU": ("TFLite",)}, models=(), expected={},
             candidates={"EdgeTPU": ("PyTorch",)})
         assert "TAB012" in rules_of(findings)
+
+
+class TestSeededLinkDefects:
+    @staticmethod
+    def _links(**overrides):
+        from repro.distribution.network import LINK_PRESETS
+
+        links = dict(LINK_PRESETS)
+        links.update(overrides)
+        return links
+
+    def test_tab013_mislabeled_preset(self):
+        from repro.distribution.network import NetworkLink
+
+        links = self._links(wifi=NetworkLink("lte", 1e6, 1e-3))
+        assert "TAB013" in rules_of(tables.check_links(links))
+
+    def test_tab013_zero_bandwidth(self):
+        from repro.distribution.network import NetworkLink
+
+        links = self._links(wifi=NetworkLink("wifi", 1e6, 1e-3))
+        object.__setattr__(links["wifi"], "bandwidth_bytes_per_s", 0.0)
+        assert "TAB013" in rules_of(tables.check_links(links))
+
+    def test_tab013_negative_latency(self):
+        from repro.distribution.network import NetworkLink
+
+        links = self._links(wifi=NetworkLink("wifi", 1e6, 1e-3))
+        object.__setattr__(links["wifi"], "latency_s", -0.5)
+        assert "TAB013" in rules_of(tables.check_links(links))
+
+    def test_tab013_reliability_out_of_range(self):
+        from repro.distribution.network import NetworkLink
+
+        links = self._links(wifi=NetworkLink("wifi", 1e6, 1e-3))
+        object.__setattr__(links["wifi"], "reliability", 0.0)
+        assert "TAB013" in rules_of(tables.check_links(links))
+
+    def test_tab013_missing_required_preset(self):
+        links = self._links()
+        del links["5g"]
+        assert "TAB013" in rules_of(tables.check_links(links))
+
+    def test_extra_presets_are_fine(self):
+        from repro.distribution.network import NetworkLink
+
+        links = self._links(sneakernet=NetworkLink("sneakernet", 1e3, 3600.0))
+        assert tables.check_links(links) == []
+
+
+class TestSeededPriceDefects:
+    @staticmethod
+    def _prices(**overrides):
+        from repro.placement.cost import DEVICE_PRICE_USD
+
+        prices = dict(DEVICE_PRICE_USD)
+        prices.update(overrides)
+        return prices
+
+    def test_tab014_unpriced_registered_device(self):
+        prices = self._prices()
+        prices.pop("Raspberry Pi 3B")
+        assert "TAB014" in rules_of(tables.check_placement_prices(prices))
+
+    def test_tab014_orphan_price_entry(self):
+        prices = self._prices(**{"Cray-1": 7_900_000.0})
+        assert "TAB014" in rules_of(tables.check_placement_prices(prices))
+
+    def test_tab014_non_positive_price(self):
+        prices = self._prices(**{"Jetson Nano": 0.0})
+        assert "TAB014" in rules_of(tables.check_placement_prices(prices))
+
+    def test_tab014_non_finite_price(self):
+        prices = self._prices(**{"Jetson TX2": float("inf")})
+        assert "TAB014" in rules_of(tables.check_placement_prices(prices))

@@ -1,0 +1,122 @@
+"""The fleet serves Deployments: single-node ones bit-identically to the
+legacy scenario path, pipelined ones as chained stage queues."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.fleet import PoolSpec, simulate_fleet
+from repro.placement import Deployment, StageSpec
+from repro.runtime import Scenario, default_runner
+from repro.workloads import PoissonArrivals
+
+NANO = Scenario("ResNet-18", "Jetson Nano", "TensorRT")
+
+
+def _pipeline_deployment():
+    from repro.distribution import lower_pipeline
+
+    chain = (Scenario("MobileNet-v2", "Raspberry Pi 3B", "TFLite"),) * 2
+    return lower_pipeline(chain, "lan", runner=default_runner())
+
+
+@pytest.fixture(scope="module")
+def pipeline_pool():
+    return PoolSpec.from_deployment("pi-pipe", _pipeline_deployment(),
+                                    replicas=2)
+
+
+class TestFromDeployment:
+    def test_single_node_deployment_degrades_to_a_plain_pool(self):
+        single = Deployment.single(NANO, compute_s=0.05)
+        pool = PoolSpec.from_deployment("nano", single, replicas=3)
+        assert pool.deployment is None
+        assert pool.scenario == NANO
+        assert pool.replicas == 3
+
+    def test_single_node_bit_identity_with_the_legacy_path(self):
+        """The tentpole's zero-tolerance contract: routing a single-node
+        placement through Deployment changes NOTHING in the report."""
+        single = Deployment.single(NANO, compute_s=0.05)
+        legacy = PoolSpec(name="nano", replicas=2, scenario=NANO)
+        routed = PoolSpec.from_deployment("nano", single, replicas=2)
+        arrivals = PoissonArrivals(60.0)
+        before = simulate_fleet([legacy], arrivals, requests=5000, seed=7,
+                                epochs=128)
+        after = simulate_fleet([routed], arrivals, requests=5000, seed=7,
+                               epochs=128)
+        assert before.to_json() == after.to_json()
+
+    def test_direct_single_node_deployment_pool_rejected(self):
+        single = Deployment.single(NANO, compute_s=0.05)
+        with pytest.raises(ValueError, match="from_deployment"):
+            PoolSpec(name="nano", replicas=1, scenario=NANO,
+                     deployment=single)
+
+    def test_deployment_pools_cannot_batch(self, pipeline_pool):
+        with pytest.raises(ValueError, match="max_batch"):
+            PoolSpec(name="pi", replicas=1,
+                     scenario=pipeline_pool.scenario,
+                     deployment=pipeline_pool.deployment, max_batch=4)
+
+    def test_zero_service_stage_is_unpriceable(self):
+        from repro.fleet.cluster import _profile_from_deployment
+
+        head = StageSpec(scenario=NANO, op_names=("a",), compute_s=0.0,
+                         transfer_s=0.01, transfer_bytes=8)
+        tail = StageSpec(scenario=NANO, op_names=("b",), compute_s=0.0)
+        broken = Deployment(kind="split", link="wifi", stages=(head, tail))
+        pool = PoolSpec.from_deployment("broken", broken, replicas=1)
+        with pytest.raises(ReproError):
+            _profile_from_deployment(pool)
+
+
+class TestPipelinedServing:
+    def test_report_is_byte_identical_per_seed(self, pipeline_pool):
+        runs = [simulate_fleet([pipeline_pool], PoissonArrivals(3.0),
+                               requests=2000, seed=11, epochs=64)
+                for _ in range(2)]
+        assert runs[0].to_json() == runs[1].to_json()
+
+    def test_conservation_and_throughput(self, pipeline_pool):
+        stats = simulate_fleet([pipeline_pool], PoissonArrivals(3.0),
+                               requests=2000, seed=11, epochs=64)
+        assert (stats.completed + stats.dropped + stats.rejected
+                == stats.requests)
+        assert stats.completed > 0
+        # Two replica chains of a 2-stage Pi pipeline sustain ~5.5 inf/s;
+        # the offered 3 req/s load must be served without collapse.
+        assert stats.throughput_rps == pytest.approx(
+            stats.completed / stats.horizon_s)
+
+    def test_lone_request_sojourn_is_the_deployment_latency(self):
+        deployment = _pipeline_deployment()
+        pool = PoolSpec.from_deployment("pi-pipe", deployment, replicas=1)
+        stats = simulate_fleet([pool], np.array([0.0]), epochs=1)
+        assert stats.completed == 1
+        assert stats.sojourn.max_s == pytest.approx(deployment.latency_s,
+                                                    rel=1e-12)
+
+    def test_pipelined_profile_prices_the_bottleneck(self, pipeline_pool):
+        from repro.fleet.cluster import resolve_profiles
+
+        deployment = pipeline_pool.deployment
+        profile = resolve_profiles([pipeline_pool],
+                                   runner=default_runner())["pi-pipe"]
+        assert profile.stages is not None
+        assert len(profile.stages) == deployment.num_stages
+        assert profile.full_batch_request_s == pytest.approx(
+            deployment.bottleneck_s)
+        bottleneck = profile.stages[profile.bottleneck_index]
+        assert bottleneck.service_s == max(s.service_s
+                                           for s in profile.stages)
+
+    def test_energy_accounts_every_stage_device(self, pipeline_pool):
+        stats = simulate_fleet([pipeline_pool], PoissonArrivals(3.0),
+                               requests=1000, seed=3, epochs=64)
+        pool = stats.pools[0]
+        # Idle draw alone over the horizon on 2 replicas x 2 stages
+        # already exceeds zero; active service adds on top.
+        assert pool.energy_j > 0
+        assert pool.energy_per_request_j > 0
+        assert 0 < pool.utilization < 1

@@ -72,3 +72,39 @@ class TestFleetStats:
         for pool in stats.pools:
             if pool.assigned:
                 assert pool.drop_fraction == pool.dropped / pool.assigned
+
+
+class TestDegenerateRuns:
+    """Empty and zero-request simulations must report cleanly, not crash
+    or vacuously pass SLO gates."""
+
+    @pytest.fixture(scope="class")
+    def empty(self):
+        pools = [PoolSpec(name="nano", replicas=1,
+                          scenario=Scenario("ResNet-18", "Jetson Nano",
+                                            "TensorRT"))]
+        return simulate_fleet(pools, np.empty(0), epochs=4)
+
+    def test_zero_requests_report_all_zero(self, empty):
+        assert empty.requests == 0
+        assert empty.completed == empty.dropped == empty.rejected == 0
+        assert empty.throughput_rps == 0.0
+        assert empty.energy_per_request_j == 0.0
+        assert empty.sojourn == SojournSummary(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        assert empty.drop_fraction == 0.0
+
+    def test_empty_run_never_meets_an_slo(self, empty):
+        """All-zero percentiles would pass any deadline; the gate must
+        refuse instead."""
+        assert not empty.meets_slo(1e9)
+        assert not empty.meets_slo(1e9, percentile=0.5)
+
+    def test_empty_run_round_trips(self, empty):
+        assert FleetStats.from_json(empty.to_json()) == empty
+
+    def test_empty_pools_report_zero_not_nan(self, empty):
+        for pool in empty.pools:
+            assert pool.assigned == 0
+            assert pool.energy_per_request_j == 0.0
+            assert pool.utilization == 0.0
+            assert pool.throughput_rps == 0.0

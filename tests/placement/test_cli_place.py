@@ -1,0 +1,77 @@
+"""The ``repro place`` verb and ``repro fleet --placement`` hand-off."""
+
+import json
+
+from repro.cli import main
+
+PLACE_ARGV = ["place", "MobileNet-v2", "--device", "Raspberry Pi 3B",
+              "--link", "lan", "--min-rps", "2"]
+
+
+class TestPlaceVerb:
+    def test_text_frontier_on_stdout(self, capsys):
+        assert main(PLACE_ARGV) == 0
+        out = capsys.readouterr().out
+        assert "placement frontier for MobileNet-v2 over lan" in out
+        assert "pipeline x2" in out
+
+    def test_json_output_file(self, tmp_path, capsys):
+        path = tmp_path / "frontier.json"
+        assert main([*PLACE_ARGV, "--format", "json",
+                     "--output", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["model"] == "MobileNet-v2"
+        assert payload["slo"]["min_throughput_rps"] == 2.0
+        assert payload["frontier"], "SLO is satisfiable, frontier non-empty"
+        assert payload["frontier"][0]["deployment"]["kind"] == "pipeline"
+
+    def test_unsatisfiable_slo_exits_nonzero(self, capsys):
+        argv = ["place", "MobileNet-v2", "--device", "Raspberry Pi 3B",
+                "--link", "lan", "--deadline-ms", "0.001", "--max-depth", "2"]
+        assert main(argv) == 1
+        assert "no candidate meets the SLO" in capsys.readouterr().out
+
+    def test_unknown_link_is_a_usage_error(self, capsys):
+        assert main(["place", "MobileNet-v2", "--link", "carrier-pigeon"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_same_arguments_write_identical_bytes(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main([*PLACE_ARGV, "--format", "json",
+                         "--output", str(path)]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+class TestFleetPlacement:
+    def _frontier_file(self, tmp_path):
+        path = tmp_path / "frontier.json"
+        assert main([*PLACE_ARGV, "--format", "json",
+                     "--output", str(path)]) == 0
+        return path
+
+    def test_fleet_serves_the_best_frontier_point(self, tmp_path, capsys):
+        path = self._frontier_file(tmp_path)
+        capsys.readouterr()
+        assert main(["fleet", "--placement", str(path), "--requests", "400",
+                     "--epochs", "32", "--rate", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests"] == 400
+        assert len(payload["pools"]) == 1
+        pool = payload["pools"][0]
+        assert pool["name"].startswith("placement:Raspberry Pi 3B")
+        assert pool["replicas"] == 2
+        assert pool["completed"] > 0
+
+    def test_placement_and_pool_are_exclusive(self, tmp_path, capsys):
+        path = self._frontier_file(tmp_path)
+        assert main(["fleet", "--placement", str(path), "--requests", "10",
+                     "--pool", "1x Jetson Nano:TensorRT"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_empty_frontier_file_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"frontier": []}))
+        assert main(["fleet", "--placement", str(path),
+                     "--requests", "10"]) == 2
+        assert "no frontier points" in capsys.readouterr().err

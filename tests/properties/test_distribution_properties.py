@@ -1,5 +1,6 @@
 """Property-based tests of the distribution substrate (hypothesis)."""
 
+import functools
 import itertools
 
 from hypothesis import given, settings
@@ -7,6 +8,26 @@ from hypothesis import strategies as st
 
 from repro.analysis.pareto import ParetoPoint, pareto_frontier
 from repro.distribution.network import NetworkLink
+
+
+@functools.lru_cache(maxsize=None)
+def _deployed(model, device, framework):
+    from repro.frameworks import load_framework
+    from repro.hardware import load_device
+    from repro.models import load_model
+
+    return load_framework(framework).deploy(load_model(model),
+                                            load_device(device))
+
+
+def _links():
+    """Arbitrary (but physical) links spanning bluetooth to datacenter."""
+    return st.builds(
+        NetworkLink,
+        st.just("prop"),
+        st.floats(1e4, 1e10, allow_nan=False),   # bandwidth bytes/s
+        st.floats(0.0, 0.5, allow_nan=False),    # latency s
+    )
 
 
 @st.composite
@@ -123,3 +144,85 @@ class TestPipelineOptimality:
         for devices in (1, 2, 3):
             plan = partition_pipeline(deployed, devices, link)
             assert abs(plan.bottleneck_s - brute_force(devices)) < 1e-12, devices
+
+
+class TestSplitAccountingProperties:
+    """Every split plan's total decomposes exactly into its three legs."""
+
+    @given(link=_links())
+    @settings(max_examples=40, deadline=None)
+    def test_total_is_edge_plus_transfer_plus_remote(self, link):
+        from repro.distribution import SplitPlanner
+
+        planner = SplitPlanner(
+            _deployed("MobileNet-v2", "Raspberry Pi 3B", "TFLite"),
+            _deployed("MobileNet-v2", "GTX Titan X", "PyTorch"), link)
+        for plan in planner.sweep():
+            assert plan.total_s == plan.edge_s + plan.transfer_s + plan.remote_s
+            assert plan.edge_s >= 0.0
+            assert plan.transfer_s >= 0.0
+            assert plan.remote_s >= 0.0
+
+    @given(link=_links())
+    @settings(max_examples=40, deadline=None)
+    def test_best_cut_never_loses_to_any_cut(self, link):
+        from repro.distribution import SplitPlanner
+
+        planner = SplitPlanner(
+            _deployed("MobileNet-v2", "Jetson TX2", "PyTorch"),
+            _deployed("MobileNet-v2", "GTX Titan X", "PyTorch"), link)
+        best = planner.best().total_s
+        assert all(best <= plan.total_s for plan in planner.sweep())
+
+
+class TestPipelineThroughputProperties:
+    """Steady-state throughput is set by the slowest stage, nothing else."""
+
+    @given(link=_links(), devices=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_throughput_bounded_by_every_stage(self, link, devices):
+        from repro.distribution import partition_pipeline
+
+        plan = partition_pipeline(
+            _deployed("CifarNet", "Raspberry Pi 3B", "TensorFlow"),
+            devices, link)
+        assert plan.bottleneck_s == max(s.stage_s for s in plan.stages)
+        for stage in plan.stages:
+            assert plan.throughput_fps <= 1.0 / stage.stage_s + 1e-12
+        assert plan.pipeline_latency_s >= plan.bottleneck_s
+
+
+class TestCutConservationProperties:
+    """Cut crossing bytes are conserved by deployment graph transforms:
+    fusion and freezing remove cut LOCATIONS (fused ops no longer
+    materialize), never change what a surviving cut ships."""
+
+    MODELS = ("CifarNet", "MobileNet-v2", "ResNet-18", "AlexNet")
+
+    @given(model=st.sampled_from(MODELS),
+           transform=st.sampled_from(("fuse", "freeze", "both")))
+    @settings(max_examples=20, deadline=None)
+    def test_surviving_cuts_ship_the_same_bytes(self, model, transform):
+        from repro.distribution.partition import cut_points
+        from repro.graphs.transforms import freeze_graph, fuse_graph
+        from repro.models import load_model
+
+        graph = load_model(model)
+        transformed = {
+            "fuse": fuse_graph,
+            "freeze": freeze_graph,
+            "both": lambda g: freeze_graph(fuse_graph(g)),
+        }[transform](graph)
+        original = cut_points(graph)
+        after = cut_points(transformed)
+        # Endpoints are invariant: the input always ships whole, the
+        # output always returns whole.
+        assert after[0].transfer_bytes == original[0].transfer_bytes
+        assert after[-1].transfer_bytes == original[-1].transfer_bytes
+        # Transforms only remove cut locations.
+        assert len(after) <= len(original)
+        # Every surviving cut crosses a tensor set the original graph
+        # also exposed at some cut.
+        original_bytes = {cut.transfer_bytes for cut in original}
+        for cut in after:
+            assert cut.transfer_bytes in original_bytes

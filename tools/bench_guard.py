@@ -1,12 +1,13 @@
 #!/usr/bin/env python
 """Bench-regression guard: hold the committed BENCH_*.json to their targets.
 
-CI runs the perf benchmarks (which rewrite ``BENCH_sweep.json`` and
-``BENCH_fleet.json``) and then this guard, so a perf regression fails the
-job with the specific budget it broke instead of a bare assert.  It can
-also be pointed at committed files locally::
+CI runs the perf benchmarks (which rewrite ``BENCH_sweep.json``,
+``BENCH_fleet.json`` and ``BENCH_placement.json``) and then this guard,
+so a perf regression fails the job with the specific budget it broke
+instead of a bare assert.  It can also be pointed at committed files
+locally::
 
-    python tools/bench_guard.py                       # both repo-root files
+    python tools/bench_guard.py                       # all repo-root files
     python tools/bench_guard.py BENCH_fleet.json      # explicit snapshots
 
 Sweep checks (targets travel inside the file, written by the benchmark):
@@ -22,6 +23,13 @@ Fleet checks:
 * ``simulate_s``  <  ``max_simulate_s`` (< 5 s per million requests)
 * ``completed + dropped + rejected == requests`` (conservation)
 * ``identical_across_seed_repeat`` is true (byte-identical reports)
+
+Placement checks:
+
+* ``search_s``            <  ``max_search_s`` (full-zoo search stays interactive)
+* ``pipeline_simulate_s`` <  ``max_pipeline_simulate_s``
+* ``pipeline_requests``   at the million-request scale with conservation
+* ``search_deterministic`` and ``serving_deterministic`` are true
 """
 
 from __future__ import annotations
@@ -31,7 +39,8 @@ import sys
 from pathlib import Path
 
 _ROOT = Path(__file__).resolve().parents[1]
-DEFAULT_PATHS = (_ROOT / "BENCH_sweep.json", _ROOT / "BENCH_fleet.json")
+DEFAULT_PATHS = (_ROOT / "BENCH_sweep.json", _ROOT / "BENCH_fleet.json",
+                 _ROOT / "BENCH_placement.json")
 
 
 def _require(bench: dict, failures: list[str], name: str, hint: str):
@@ -100,17 +109,62 @@ def check_fleet(bench: dict) -> list[str]:
     return failures
 
 
+def check_placement(bench: dict) -> list[str]:
+    """Every broken placement budget as a human-readable failure line."""
+    failures: list[str] = []
+    hint = "benchmarks/test_perf_placement.py"
+
+    search_s = _require(bench, failures, "search_s", hint)
+    search_max = _require(bench, failures, "max_search_s", hint)
+    if search_s is not None and search_max is not None and search_s >= search_max:
+        models = bench.get("models")
+        failures.append(f"search_s {search_s}s >= budget {search_max}s "
+                        f"for {models} models")
+
+    simulate_s = _require(bench, failures, "pipeline_simulate_s", hint)
+    budget_s = _require(bench, failures, "max_pipeline_simulate_s", hint)
+    if simulate_s is not None and budget_s is not None and simulate_s >= budget_s:
+        failures.append(f"pipeline_simulate_s {simulate_s}s >= budget "
+                        f"{budget_s}s")
+
+    requests = _require(bench, failures, "pipeline_requests", hint)
+    served = (bench.get("pipeline_completed"), bench.get("pipeline_dropped"),
+              bench.get("pipeline_rejected"))
+    if requests is not None and None not in served and sum(served) != requests:
+        failures.append(f"conservation broken: completed+dropped+rejected "
+                        f"{sum(served)} != requests {requests}")
+
+    frontier_size = _require(bench, failures, "frontier_size", hint)
+    if frontier_size is not None and frontier_size <= 0:
+        failures.append("frontier_size is 0 - the search found nothing")
+
+    if bench.get("search_deterministic") is not True:
+        failures.append("placement searches were not deterministic")
+    if bench.get("serving_deterministic") is not True:
+        failures.append("same-seed pipelined reports were not byte-identical")
+    return failures
+
+
 def check(bench: dict) -> list[str]:
     """Dispatch on the benchmark kind recorded in the file."""
-    if str(bench.get("benchmark", "")).startswith("fleet"):
+    kind = str(bench.get("benchmark", ""))
+    if kind.startswith("fleet"):
         return check_fleet(bench)
+    if kind.startswith("placement"):
+        return check_placement(bench)
     return check_sweep(bench)
 
 
 def _summary(bench: dict) -> str:
-    if str(bench.get("benchmark", "")).startswith("fleet"):
+    kind = str(bench.get("benchmark", ""))
+    if kind.startswith("fleet"):
         return (f"{bench['requests']} requests in {bench['simulate_s']}s "
                 f"({bench['requests_per_wall_s']}/wall-s), deterministic")
+    if kind.startswith("placement"):
+        return (f"{bench['models']}-model zoo searched in "
+                f"{bench['search_s']}s ({bench['frontier_size']} frontier "
+                f"points), {bench['pipeline_requests']} pipelined requests "
+                f"in {bench['pipeline_simulate_s']}s")
     return (f"warm {bench['compiled_warm_s']}s, "
             f"uncached {bench['compiled_uncached_s']}s, "
             f"{bench['speedup_warm']}x warm speedup, "
