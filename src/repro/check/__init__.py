@@ -1,7 +1,7 @@
 """`repro.check`: static verification over the graph IR, data tables and
 runtime-layer architecture.
 
-Four passes, one vocabulary (:class:`~repro.check.findings.Finding`):
+Five passes, one vocabulary (:class:`~repro.check.findings.Finding`):
 
 * ``ir`` — re-verifies every zoo graph and every transform output
   (well-formedness + conservation invariants), rules ``IR0xx``/``IR1xx``.
@@ -11,8 +11,11 @@ Four passes, one vocabulary (:class:`~repro.check.findings.Finding`):
   contracts, rules ``ARCHxxx``.
 * ``units`` — `ast` dimensional analysis of the quantity dataflow
   (seconds vs milliseconds, energy vs power), rules ``UNITxxx``.
+* ``effects`` — interprocedural effect inference over the package call
+  graph: parallel-path race rules (``RACExxx``), cache-key soundness
+  (``KEYxxx``) and cached-value escape analysis (``ALIASxxx``).
 
-``python -m repro check --strict`` runs all four and exits non-zero on any
+``python -m repro check --strict`` runs all five and exits non-zero on any
 finding; see ``docs/checks.md`` for the full rule catalog and the
 suppression syntax.
 """
@@ -21,7 +24,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.check import arch, ir, tables, units
+from repro.check import arch, effects, ir, tables, units
 from repro.check.findings import (
     Finding,
     Severity,
@@ -38,6 +41,7 @@ PASSES = {
     "tables": tables.run,
     "arch": arch.run,
     "units": units.run,
+    "effects": effects.run,
 }
 
 PASS_NAMES = tuple(PASSES)
@@ -46,7 +50,7 @@ PASS_NAMES = tuple(PASSES)
 def rule_catalog() -> dict[str, tuple[Severity, str]]:
     """Every known rule id -> (severity, description), across all passes."""
     catalog: dict[str, tuple[Severity, str]] = {}
-    for module in (ir, tables, arch, units):
+    for module in (ir, tables, arch, units, effects):
         catalog.update(module.RULES)
     return catalog
 
@@ -72,6 +76,7 @@ __all__ = [
     "Severity",
     "arch",
     "count_by_severity",
+    "effects",
     "ir",
     "render_github",
     "render_json",

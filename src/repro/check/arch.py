@@ -48,8 +48,9 @@ from __future__ import annotations
 import ast
 from pathlib import Path
 
+from repro.check import astutil
+from repro.check.astutil import NondetCall, classify_nondet
 from repro.check.findings import Finding, Severity
-from repro.check.suppress import SuppressionIndex, display_path, relative_parts
 
 RULES: dict[str, tuple[Severity, str]] = {
     "ARCH001": (Severity.ERROR, "sessions/timers are constructed by the runtime layer, "
@@ -89,43 +90,25 @@ _SESSION_TYPES = ("InferenceSession", "InferenceTimer")
 _MEASUREMENT_TYPES = ("InferenceSession", "InferenceTimer", "EnergyMeter")
 _DEPRECATED_WRAPPERS = ("measurement_seed", "cell_timer", "measure_latency_s",
                         "build_session", "best_framework_latency", "deploy_key")
-_TIME_FUNCS = ("time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
-               "perf_counter_ns", "process_time", "process_time_ns")
-_RANDOM_MODULES = ("random", "secrets", "uuid")
-
-
-def _dotted_chain(node: ast.expr) -> list[str]:
-    """``a.b.c`` -> ["a", "b", "c"]; empty for non-name chains."""
-    chain: list[str] = []
-    while isinstance(node, ast.Attribute):
-        chain.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        chain.append(node.id)
-        return list(reversed(chain))
-    return []
-
-
-def _call_name(node: ast.Call) -> str | None:
-    if isinstance(node.func, ast.Name):
-        return node.func.id
-    if isinstance(node.func, ast.Attribute):
-        return node.func.attr
-    return None
 
 
 class _ContractVisitor(ast.NodeVisitor):
-    def __init__(self, parts: tuple[str, ...], display: str,
-                 suppressions: SuppressionIndex):
-        self.parts = parts
-        self.display = display
-        self.suppressions = suppressions
+    """Walks one module; nondeterminism verdicts come from the shared
+    :func:`repro.check.astutil.classify_nondet` catalog, so ARCH004–ARCH007
+    and the interprocedural RACE004 rule agree on what "nondeterministic"
+    means — one engine, several contracts."""
+
+    def __init__(self, module: astutil.SourceModule):
+        self.module = module
+        self.parts = module.parts
+        self.display = module.display
+        self.suppressions = module.suppressions
         self.findings: list[Finding] = []
-        self._random_imports: set[str] = set()
+        self._nondet_imports = astutil.NondetImports()
 
     # -- helpers ---------------------------------------------------------
     def _layer(self) -> str:
-        return self.parts[0] if len(self.parts) > 1 else ""
+        return self.module.layer
 
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
         lineno = getattr(node, "lineno", 0)
@@ -134,139 +117,93 @@ class _ContractVisitor(ast.NodeVisitor):
         self.findings.append(Finding(
             rule, RULES[rule][0], f"{self.display}:{lineno}", message))
 
-    # -- imports feeding ARCH004 ----------------------------------------
+    # -- imports feeding the nondeterminism classifier -------------------
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module in _RANDOM_MODULES:
-            self._random_imports.update(alias.asname or alias.name
-                                        for alias in node.names)
-        elif node.module == "time":
-            self._random_imports.update(
-                alias.asname or alias.name for alias in node.names
-                if alias.name in _TIME_FUNCS)
+        self._nondet_imports.visit_import_from(node)
         self.generic_visit(node)
 
     # -- calls -----------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
-        name = _call_name(node)
+        name = astutil.call_name(node)
         if name in _SESSION_TYPES and self._layer() not in _SESSION_LAYERS:
             self._emit("ARCH001", node,
                        f"direct {name} construction outside the runtime layer")
         if name in _DEPRECATED_WRAPPERS:
             self._emit("ARCH002", node, f"call to deprecated wrapper {name}()")
-        handled = False
+        verdict = classify_nondet(node, self._nondet_imports)
         deterministic = _DETERMINISTIC_LAYERS.get(self._layer())
         if self.parts == _COMPILED_MODULE:
-            handled = self._check_compiled_purity(node, name)
+            self._check_compiled_purity(node, name, verdict)
         elif deterministic is not None:
-            handled = self._check_deterministic_layer(
-                node, name, *deterministic)
-        if not handled and self._layer() in _PURE_LAYERS:
-            self._check_purity(node, name)
+            self._check_deterministic_layer(node, verdict, *deterministic)
+        elif self._layer() in _PURE_LAYERS:
+            self._check_purity(node, verdict)
         self.generic_visit(node)
 
-    def _check_compiled_purity(self, node: ast.Call, name: str | None) -> bool:
-        """ARCH005: the sweep compiler is a pure lowering pass.
-
-        Returns True when the call was judged here (flagged or not), so the
-        looser ARCH004 pass does not double-report the same call.
-        """
+    def _check_compiled_purity(self, node: ast.Call, name: str | None,
+                               verdict: NondetCall | None) -> None:
+        """ARCH005: the sweep compiler is a pure lowering pass."""
         if name in _MEASUREMENT_TYPES:
             self._emit("ARCH005", node,
                        f"{name} constructed inside the sweep compiler; sessions, "
                        "timers and meters belong to the runtime layer")
-            return True
-        if name == "default_rng":
+            return
+        if verdict is None:
+            return
+        if verdict.kind in ("rng-seeded", "rng-unseeded"):
             self._emit("ARCH005", node,
                        "RNG in the sweep compiler (even seeded); measurement "
                        "noise belongs to the timing driver")
-            return True
-        chain = _dotted_chain(node.func)
-        if chain:
-            root, leaf = chain[0], chain[-1]
-            if root in _RANDOM_MODULES or "random" in chain[:-1]:
-                self._emit("ARCH005", node,
-                           f"nondeterministic call {'.'.join(chain)}() in the "
-                           "sweep compiler")
-                return True
-            if root == "time" and leaf in _TIME_FUNCS:
-                self._emit("ARCH005", node,
-                           f"wall-clock call {'.'.join(chain)}() in the sweep "
-                           "compiler; compile stats are stamped by the driver")
-                return True
-        if isinstance(node.func, ast.Name) and node.func.id in self._random_imports:
+        elif verdict.kind == "wall-clock":
             self._emit("ARCH005", node,
-                       f"nondeterministic call {node.func.id}() (imported from a "
-                       "random/time module) in the sweep compiler")
-            return True
-        return False
+                       f"wall-clock call {verdict.description} in the sweep "
+                       "compiler; compile stats are stamped by the driver")
+        else:
+            self._emit("ARCH005", node,
+                       f"nondeterministic call {verdict.description} in the "
+                       "sweep compiler")
 
-    def _check_deterministic_layer(self, node: ast.Call, name: str | None,
+    def _check_deterministic_layer(self, node: ast.Call,
+                                   verdict: NondetCall | None,
                                    rule: str, noun: str, rng_hint: str,
-                                   clock_hint: str) -> bool:
+                                   clock_hint: str) -> None:
         """ARCH006/ARCH007: layers that promise byte-identical outputs.
 
         The fleet simulator's only clock is simulated time and its only
         randomness the seeded arrival processes; the placement optimizer
         must map the same inputs to the same frontier.  Either way, wall
-        clocks and RNG (even seeded) are banned.  Returns True when the
-        call was judged here, mirroring the ARCH005 handler.
+        clocks and RNG (even seeded) are banned.
         """
-        if name == "default_rng":
+        if verdict is None:
+            return
+        if verdict.kind in ("rng-seeded", "rng-unseeded"):
             self._emit(rule, node,
                        f"RNG inside the {noun} (even seeded); {rng_hint}")
-            return True
-        chain = _dotted_chain(node.func)
-        if chain:
-            root, leaf = chain[0], chain[-1]
-            if root in _RANDOM_MODULES or "random" in chain[:-1]:
-                self._emit(rule, node,
-                           f"nondeterministic call {'.'.join(chain)}() in "
-                           f"the {noun}")
-                return True
-            if root == "time" and leaf in _TIME_FUNCS:
-                self._emit(rule, node,
-                           f"wall-clock call {'.'.join(chain)}() in the "
-                           f"{noun}; {clock_hint}")
-                return True
-            if root == "datetime" and leaf in ("now", "utcnow", "today"):
-                self._emit(rule, node,
-                           f"wall-clock call {'.'.join(chain)}() in the "
-                           f"{noun}; {clock_hint}")
-                return True
-        if isinstance(node.func, ast.Name) and node.func.id in self._random_imports:
+        elif verdict.kind == "wall-clock":
             self._emit(rule, node,
-                       f"nondeterministic call {node.func.id}() (imported "
-                       f"from a random/time module) in the {noun}")
-            return True
-        return False
+                       f"wall-clock call {verdict.description} in the "
+                       f"{noun}; {clock_hint}")
+        else:
+            self._emit(rule, node,
+                       f"nondeterministic call {verdict.description} in "
+                       f"the {noun}")
 
-    def _check_purity(self, node: ast.Call, name: str | None) -> None:
-        chain = _dotted_chain(node.func)
-        if name == "default_rng":
-            # A seeded generator is deterministic; only the argless form
-            # (which seeds from the OS) breaks the purity contract.
-            if not node.args and not node.keywords:
-                self._emit("ARCH004", node, "unseeded default_rng() in a cached path")
+    def _check_purity(self, node: ast.Call,
+                      verdict: NondetCall | None) -> None:
+        """ARCH004: pure cached layers — seeded RNG alone is exempt, since
+        a seeded generator is deterministic; the argless form seeds from
+        the OS and breaks the contract."""
+        if verdict is None or verdict.deterministic:
             return
-        if chain:
-            root, leaf = chain[0], chain[-1]
-            if root in _RANDOM_MODULES or "random" in chain[:-1]:
-                self._emit("ARCH004", node,
-                           f"nondeterministic call {'.'.join(chain)}()")
-                return
-            if root == "time" and leaf in _TIME_FUNCS:
-                self._emit("ARCH004", node, f"wall-clock call {'.'.join(chain)}()")
-                return
-            if root == "os" and leaf == "urandom":
-                self._emit("ARCH004", node, "nondeterministic call os.urandom()")
-                return
-            if root == "datetime" and leaf in ("now", "utcnow", "today"):
-                self._emit("ARCH004", node, f"wall-clock call {'.'.join(chain)}()")
-                return
-        if isinstance(node.func, ast.Name) and node.func.id in self._random_imports:
+        if verdict.kind == "rng-unseeded":
             self._emit("ARCH004", node,
-                       f"nondeterministic call {node.func.id}() (imported from a "
-                       "random/time module)")
+                       "unseeded default_rng() in a cached path")
+        elif verdict.kind == "wall-clock":
+            self._emit("ARCH004", node,
+                       f"wall-clock call {verdict.description}")
+        else:
+            self._emit("ARCH004", node,
+                       f"nondeterministic call {verdict.description}")
 
     # -- comparisons -----------------------------------------------------
     def visit_Compare(self, node: ast.Compare) -> None:
@@ -280,13 +217,16 @@ class _ContractVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def lint_module(module: astutil.SourceModule) -> list[Finding]:
+    """Lint one pre-parsed module."""
+    visitor = _ContractVisitor(module)
+    visitor.visit(module.tree)
+    return visitor.findings
+
+
 def lint_source(source: str, path: str) -> list[Finding]:
     """Lint one module's source text; ``path`` decides layer exemptions."""
-    tree = ast.parse(source, filename=path)
-    visitor = _ContractVisitor(relative_parts(path), display_path(path),
-                               SuppressionIndex.from_source(source))
-    visitor.visit(tree)
-    return visitor.findings
+    return lint_module(astutil.load_source(source, path))
 
 
 def lint_paths(paths: list[Path]) -> list[Finding]:
@@ -296,14 +236,11 @@ def lint_paths(paths: list[Path]) -> list[Finding]:
     return findings
 
 
-def package_root() -> Path:
-    """Directory of the installed ``repro`` package (the lint target)."""
-    import repro
-
-    return Path(repro.__file__).resolve().parent
+#: re-exported so existing callers keep working; astutil owns discovery.
+package_root = astutil.package_root
 
 
 def run(root: Path | None = None) -> list[Finding]:
     """Architecture pass entry point: lint every module under ``root``."""
-    root = Path(root) if root is not None else package_root()
-    return lint_paths(list(root.rglob("*.py")))
+    return [finding for module in astutil.load_package(root)
+            for finding in lint_module(module)]

@@ -1,0 +1,385 @@
+"""Package-wide call graph for the interprocedural check passes.
+
+The graph is built purely from source — no imports are executed — so
+resolution is necessarily conservative.  A call site resolves through a
+ladder of precision tiers, stopping at the first that matches:
+
+1. a nested ``def`` visible in an enclosing scope of the caller,
+2. a function or method defined in the caller's own module
+   (``self.m()`` resolves against the caller's own class first),
+3. a name imported with ``from mod import name``,
+4. an attribute call through a module alias (``import a.b as c; c.f()``),
+5. a method call on a *module-level instance* whose class is known
+   (``CACHE = MemoCache(); CACHE.get_or_build(...)`` resolves to
+   ``MemoCache.get_or_build``),
+6. a unique match anywhere in the package for the bare name,
+7. otherwise the full candidate set of same-named functions (or nothing,
+   for names the package never defines — builtins, stdlib).
+
+Besides direct calls, the graph records **function-reference edges**:
+passing ``_run_cell`` to ``pool.map`` or a ``build`` closure to
+``get_or_build`` creates an edge, because on a parallel path the callee
+runs even though no call expression names it.
+
+Known blind spot: first-class *data-driven* dispatch.
+``Registry.create`` calls ``self._factories[key]()`` — a subscript, not a
+name — so experiment generators registered in
+:mod:`repro.harness.registry` are not reachable through the graph.  The
+effects pass documents this rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.check import astutil
+from repro.check.astutil import SourceModule
+
+
+@dataclass
+class FunctionNode:
+    """One function, method, or nested def in the package.
+
+    ``fid`` is the stable identity used everywhere else:
+    ``"engine/cache.py:MemoCache.get_or_build"`` — display path, colon,
+    dotted qualname within the module.
+    """
+
+    fid: str
+    name: str
+    qualname: str
+    module: SourceModule
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None = None
+    calls: list["CallSite"] = field(default_factory=list)
+    refs: list["CallSite"] = field(default_factory=list)
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved edge: the call (or reference) expression and targets."""
+
+    node: ast.AST
+    lineno: int
+    targets: tuple[str, ...]
+    via_reference: bool = False
+
+
+@dataclass
+class ModuleNode:
+    """Per-module namespace facts the resolver consults."""
+
+    module: SourceModule
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+    import_aliases: dict[str, str] = field(default_factory=dict)
+    imported_names: dict[str, tuple[str, str]] = field(default_factory=dict)
+    instance_classes: dict[str, str] = field(default_factory=dict)
+    global_containers: dict[str, int] = field(default_factory=dict)
+
+
+_CONTAINER_NODES = (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp,
+                    ast.SetComp)
+
+
+def _walk_skip_defs(node: ast.AST):
+    """``ast.walk`` that stays inside one function: nested ``def``s are
+    their own :class:`FunctionNode`s, so their bodies are not this
+    function's call sites (a direct call or reference to the nested def
+    still creates the edge)."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield child
+        yield from _walk_skip_defs(child)
+
+
+def _module_name(module: SourceModule) -> str:
+    """Dotted package-relative module name: engine/cache.py -> engine.cache."""
+    parts = list(module.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class CallGraph:
+    """The package call graph: nodes per function, resolved edges per site."""
+
+    def __init__(self, modules: list[SourceModule]) -> None:
+        self.modules = modules
+        self.by_module: dict[str, ModuleNode] = {}
+        self.by_name: dict[str, list[FunctionNode]] = {}
+        self.functions: dict[str, FunctionNode] = {}
+        self._module_by_dotted: dict[str, ModuleNode] = {}
+        for mod in modules:
+            self._index_module(mod)
+        for mnode in self.by_module.values():
+            self._resolve_module(mnode)
+
+    # -- indexing ----------------------------------------------------------
+    def _index_module(self, mod: SourceModule) -> None:
+        mnode = ModuleNode(module=mod)
+        self.by_module[mod.display] = mnode
+        self._module_by_dotted[_module_name(mod)] = mnode
+        for stmt in mod.tree.body:
+            self._index_stmt(mnode, stmt, prefix="", cls=None)
+        for stmt in mod.tree.body:
+            self._index_module_assign(mnode, stmt)
+
+    def _index_stmt(self, mnode: ModuleNode, stmt: ast.stmt, prefix: str,
+                    cls: str | None) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{prefix}{stmt.name}"
+            fnode = FunctionNode(
+                fid=f"{mnode.module.display}:{qual}",
+                name=stmt.name, qualname=qual, module=mnode.module,
+                node=stmt, cls=cls)
+            mnode.functions[qual] = fnode
+            self.functions[fnode.fid] = fnode
+            self.by_name.setdefault(stmt.name, []).append(fnode)
+            for inner in stmt.body:
+                self._index_stmt(mnode, inner, prefix=f"{qual}.", cls=cls)
+        elif isinstance(stmt, ast.ClassDef):
+            for inner in stmt.body:
+                self._index_stmt(mnode, inner, prefix=f"{stmt.name}.",
+                                 cls=stmt.name)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            self._index_import(mnode, stmt)
+
+    def _index_import(self, mnode: ModuleNode,
+                      stmt: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                if target.startswith("repro.") or target == "repro":
+                    mnode.import_aliases[bound] = target.removeprefix(
+                        "repro.").removeprefix("repro")
+        else:
+            if not stmt.module or not stmt.module.startswith("repro"):
+                return
+            source = stmt.module.removeprefix("repro").lstrip(".")
+            for alias in stmt.names:
+                bound = alias.asname or alias.name
+                mnode.imported_names[bound] = (source, alias.name)
+
+    def _index_module_assign(self, mnode: ModuleNode, stmt: ast.stmt) -> None:
+        """Record ``NAME = ClassName(...)`` instances and mutable containers."""
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        value = stmt.value
+        if value is None:
+            return
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(value, ast.Call):
+                cname = astutil.call_name(value)
+                if cname and (cname in mnode.functions
+                              or self._class_known(mnode, cname)):
+                    mnode.instance_classes[target.id] = cname
+                if cname in ("dict", "list", "set", "defaultdict",
+                             "OrderedDict", "Counter", "deque"):
+                    mnode.global_containers[target.id] = stmt.lineno
+            elif isinstance(value, _CONTAINER_NODES):
+                mnode.global_containers[target.id] = stmt.lineno
+
+    def _class_known(self, mnode: ModuleNode, cname: str) -> bool:
+        if any(f.cls == cname for f in mnode.functions.values()):
+            return True
+        if cname in mnode.imported_names:
+            src, orig = mnode.imported_names[cname]
+            target = self._module_by_dotted.get(src)
+            if target is not None:
+                return any(f.cls == orig for f in target.functions.values())
+        return any(f.cls == cname for f in self.functions.values())
+
+    # -- resolution --------------------------------------------------------
+    def _resolve_module(self, mnode: ModuleNode) -> None:
+        for fnode in mnode.functions.values():
+            self._resolve_function(mnode, fnode)
+
+    def _resolve_function(self, mnode: ModuleNode,
+                          fnode: FunctionNode) -> None:
+        nested = self.nested_defs(mnode, fnode)
+        for node in _walk_skip_defs(fnode.node):
+            if isinstance(node, ast.Call):
+                targets = self._resolve_call(mnode, fnode, nested, node)
+                if targets:
+                    fnode.calls.append(CallSite(
+                        node=node, lineno=node.lineno, targets=targets))
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    ref = self._resolve_reference(mnode, fnode, nested, arg)
+                    if ref:
+                        fnode.refs.append(CallSite(
+                            node=arg, lineno=arg.lineno, targets=ref,
+                            via_reference=True))
+
+    def _resolve_call(self, mnode: ModuleNode, fnode: FunctionNode,
+                      nested: dict[str, FunctionNode],
+                      node: ast.Call) -> tuple[str, ...]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self._resolve_bare(mnode, fnode, nested, func.id)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(mnode, fnode, func)
+        return ()
+
+    def _resolve_bare(self, mnode: ModuleNode, fnode: FunctionNode,
+                      nested: dict[str, FunctionNode],
+                      name: str) -> tuple[str, ...]:
+        if name in nested:                                    # tier 1
+            return (nested[name].fid,)
+        own = mnode.functions.get(name)                       # tier 2
+        if own is not None:
+            return (own.fid,)
+        if name in mnode.imported_names:                      # tier 3
+            src, orig = mnode.imported_names[name]
+            target = self._module_by_dotted.get(src)
+            if target is not None and orig in target.functions:
+                return (target.functions[orig].fid,)
+            return ()
+        candidates = self.by_name.get(name, ())               # tiers 6/7
+        if len(candidates) == 1:
+            return (candidates[0].fid,)
+        return tuple(c.fid for c in candidates)
+
+    def _resolve_attribute(self, mnode: ModuleNode, fnode: FunctionNode,
+                           func: ast.Attribute) -> tuple[str, ...]:
+        method = func.attr
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id == "self" and fnode.cls:                # self.m()
+                own = mnode.functions.get(f"{fnode.cls}.{method}")
+                if own is not None:
+                    return (own.fid,)
+            if base.id in mnode.import_aliases:                # alias.f()
+                target = self._module_by_dotted.get(
+                    mnode.import_aliases[base.id])
+                if target is not None and method in target.functions:
+                    return (target.functions[method].fid,)
+            cls = self._instance_class(mnode, base.id)         # INSTANCE.m()
+            if cls is not None:
+                resolved = self._resolve_method(mnode, cls, method)
+                if resolved:
+                    return resolved
+            if base.id in mnode.imported_names:                # imported inst
+                src, orig = mnode.imported_names[base.id]
+                target = self._module_by_dotted.get(src)
+                if target is not None:
+                    cls = target.instance_classes.get(orig)
+                    if cls is not None:
+                        resolved = self._resolve_method(target, cls, method)
+                        if resolved:
+                            return resolved
+        # tier 6/7 over methods by bare name
+        candidates = [c for c in self.by_name.get(method, ())
+                      if c.cls is not None]
+        if len(candidates) == 1:
+            return (candidates[0].fid,)
+        return tuple(c.fid for c in candidates)
+
+    def _instance_class(self, mnode: ModuleNode, name: str) -> str | None:
+        return mnode.instance_classes.get(name)
+
+    def _resolve_method(self, mnode: ModuleNode, cls: str,
+                        method: str) -> tuple[str, ...]:
+        own = mnode.functions.get(f"{cls}.{method}")
+        if own is not None:
+            return (own.fid,)
+        if cls in mnode.imported_names:
+            src, orig = mnode.imported_names[cls]
+            target = self._module_by_dotted.get(src)
+            if target is not None:
+                theirs = target.functions.get(f"{orig}.{method}")
+                if theirs is not None:
+                    return (theirs.fid,)
+        candidates = [f for f in self.functions.values()
+                      if f.cls == cls and f.name == method]
+        if len(candidates) == 1:
+            return (candidates[0].fid,)
+        return ()
+
+    def _resolve_reference(self, mnode: ModuleNode, fnode: FunctionNode,
+                           nested: dict[str, FunctionNode],
+                           arg: ast.expr) -> tuple[str, ...]:
+        """Function values passed as arguments (pool.map targets, builders)."""
+        if isinstance(arg, ast.Name):
+            if arg.id in nested:
+                return (nested[arg.id].fid,)
+            own = mnode.functions.get(arg.id)
+            if own is not None:
+                return (own.fid,)
+            if arg.id in mnode.imported_names:
+                src, orig = mnode.imported_names[arg.id]
+                target = self._module_by_dotted.get(src)
+                if target is not None and orig in target.functions:
+                    return (target.functions[orig].fid,)
+        elif isinstance(arg, ast.Attribute) and isinstance(arg.value, ast.Name):
+            if arg.value.id == "self" and fnode.cls:
+                own = mnode.functions.get(f"{fnode.cls}.{arg.attr}")
+                if own is not None:
+                    return (own.fid,)
+        return ()
+
+    # -- public resolution API (used by the effects pass) ------------------
+    def nested_defs(self, mnode: ModuleNode,
+                    fnode: FunctionNode) -> dict[str, FunctionNode]:
+        """Direct nested ``def``s of ``fnode``, by bare name."""
+        prefix = fnode.qualname + "."
+        return {f.name: f for q, f in mnode.functions.items()
+                if q.startswith(prefix) and "." not in q[len(prefix):]}
+
+    def resolve_module(self, dotted: str) -> ModuleNode | None:
+        """ModuleNode for a package-relative dotted name (``engine.cache``)."""
+        return self._module_by_dotted.get(dotted)
+
+    def resolve_call(self, mnode: ModuleNode, fnode: FunctionNode,
+                     nested: dict[str, FunctionNode],
+                     node: ast.Call) -> tuple[str, ...]:
+        """Resolve one call expression in ``fnode``'s scope to target fids."""
+        return self._resolve_call(mnode, fnode, nested, node)
+
+    def resolve_reference(self, mnode: ModuleNode, fnode: FunctionNode,
+                          nested: dict[str, FunctionNode],
+                          arg: ast.expr) -> tuple[str, ...]:
+        """Resolve a function-valued expression (builder, pool target)."""
+        return self._resolve_reference(mnode, fnode, nested, arg)
+
+    # -- queries -----------------------------------------------------------
+    def successors(self, fid: str) -> set[str]:
+        fnode = self.functions.get(fid)
+        if fnode is None:
+            return set()
+        out: set[str] = set()
+        for site in fnode.calls + fnode.refs:
+            out.update(site.targets)
+        return out
+
+    def reachable(self, roots: list[str]) -> set[str]:
+        """All fids reachable from the given root fids (roots included)."""
+        seen: set[str] = set()
+        frontier = [fid for fid in roots if fid in self.functions]
+        while frontier:
+            fid = frontier.pop()
+            if fid in seen:
+                continue
+            seen.add(fid)
+            frontier.extend(self.successors(fid) - seen)
+        return seen
+
+    def find(self, suffix: str) -> list[str]:
+        """fids whose ``module:qualname`` ends with ``suffix`` (root lookup)."""
+        return [fid for fid in self.functions
+                if fid == suffix or fid.endswith(suffix)]
+
+
+def build(modules: list[SourceModule]) -> CallGraph:
+    return CallGraph(modules)

@@ -57,8 +57,9 @@ import ast
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro.check import astutil
 from repro.check.findings import Finding, Severity
-from repro.check.suppress import SuppressionIndex, display_path
+from repro.check.suppress import SuppressionIndex
 from repro.check.unit_maps import (
     AMBIGUOUS_BARE_TOKENS,
     CALL_RETURNS,
@@ -869,12 +870,16 @@ class _Analyzer:
         return UNKNOWN
 
 
+def check_module(module: astutil.SourceModule) -> list[Finding]:
+    """Unit-check one pre-parsed module."""
+    analyzer = _Analyzer(module.display, module.suppressions)
+    analyzer.check_module(module.tree)
+    return analyzer.findings
+
+
 def check_source(source: str, path: str) -> list[Finding]:
     """Unit-check one module's source text."""
-    tree = ast.parse(source, filename=path)
-    analyzer = _Analyzer(display_path(path), SuppressionIndex.from_source(source))
-    analyzer.check_module(tree)
-    return analyzer.findings
+    return check_module(astutil.load_source(source, path))
 
 
 def check_paths(paths: list[Path]) -> list[Finding]:
@@ -884,14 +889,11 @@ def check_paths(paths: list[Path]) -> list[Finding]:
     return findings
 
 
-def package_root() -> Path:
-    """Directory of the installed ``repro`` package (the check target)."""
-    import repro
-
-    return Path(repro.__file__).resolve().parent
+#: re-exported so existing callers keep working; astutil owns discovery.
+package_root = astutil.package_root
 
 
 def run(root: Path | None = None) -> list[Finding]:
     """Units pass entry point: unit-check every module under ``root``."""
-    root = Path(root) if root is not None else package_root()
-    return check_paths(list(root.rglob("*.py")))
+    return [finding for module in astutil.load_package(root)
+            for finding in check_module(module)]

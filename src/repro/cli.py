@@ -16,6 +16,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -107,8 +108,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
         render_github,
         render_json,
         render_text,
+        rule_catalog,
         run_checks,
     )
+
+    if args.list_rules:
+        catalog = rule_catalog()
+        if args.format == "json":
+            payload = {rule: {"severity": severity.value,
+                              "description": description}
+                       for rule, (severity, description) in catalog.items()}
+            print(json.dumps({"version": 1, "rules": payload}, indent=1))
+        else:
+            for rule, (severity, description) in catalog.items():
+                print(f"{severity.value:7s} {rule:9s} {description}")
+        return 0
 
     try:
         findings = run_checks(passes=args.passes or None, ignore=args.ignore or ())
@@ -473,11 +487,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     check_parser = subparsers.add_parser(
         "check", help="static verification: graph IR, data tables, "
-                      "architecture, units")
+                      "architecture, units, effects")
     check_parser.add_argument("passes", nargs="*", metavar="PASS",
-                              help="passes to run: ir, tables, arch (default: all)")
+                              help="passes to run: ir, tables, arch, units, "
+                                   "effects (default: all)")
     check_parser.add_argument("--strict", action="store_true",
                               help="fail on any finding, not just errors")
+    check_parser.add_argument("--list-rules", action="store_true",
+                              help="print the rule catalog (honors --format "
+                                   "json) and exit")
     check_parser.add_argument("--format", choices=("text", "json", "github"),
                               default="text",
                               help="report format (github emits workflow "

@@ -134,6 +134,17 @@ class MemoCache:
             _ok, stored = self._entries.setdefault(key, (True, value))
         return stored
 
+    def invalidate(self, key: Any) -> bool:
+        """Drop one entry; returns whether it existed.
+
+        Counters are left untouched — an invalidation is not a lookup, and
+        the hit/miss history stays meaningful across it.  Safe to race with
+        :meth:`get_or_build`: a concurrent builder re-inserts via
+        ``setdefault``, so callers still converge on one shared object.
+        """
+        with self._lock:
+            return self._entries.pop(key, _MISSING) is not _MISSING
+
     def contains(self, key: Any) -> bool:
         """Whether an outcome is cached for ``key`` (no stats bump)."""
         with self._lock:
@@ -264,4 +275,7 @@ def cached_deploy(model_name: str, device_name: str, framework_name: str,
     from repro.runtime.scenario import Scenario
 
     key = Scenario(model_name, device_name, framework_name, dtype=dtype).deploy_key
-    return DEPLOY_CACHE.get_or_build(key, build)
+    # The builder reads `_enabled` transitively (via cached_graph), but only
+    # to decide *whether* to memoize the graph lookup — the deployed value is
+    # identical either way, and this line is unreachable when caching is off.
+    return DEPLOY_CACHE.get_or_build(key, build)  # repro: allow[KEY001] _enabled gates memoization, not the value

@@ -222,7 +222,9 @@ def resolve_profiles(pools: Sequence[PoolSpec],
     pools = list(pools)
     _check_unique_names(pools)
     grid = [scenario for pool in pools for scenario in pool.scenario_grid()]
-    records = runner.run_grid(grid, use_timer=use_timer)
+    # run_grid's wall-clock calls stamp compile-stage *stats* only; the
+    # records it returns are seeded and bit-identical run to run.
+    records = runner.run_grid(grid, use_timer=use_timer)  # repro: allow[RACE004] perf_counter stamps stats, results deterministic
     profiles: dict[str, ServiceProfile] = {}
     cursor = 0
     for pool in pools:

@@ -1,0 +1,271 @@
+"""Call graph: the resolution ladder, reference edges, and reachability."""
+
+import textwrap
+
+from repro.check import astutil, callgraph
+
+
+def module(snippet, path="src/repro/engine/demo.py"):
+    return astutil.load_source(textwrap.dedent(snippet), path)
+
+
+def graph(*mods):
+    return callgraph.build(list(mods))
+
+
+class TestResolutionLadder:
+    def test_own_module_bare_call_resolves(self):
+        g = graph(module("""
+            def outer():
+                return helper()
+
+            def helper():
+                return 1
+            """))
+        assert g.successors("repro/engine/demo.py:outer") == {
+            "repro/engine/demo.py:helper"}
+
+    def test_nested_def_wins_over_module_function(self):
+        g = graph(module("""
+            def helper():
+                return "module-level"
+
+            def outer():
+                def helper():
+                    return "nested"
+                return helper()
+            """))
+        assert g.successors("repro/engine/demo.py:outer") == {
+            "repro/engine/demo.py:outer.helper"}
+
+    def test_self_method_resolves_to_own_class(self):
+        g = graph(module("""
+            class Runner:
+                def run(self):
+                    return self.price()
+
+                def price(self):
+                    return 1
+            """))
+        assert g.successors("repro/engine/demo.py:Runner.run") == {
+            "repro/engine/demo.py:Runner.price"}
+
+    def test_from_import_resolves_across_modules(self):
+        g = graph(
+            module("""
+                def stamp():
+                    return 0
+                """, "src/repro/measurement/clock.py"),
+            module("""
+                from repro.measurement.clock import stamp
+
+                def lower():
+                    return stamp()
+                """, "src/repro/engine/lower.py"))
+        assert g.successors("repro/engine/lower.py:lower") == {
+            "repro/measurement/clock.py:stamp"}
+
+    def test_module_alias_attribute_resolves(self):
+        g = graph(
+            module("""
+                def stamp():
+                    return 0
+                """, "src/repro/measurement/clock.py"),
+            module("""
+                import repro.measurement.clock as clock
+
+                def lower():
+                    return clock.stamp()
+                """, "src/repro/engine/lower.py"))
+        assert g.successors("repro/engine/lower.py:lower") == {
+            "repro/measurement/clock.py:stamp"}
+
+    def test_module_level_instance_method_resolves(self):
+        g = graph(module("""
+            class Memo:
+                def get(self, key):
+                    return key
+
+            CACHE = Memo()
+
+            def fetch(key):
+                return CACHE.get(key)
+            """))
+        assert g.successors("repro/engine/demo.py:fetch") == {
+            "repro/engine/demo.py:Memo.get"}
+
+    def test_imported_instance_method_resolves(self):
+        g = graph(
+            module("""
+                class Memo:
+                    def get(self, key):
+                        return key
+
+                CACHE = Memo()
+                """, "src/repro/engine/cachemod.py"),
+            module("""
+                from repro.engine.cachemod import CACHE
+
+                def fetch(key):
+                    return CACHE.get(key)
+                """, "src/repro/engine/lower.py"))
+        assert g.successors("repro/engine/lower.py:fetch") == {
+            "repro/engine/cachemod.py:Memo.get"}
+
+    def test_unique_bare_name_resolves_package_wide(self):
+        g = graph(
+            module("""
+                def one_of_a_kind():
+                    return 0
+                """, "src/repro/measurement/clock.py"),
+            module("""
+                def caller(fn):
+                    return one_of_a_kind()
+                """, "src/repro/engine/lower.py"))
+        assert g.successors("repro/engine/lower.py:caller") == {
+            "repro/measurement/clock.py:one_of_a_kind"}
+
+    def test_ambiguous_bare_name_yields_the_candidate_set(self):
+        g = graph(
+            module("""
+                def dup():
+                    return 1
+                """, "src/repro/engine/a.py"),
+            module("""
+                def dup():
+                    return 2
+                """, "src/repro/engine/b.py"),
+            module("""
+                def caller():
+                    return dup()
+                """, "src/repro/engine/c.py"))
+        assert g.successors("repro/engine/c.py:caller") == {
+            "repro/engine/a.py:dup", "repro/engine/b.py:dup"}
+
+    def test_unknown_names_resolve_to_nothing(self):
+        g = graph(module("""
+            import math
+
+            def caller():
+                return math.sqrt(len("x"))
+            """))
+        assert g.successors("repro/engine/demo.py:caller") == set()
+
+
+class TestReferenceEdges:
+    def test_function_passed_as_argument_creates_an_edge(self):
+        g = graph(module("""
+            def worker(cell):
+                return cell
+
+            def fan_out(pool, items):
+                return pool.map(worker, items)
+            """))
+        assert g.successors("repro/engine/demo.py:fan_out") == {
+            "repro/engine/demo.py:worker"}
+        fnode = g.functions["repro/engine/demo.py:fan_out"]
+        assert all(site.via_reference for site in fnode.refs)
+
+    def test_nested_builder_passed_to_get_or_build_creates_an_edge(self):
+        g = graph(module("""
+            CACHE = {}
+
+            def load(name):
+                def build():
+                    return name
+
+                return CACHE.get_or_build(name, build)
+            """))
+        assert "repro/engine/demo.py:load.build" in g.successors(
+            "repro/engine/demo.py:load")
+
+
+class TestNestedDefIsolation:
+    def test_nested_body_calls_belong_to_the_nested_node(self):
+        g = graph(module("""
+            def helper():
+                return 1
+
+            def outer():
+                def inner():
+                    return helper()
+                return inner
+            """))
+        # outer references inner but does not inherit inner's call to helper
+        outer = g.functions["repro/engine/demo.py:outer"]
+        direct = {t for site in outer.calls for t in site.targets}
+        assert "repro/engine/demo.py:helper" not in direct
+        assert g.successors("repro/engine/demo.py:outer.inner") == {
+            "repro/engine/demo.py:helper"}
+
+
+class TestReachability:
+    def test_transitive_closure_includes_the_roots(self):
+        g = graph(module("""
+            def a():
+                return b()
+
+            def b():
+                return c()
+
+            def c():
+                return 1
+
+            def unrelated():
+                return 2
+            """))
+        reached = g.reachable(["repro/engine/demo.py:a"])
+        assert reached == {"repro/engine/demo.py:a", "repro/engine/demo.py:b",
+                           "repro/engine/demo.py:c"}
+
+    def test_reference_edges_count_as_reachable(self):
+        g = graph(module("""
+            def worker(cell):
+                return log(cell)
+
+            def log(cell):
+                return cell
+
+            def fan_out(pool, items):
+                return pool.map(worker, items)
+            """))
+        reached = g.reachable(["repro/engine/demo.py:fan_out"])
+        assert "repro/engine/demo.py:worker" in reached
+        assert "repro/engine/demo.py:log" in reached
+
+    def test_unknown_roots_reach_nothing(self):
+        g = graph(module("def f():\n    return 1\n"))
+        assert g.reachable(["repro/engine/demo.py:missing"]) == set()
+
+
+class TestFind:
+    def test_find_matches_by_suffix(self):
+        g = graph(module("""
+            class Runner:
+                def run_cells(self):
+                    return 1
+            """, "src/repro/runtime/runner.py"))
+        assert g.find("runtime/runner.py:Runner.run_cells") == [
+            "repro/runtime/runner.py:Runner.run_cells"]
+
+    def test_find_misses_cleanly(self):
+        g = graph(module("def f():\n    return 1\n"))
+        assert g.find("nowhere.py:ghost") == []
+
+
+class TestRealPackageGraph:
+    def test_every_parallel_root_resolves_in_the_real_tree(self):
+        from repro.check import effects
+
+        g = callgraph.build(astutil.load_package())
+        for root in effects.PARALLEL_ROOTS:
+            assert g.find(root), f"parallel root {root} not found"
+
+    def test_real_tree_reaches_the_cache_layer(self):
+        from repro.check import effects
+
+        g = callgraph.build(astutil.load_package())
+        roots = [fid for root in effects.PARALLEL_ROOTS
+                 for fid in g.find(root)]
+        reached = g.reachable(roots)
+        assert "repro/engine/cache.py:MemoCache.get_or_build" in reached

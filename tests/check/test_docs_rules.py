@@ -1,0 +1,68 @@
+"""The rule catalog, docs/checks.md and `--list-rules` agree with each other.
+
+Every rule a pass can emit must be documented in a rule table in
+docs/checks.md, and every documented rule must still exist — renaming or
+renumbering either side breaks this pin.  The `--list-rules` CLI verb is
+the same catalog rendered for humans (text) and tooling (json).
+"""
+
+import json
+import re
+from pathlib import Path
+
+from repro.check import rule_catalog
+from repro.cli import main
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "checks.md"
+
+#: a rule id leading a markdown table row: `| IR001 | ...` / `| ALIAS002 |`
+_RULE_ROW = re.compile(
+    r"^\|\s*((?:IR|TAB|ARCH|UNIT|RACE|KEY|ALIAS)\d{3})\s*\|", re.MULTILINE)
+
+
+def documented_rules() -> set[str]:
+    return set(_RULE_ROW.findall(DOCS.read_text()))
+
+
+class TestCatalogMatchesDocs:
+    def test_every_catalog_rule_has_a_docs_table_row(self):
+        missing = set(rule_catalog()) - documented_rules()
+        assert not missing, f"rules missing from docs/checks.md: {sorted(missing)}"
+
+    def test_every_documented_rule_exists_in_the_catalog(self):
+        stale = documented_rules() - set(rule_catalog())
+        assert not stale, f"docs/checks.md documents unknown rules: {sorted(stale)}"
+
+    def test_catalog_covers_all_five_passes(self):
+        prefixes = {re.match(r"[A-Z]+", rule).group() for rule in rule_catalog()}
+        assert prefixes == {"IR", "TAB", "ARCH", "UNIT", "RACE", "KEY", "ALIAS"}
+
+
+class TestListRulesVerb:
+    def test_text_listing_prints_every_rule(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in rule_catalog():
+            assert rule in out
+
+    def test_text_listing_shows_severities(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "error" in out
+        assert "warning" in out  # UNIT008 / KEY003
+
+    def test_json_listing_round_trips_the_catalog(self, capsys):
+        assert main(["check", "--list-rules", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert set(payload["rules"]) == set(rule_catalog())
+        for rule, (severity, description) in rule_catalog().items():
+            assert payload["rules"][rule]["severity"] == severity.value
+            assert payload["rules"][rule]["description"] == description
+
+    def test_listing_ignores_pass_selection_and_never_checks(self, capsys):
+        # --list-rules answers from the catalog alone; pass names are moot
+        assert main(["check", "effects", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RACE001" in out
+        assert "no findings" not in out
