@@ -1,10 +1,14 @@
 """`repro.check`: static verification over the graph IR, data tables and
 runtime-layer architecture.
 
-Five passes, one vocabulary (:class:`~repro.check.findings.Finding`):
+Six passes, one vocabulary (:class:`~repro.check.findings.Finding`):
 
 * ``ir`` — re-verifies every zoo graph and every transform output
   (well-formedness + conservation invariants), rules ``IR0xx``/``IR1xx``.
+* ``shapes`` — symbolic shape & dtype abstract interpreter: re-derives every
+  op's output shape, MACs, params and bytes from per-op transfer functions
+  and compares against the stored accounting at zero tolerance, including
+  under symbolic batch/sequence dims, rules ``SHAPExxx``.
 * ``tables`` — cross-validates device specs, framework capability tables,
   calibration anchors and the Table V declarations, rules ``TABxxx``.
 * ``arch`` — `ast` lint of ``src/repro`` enforcing the runtime-layer
@@ -15,16 +19,19 @@ Five passes, one vocabulary (:class:`~repro.check.findings.Finding`):
   graph: parallel-path race rules (``RACExxx``), cache-key soundness
   (``KEYxxx``) and cached-value escape analysis (``ALIASxxx``).
 
-``python -m repro check --strict`` runs all five and exits non-zero on any
-finding; see ``docs/checks.md`` for the full rule catalog and the
-suppression syntax.
+``python -m repro check --strict`` runs all six in one invocation — the three
+source passes (``arch``/``units``/``effects``) share a single
+:class:`~repro.check.astutil.SourceModule` parse of the package — and exits
+non-zero on any finding; ``--stats`` adds per-pass wall times.  See
+``docs/checks.md`` for the full rule catalog and the suppression syntax.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import time
+from typing import MutableMapping, Sequence
 
-from repro.check import arch, effects, ir, tables, units
+from repro.check import arch, astutil, effects, ir, shapes, tables, units
 from repro.check.findings import (
     Finding,
     Severity,
@@ -38,6 +45,7 @@ from repro.check.findings import (
 #: pass name -> entry point, in report order.
 PASSES = {
     "ir": ir.run,
+    "shapes": shapes.run,
     "tables": tables.run,
     "arch": arch.run,
     "units": units.run,
@@ -46,26 +54,44 @@ PASSES = {
 
 PASS_NAMES = tuple(PASSES)
 
+#: passes that interpret the package source and accept a shared parse.
+_SOURCE_PASSES = frozenset(("arch", "units", "effects"))
+
 
 def rule_catalog() -> dict[str, tuple[Severity, str]]:
     """Every known rule id -> (severity, description), across all passes."""
     catalog: dict[str, tuple[Severity, str]] = {}
-    for module in (ir, tables, arch, units, effects):
+    for module in (ir, shapes, tables, arch, units, effects):
         catalog.update(module.RULES)
     return catalog
 
 
 def run_checks(passes: Sequence[str] | None = None,
-               ignore: Sequence[str] = ()) -> list[Finding]:
-    """Run the requested passes (default: all) and apply rule suppression."""
+               ignore: Sequence[str] = (),
+               timings: MutableMapping[str, float] | None = None) -> list[Finding]:
+    """Run the requested passes (default: all) and apply rule suppression.
+
+    The package source is parsed once and shared across every selected
+    source pass.  With ``timings`` supplied, each pass's wall time in
+    seconds is recorded under its name (``--stats`` in the CLI).
+    """
     selected = PASS_NAMES if not passes else tuple(passes)
     unknown = [name for name in selected if name not in PASSES]
     if unknown:
         raise ValueError(f"unknown check pass(es) {unknown}; "
                          f"known: {', '.join(PASS_NAMES)}")
+    modules = None
     findings: list[Finding] = []
     for name in selected:
-        findings += PASSES[name]()
+        started = time.perf_counter()
+        if name in _SOURCE_PASSES:
+            if modules is None:
+                modules = astutil.load_package()
+            findings += PASSES[name](modules=modules)
+        else:
+            findings += PASSES[name]()
+        if timings is not None:
+            timings[name] = time.perf_counter() - started
     return suppress(findings, ignore)
 
 
@@ -83,6 +109,7 @@ __all__ = [
     "render_text",
     "rule_catalog",
     "run_checks",
+    "shapes",
     "suppress",
     "tables",
     "units",

@@ -240,7 +240,12 @@ def lint_paths(paths: list[Path]) -> list[Finding]:
 package_root = astutil.package_root
 
 
-def run(root: Path | None = None) -> list[Finding]:
-    """Architecture pass entry point: lint every module under ``root``."""
-    return [finding for module in astutil.load_package(root)
-            for finding in lint_module(module)]
+def run(root: Path | None = None,
+        modules: list[astutil.SourceModule] | None = None) -> list[Finding]:
+    """Architecture pass entry point: lint every module under ``root``.
+
+    ``modules`` shares a pre-parsed package (one parse for all source passes).
+    """
+    if modules is None:
+        modules = astutil.load_package(root)
+    return [finding for module in modules for finding in lint_module(module)]

@@ -21,11 +21,24 @@ passing ``_run_cell`` to ``pool.map`` or a ``build`` closure to
 ``get_or_build`` creates an edge, because on a parallel path the callee
 runs even though no call expression names it.
 
-Known blind spot: first-class *data-driven* dispatch.
-``Registry.create`` calls ``self._factories[key]()`` — a subscript, not a
-name — so experiment generators registered in
-:mod:`repro.harness.registry` are not reachable through the graph.  The
-effects pass documents this rather than guessing.
+Data-driven *subscript dispatch* resolves into candidate-set edges:
+
+* ``PASSES[name]()`` where ``PASSES`` is a module-level dict literal of
+  resolvable function references — the call targets every value.
+* ``self._factories[key]()`` in a registry: a method that stores one of
+  its own parameters into ``self.<attr>[...]`` marks ``<attr>`` as a
+  dispatch container, every call site of that method contributes the
+  function value it registers (including values built by a helper that
+  returns a nested ``def``, and loop variables bound to literal tuples of
+  function names), and the subscript call targets the whole candidate
+  set.  Resolution is context-insensitive — all factories registered on a
+  class are candidates at every dispatch site of that class — which is
+  conservative in the right direction for reachability analysis.
+
+Remaining blind spot: values registered as ``lambda``\\ s (the experiment
+generators in :mod:`repro.harness.registry`) have no :class:`FunctionNode`
+and stay invisible; they are covered by the single-file ARCH rules and
+the runtime stress tests instead.
 """
 
 from __future__ import annotations
@@ -80,6 +93,10 @@ class ModuleNode:
     imported_names: dict[str, tuple[str, str]] = field(default_factory=dict)
     instance_classes: dict[str, str] = field(default_factory=dict)
     global_containers: dict[str, int] = field(default_factory=dict)
+    #: module-level dict literals of function refs: NAME -> candidate fids.
+    dispatch_tables: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: module-level loop vars bound to literal tuples of function names.
+    loop_functions: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
 
 _CONTAINER_NODES = (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp,
@@ -117,8 +134,11 @@ class CallGraph:
         self.by_name: dict[str, list[FunctionNode]] = {}
         self.functions: dict[str, FunctionNode] = {}
         self._module_by_dotted: dict[str, ModuleNode] = {}
+        #: (class name, attr) -> candidate fids for `self.<attr>[key]()`.
+        self.dispatch_targets: dict[tuple[str, str], set[str]] = {}
         for mod in modules:
             self._index_module(mod)
+        self._collect_dispatch()
         for mnode in self.by_module.values():
             self._resolve_module(mnode)
 
@@ -201,6 +221,189 @@ class CallGraph:
                 return any(f.cls == orig for f in target.functions.values())
         return any(f.cls == cname for f in self.functions.values())
 
+    # -- dispatch collection -----------------------------------------------
+    def _collect_dispatch(self) -> None:
+        """Populate dispatch tables before edge resolution runs.
+
+        Three sweeps: module-level facts (dict-literal tables, loop-bound
+        function names), registrar methods (``self.<attr>[k] = param``),
+        then every call site of a registrar — module-level registration
+        loops included — harvesting the function values registered.
+        """
+        for mnode in self.by_module.values():
+            for stmt in mnode.module.tree.body:
+                self._index_dispatch_table(mnode, stmt)
+                self._index_loop_functions(mnode, stmt)
+        self._registrars = self._find_registrars()
+        for mnode in self.by_module.values():
+            for call, fnode in self._all_calls(mnode):
+                self._harvest_registration(mnode, fnode, call)
+
+    def _index_dispatch_table(self, mnode: ModuleNode, stmt: ast.stmt) -> None:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        if not isinstance(stmt.value, ast.Dict):
+            return
+        fids: list[str] = []
+        for value in stmt.value.values:
+            fids.extend(self._module_level_ref(mnode, value))
+        if not fids:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mnode.dispatch_tables[target.id] = tuple(dict.fromkeys(fids))
+
+    def _index_loop_functions(self, mnode: ModuleNode, stmt: ast.stmt) -> None:
+        """``for _factory, _x in ((f1, ...), (f2, ...)):`` binds ``_factory``
+        to the candidate set {f1, f2, ...} for registration harvesting."""
+        if not isinstance(stmt, ast.For) or not isinstance(
+                stmt.iter, (ast.Tuple, ast.List)):
+            return
+        targets = (stmt.target.elts if isinstance(stmt.target, ast.Tuple)
+                   else [stmt.target])
+        for pos, target in enumerate(targets):
+            if not isinstance(target, ast.Name):
+                continue
+            fids: list[str] = []
+            for element in stmt.iter.elts:
+                if isinstance(element, (ast.Tuple, ast.List)):
+                    item = (element.elts[pos] if pos < len(element.elts)
+                            else None)
+                else:
+                    item = element if len(targets) == 1 else None
+                if item is not None:
+                    fids.extend(self._module_level_ref(mnode, item))
+            if fids:
+                mnode.loop_functions[target.id] = tuple(dict.fromkeys(fids))
+
+    def _module_level_ref(self, mnode: ModuleNode,
+                          expr: ast.expr) -> tuple[str, ...]:
+        """Resolve a function-valued expression in module-level scope."""
+        if isinstance(expr, ast.Name):
+            own = mnode.functions.get(expr.id)
+            if own is not None:
+                return (own.fid,)
+            if expr.id in mnode.imported_names:
+                src, orig = mnode.imported_names[expr.id]
+                target = self._module_by_dotted.get(src)
+                if target is not None and orig in target.functions:
+                    return (target.functions[orig].fid,)
+        elif isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            base = expr.value.id
+            dotted = None
+            if base in mnode.import_aliases:
+                dotted = mnode.import_aliases[base]
+            elif base in mnode.imported_names:  # `from pkg import submodule`
+                src, orig = mnode.imported_names[base]
+                dotted = f"{src}.{orig}" if src else orig
+            if dotted is not None:
+                target = self._module_by_dotted.get(dotted)
+                if target is not None and expr.attr in target.functions:
+                    return (target.functions[expr.attr].fid,)
+        return ()
+
+    def _find_registrars(self) -> dict[str, list[tuple[str, str]]]:
+        """Methods that store one of their parameters into a subscripted
+        ``self`` attribute: fid -> [(attr name, parameter name)]."""
+        registrars: dict[str, list[tuple[str, str]]] = {}
+        for fnode in self.functions.values():
+            if fnode.cls is None:
+                continue
+            params = {a.arg for a in fnode.node.args.args
+                      + fnode.node.args.kwonlyargs}
+            for node in _walk_skip_defs(fnode.node):
+                if not (isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Subscript)):
+                    continue
+                container = node.targets[0].value
+                if (isinstance(container, ast.Attribute)
+                        and isinstance(container.value, ast.Name)
+                        and container.value.id == "self"
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id in params):
+                    registrars.setdefault(fnode.fid, []).append(
+                        (container.attr, node.value.id))
+        return registrars
+
+    def _all_calls(self, mnode: ModuleNode):
+        """Every call expression in a module with its enclosing function
+        (None for module-level code such as registration loops)."""
+        for stmt in mnode.module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    yield node, None
+        for fnode in mnode.functions.values():
+            for node in _walk_skip_defs(fnode.node):
+                if isinstance(node, ast.Call):
+                    yield node, fnode
+
+    def _harvest_registration(self, mnode: ModuleNode,
+                              fnode: FunctionNode | None,
+                              call: ast.Call) -> None:
+        nested = self.nested_defs(mnode, fnode) if fnode is not None else {}
+        for fid in self._resolve_call(mnode, fnode, nested, call):
+            specs = self._registrars.get(fid)
+            if not specs:
+                continue
+            callee = self.functions[fid]
+            params = [a.arg for a in callee.node.args.args]
+            if params and params[0] in ("self", "cls"):
+                params = params[1:]
+            for attr, param_name in specs:
+                arg = None
+                for keyword in call.keywords:
+                    if keyword.arg == param_name:
+                        arg = keyword.value
+                if arg is None and param_name in params:
+                    index = params.index(param_name)
+                    if index < len(call.args) and not any(
+                            isinstance(a, ast.Starred) for a in call.args):
+                        arg = call.args[index]
+                if arg is None:
+                    continue
+                values = self._function_value(mnode, fnode, nested, arg)
+                if values:
+                    self.dispatch_targets.setdefault(
+                        (callee.cls, attr), set()).update(values)
+
+    def _function_value(self, mnode: ModuleNode, fnode: FunctionNode | None,
+                        nested: dict[str, FunctionNode],
+                        expr: ast.expr) -> tuple[str, ...]:
+        """The function(s) an expression evaluates to, for registration."""
+        direct = self._resolve_reference(mnode, fnode, nested, expr)
+        if direct:
+            return direct
+        if isinstance(expr, ast.Name) and expr.id in mnode.loop_functions:
+            return mnode.loop_functions[expr.id]
+        if isinstance(expr, ast.Call):  # factory(...) returning a nested def
+            out: list[str] = []
+            for fid in self._resolve_call(mnode, fnode, nested, expr):
+                out.extend(self._returned_functions(fid))
+            return tuple(dict.fromkeys(out))
+        return ()
+
+    def _returned_functions(self, fid: str) -> tuple[str, ...]:
+        """fids a function returns by name (``return factory`` closures)."""
+        fnode = self.functions.get(fid)
+        if fnode is None:
+            return ()
+        mnode = self.by_module[fnode.module.display]
+        nested = self.nested_defs(mnode, fnode)
+        out: list[str] = []
+        for node in _walk_skip_defs(fnode.node):
+            if isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+                name = node.value.id
+                if name in nested:
+                    out.append(nested[name].fid)
+                elif name in mnode.functions:
+                    out.append(mnode.functions[name].fid)
+        return tuple(dict.fromkeys(out))
+
     # -- resolution --------------------------------------------------------
     def _resolve_module(self, mnode: ModuleNode) -> None:
         for fnode in mnode.functions.values():
@@ -222,7 +425,7 @@ class CallGraph:
                             node=arg, lineno=arg.lineno, targets=ref,
                             via_reference=True))
 
-    def _resolve_call(self, mnode: ModuleNode, fnode: FunctionNode,
+    def _resolve_call(self, mnode: ModuleNode, fnode: FunctionNode | None,
                       nested: dict[str, FunctionNode],
                       node: ast.Call) -> tuple[str, ...]:
         func = node.func
@@ -230,9 +433,33 @@ class CallGraph:
             return self._resolve_bare(mnode, fnode, nested, func.id)
         if isinstance(func, ast.Attribute):
             return self._resolve_attribute(mnode, fnode, func)
+        if isinstance(func, ast.Subscript):
+            return self._resolve_subscript(mnode, fnode, func)
         return ()
 
-    def _resolve_bare(self, mnode: ModuleNode, fnode: FunctionNode,
+    def _resolve_subscript(self, mnode: ModuleNode,
+                           fnode: FunctionNode | None,
+                           func: ast.Subscript) -> tuple[str, ...]:
+        """``TABLE[key]()`` / ``self._factories[key]()`` dispatch."""
+        base = func.value
+        if (isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and fnode is not None and fnode.cls):
+            candidates = self.dispatch_targets.get((fnode.cls, base.attr))
+            if candidates:
+                return tuple(sorted(candidates))
+        if isinstance(base, ast.Name):
+            if base.id in mnode.dispatch_tables:
+                return mnode.dispatch_tables[base.id]
+            if base.id in mnode.imported_names:
+                src, orig = mnode.imported_names[base.id]
+                target = self._module_by_dotted.get(src)
+                if target is not None and orig in target.dispatch_tables:
+                    return target.dispatch_tables[orig]
+        return ()
+
+    def _resolve_bare(self, mnode: ModuleNode, fnode: FunctionNode | None,
                       nested: dict[str, FunctionNode],
                       name: str) -> tuple[str, ...]:
         if name in nested:                                    # tier 1
@@ -251,12 +478,13 @@ class CallGraph:
             return (candidates[0].fid,)
         return tuple(c.fid for c in candidates)
 
-    def _resolve_attribute(self, mnode: ModuleNode, fnode: FunctionNode,
+    def _resolve_attribute(self, mnode: ModuleNode,
+                           fnode: FunctionNode | None,
                            func: ast.Attribute) -> tuple[str, ...]:
         method = func.attr
         base = func.value
         if isinstance(base, ast.Name):
-            if base.id == "self" and fnode.cls:                # self.m()
+            if base.id == "self" and fnode is not None and fnode.cls:
                 own = mnode.functions.get(f"{fnode.cls}.{method}")
                 if own is not None:
                     return (own.fid,)
@@ -307,7 +535,8 @@ class CallGraph:
             return (candidates[0].fid,)
         return ()
 
-    def _resolve_reference(self, mnode: ModuleNode, fnode: FunctionNode,
+    def _resolve_reference(self, mnode: ModuleNode,
+                           fnode: FunctionNode | None,
                            nested: dict[str, FunctionNode],
                            arg: ast.expr) -> tuple[str, ...]:
         """Function values passed as arguments (pool.map targets, builders)."""
@@ -323,7 +552,7 @@ class CallGraph:
                 if target is not None and orig in target.functions:
                     return (target.functions[orig].fid,)
         elif isinstance(arg, ast.Attribute) and isinstance(arg.value, ast.Name):
-            if arg.value.id == "self" and fnode.cls:
+            if arg.value.id == "self" and fnode is not None and fnode.cls:
                 own = mnode.functions.get(f"{fnode.cls}.{arg.attr}")
                 if own is not None:
                     return (own.fid,)

@@ -39,10 +39,13 @@ families consume the result:
 Findings go through the shared :class:`~repro.check.findings.Finding`
 vocabulary and honor :mod:`repro.check.suppress` comments.
 
-Known blind spot: data-driven dispatch.  ``Registry.create`` invokes
-``self._factories[key]()`` — a subscript, not a name — so functions
-reached *only* through registry factories (the experiment generators in
-:mod:`repro.harness.registry`) are invisible to the call graph and are
+Data-driven dispatch is resolved as candidate sets: ``Registry.create``'s
+``self._factories[key]()`` fans out to every function registered through
+``Registry.register`` (the device factories, the zoo's per-model
+closures), and module-level dict tables like ``check.PASSES`` resolve to
+their function values.  The remaining blind spot is ``lambda``
+registrations (the experiment generators in
+:mod:`repro.harness.registry`), which have no name to resolve and are
 covered by the single-file ARCH rules and the runtime stress tests
 instead.
 """
@@ -1084,6 +1087,11 @@ def check_source(source: str, path: str,
     return check_modules([astutil.load_source(source, path)], roots=roots)
 
 
-def run(root: Path | None = None) -> list[Finding]:
-    """Effects pass entry point: analyze every module under ``root``."""
-    return check_modules(astutil.load_package(root))
+def run(root: Path | None = None,
+        modules: list[SourceModule] | None = None) -> list[Finding]:
+    """Effects pass entry point: analyze every module under ``root``.
+
+    ``modules`` shares a pre-parsed package (one parse for all source passes).
+    """
+    return check_modules(modules if modules is not None
+                         else astutil.load_package(root))

@@ -893,7 +893,12 @@ def check_paths(paths: list[Path]) -> list[Finding]:
 package_root = astutil.package_root
 
 
-def run(root: Path | None = None) -> list[Finding]:
-    """Units pass entry point: unit-check every module under ``root``."""
-    return [finding for module in astutil.load_package(root)
-            for finding in check_module(module)]
+def run(root: Path | None = None,
+        modules: list[astutil.SourceModule] | None = None) -> list[Finding]:
+    """Units pass entry point: unit-check every module under ``root``.
+
+    ``modules`` shares a pre-parsed package (one parse for all source passes).
+    """
+    if modules is None:
+        modules = astutil.load_package(root)
+    return [finding for module in modules for finding in check_module(module)]

@@ -124,13 +124,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 print(f"{severity.value:7s} {rule:9s} {description}")
         return 0
 
+    timings: dict[str, float] = {}
     try:
-        findings = run_checks(passes=args.passes or None, ignore=args.ignore or ())
+        findings = run_checks(passes=args.passes or None, ignore=args.ignore or (),
+                              timings=timings)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     renderers = {"text": render_text, "json": render_json, "github": render_github}
     print(renderers[args.format](findings))
+    if args.stats:
+        for name, elapsed_s in timings.items():
+            print(f"# {name}: {elapsed_s * 1e3:.1f} ms", file=sys.stderr)
+        print(f"# total: {sum(timings.values()) * 1e3:.1f} ms", file=sys.stderr)
     if args.strict:
         return 0 if not findings else 1
     errors = sum(1 for finding in findings if finding.severity is Severity.ERROR)
@@ -486,13 +492,15 @@ def build_parser() -> argparse.ArgumentParser:
     time_parser.set_defaults(handler=_cmd_time)
 
     check_parser = subparsers.add_parser(
-        "check", help="static verification: graph IR, data tables, "
+        "check", help="static verification: graph IR, shapes, data tables, "
                       "architecture, units, effects")
     check_parser.add_argument("passes", nargs="*", metavar="PASS",
-                              help="passes to run: ir, tables, arch, units, "
-                                   "effects (default: all)")
+                              help="passes to run: ir, shapes, tables, arch, "
+                                   "units, effects (default: all)")
     check_parser.add_argument("--strict", action="store_true",
                               help="fail on any finding, not just errors")
+    check_parser.add_argument("--stats", action="store_true",
+                              help="print per-pass wall times to stderr")
     check_parser.add_argument("--list-rules", action="store_true",
                               help="print the rule catalog (honors --format "
                                    "json) and exit")

@@ -319,6 +319,7 @@ class Pool2D(Op):
         self.kernel = (kh, kw)
         self.stride = (sh, sw)
         self.padding = padding
+        self.ceil_mode = ceil_mode
         self.output_shape = TensorShape(channels, out_h, out_w)
         self.macs = out_h * out_w * channels * kh * kw
 
@@ -351,6 +352,8 @@ class Pool3D(Op):
         self.kind = kind
         self.kernel = (kt, kh, kw)
         self.stride = (st, sh, sw)
+        self.padding = padding
+        self.ceil_mode = ceil_mode
         self.output_shape = TensorShape(channels, out_t, out_h, out_w)
         self.macs = out_t * out_h * out_w * channels * kt * kh * kw
 

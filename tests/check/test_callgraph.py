@@ -269,3 +269,149 @@ class TestRealPackageGraph:
                  for fid in g.find(root)]
         reached = g.reachable(roots)
         assert "repro/engine/cache.py:MemoCache.get_or_build" in reached
+
+
+class TestSubscriptDispatch:
+    REGISTRY = """
+        class Registry:
+            def __init__(self):
+                self._factories = {}
+
+            def register(self, name, factory):
+                self._factories[name] = factory
+
+            def create(self, name):
+                return self._factories[name]()
+
+        def build_alexnet():
+            return "alexnet"
+
+        def build_vgg():
+            return "vgg"
+
+        REGISTRY = Registry()
+        REGISTRY.register("alexnet", build_alexnet)
+        REGISTRY.register("vgg", factory=build_vgg)
+        """
+
+    def test_registered_functions_become_create_candidates(self):
+        g = graph(module(self.REGISTRY))
+        assert g.successors("repro/engine/demo.py:Registry.create") == {
+            "repro/engine/demo.py:build_alexnet",
+            "repro/engine/demo.py:build_vgg"}
+
+    def test_loop_registration_resolves_every_loop_value(self):
+        g = graph(module("""
+            class Registry:
+                def __init__(self):
+                    self._factories = {}
+
+                def register(self, name, factory):
+                    self._factories[name] = factory
+
+                def create(self, name):
+                    return self._factories[name]()
+
+            def rpi3():
+                return "rpi3"
+
+            def tx2():
+                return "tx2"
+
+            REGISTRY = Registry()
+            for _factory in (rpi3, tx2):
+                REGISTRY.register(_factory().__doc__, _factory)
+            """))
+        assert g.successors("repro/engine/demo.py:Registry.create") == {
+            "repro/engine/demo.py:rpi3", "repro/engine/demo.py:tx2"}
+
+    def test_factory_helper_returning_nested_def_resolves(self):
+        g = graph(module("""
+            class Registry:
+                def __init__(self):
+                    self._factories = {}
+
+                def register(self, name, factory):
+                    self._factories[name] = factory
+
+                def create(self, name):
+                    return self._factories[name]()
+
+            def make_factory(name):
+                def factory():
+                    return name
+
+                return factory
+
+            REGISTRY = Registry()
+            REGISTRY.register("alexnet", make_factory("alexnet"))
+            """))
+        assert g.successors("repro/engine/demo.py:Registry.create") == {
+            "repro/engine/demo.py:make_factory.factory"}
+
+    def test_module_dict_table_dispatch_resolves(self):
+        g = graph(module("""
+            def run_ir():
+                return 1
+
+            def run_arch():
+                return 2
+
+            PASSES = {"ir": run_ir, "arch": run_arch}
+
+            def run_checks(name):
+                return PASSES[name]()
+            """))
+        assert g.successors("repro/engine/demo.py:run_checks") == {
+            "repro/engine/demo.py:run_ir", "repro/engine/demo.py:run_arch"}
+
+    def test_imported_dict_table_dispatch_resolves(self):
+        g = graph(
+            module("""
+                def run_ir():
+                    return 1
+
+                PASSES = {"ir": run_ir}
+                """, "src/repro/check/passes.py"),
+            module("""
+                from repro.check.passes import PASSES
+
+                def main(name):
+                    return PASSES[name]()
+                """, "src/repro/engine/cli.py"))
+        assert g.successors("repro/engine/cli.py:main") == {
+            "repro/check/passes.py:run_ir"}
+
+    def test_lambda_registration_stays_unresolved(self):
+        # The documented remaining blind spot: a lambda has no name to
+        # resolve, so create() gains no edge from it.
+        g = graph(module("""
+            class Registry:
+                def __init__(self):
+                    self._factories = {}
+
+                def register(self, name, factory):
+                    self._factories[name] = factory
+
+                def create(self, name):
+                    return self._factories[name]()
+
+            REGISTRY = Registry()
+            REGISTRY.register("exp", lambda: "experiment")
+            """))
+        assert g.successors("repro/engine/demo.py:Registry.create") == set()
+
+
+class TestRealTreeDispatch:
+    def test_registry_create_reaches_the_registered_factories(self):
+        g = callgraph.build(astutil.load_package())
+        reached = g.reachable(["repro/core/registry.py:Registry.create"])
+        assert "repro/models/zoo.py:_make_factory.factory" in reached
+        assert "repro/hardware/catalog.py:raspberry_pi_3b" in reached
+        assert "repro/hardware/catalog.py:jetson_tx2" in reached
+
+    def test_check_passes_table_reaches_every_pass(self):
+        g = callgraph.build(astutil.load_package())
+        reached = g.reachable(["repro/check/__init__.py:run_checks"])
+        for name in ("ir", "shapes", "tables", "arch", "units", "effects"):
+            assert f"repro/check/{name}.py:run" in reached, name

@@ -38,3 +38,22 @@ class TestCheckVerb:
         assert main(["check", "units", "--strict", "--format", "github"]) == 0
         out = capsys.readouterr().out.strip()
         assert out.splitlines()[-1] == "no findings"
+
+    def test_shapes_pass_selection_is_clean(self, capsys):
+        assert main(["check", "shapes", "--strict"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_stats_prints_per_pass_timings_to_stderr(self, capsys):
+        assert main(["check", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "no findings" in captured.out
+        for name in ("ir", "shapes", "tables", "arch", "units", "effects"):
+            assert f"# {name}:" in captured.err
+        assert "# total:" in captured.err
+        assert "ms" in captured.err
+
+    def test_stats_covers_only_selected_passes(self, capsys):
+        assert main(["check", "shapes", "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "# shapes:" in err
+        assert "# effects:" not in err

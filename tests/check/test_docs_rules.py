@@ -17,7 +17,8 @@ DOCS = Path(__file__).resolve().parents[2] / "docs" / "checks.md"
 
 #: a rule id leading a markdown table row: `| IR001 | ...` / `| ALIAS002 |`
 _RULE_ROW = re.compile(
-    r"^\|\s*((?:IR|TAB|ARCH|UNIT|RACE|KEY|ALIAS)\d{3})\s*\|", re.MULTILINE)
+    r"^\|\s*((?:IR|SHAPE|TAB|ARCH|UNIT|RACE|KEY|ALIAS)\d{3})\s*\|",
+    re.MULTILINE)
 
 
 def documented_rules() -> set[str]:
@@ -33,9 +34,10 @@ class TestCatalogMatchesDocs:
         stale = documented_rules() - set(rule_catalog())
         assert not stale, f"docs/checks.md documents unknown rules: {sorted(stale)}"
 
-    def test_catalog_covers_all_five_passes(self):
+    def test_catalog_covers_all_six_passes(self):
         prefixes = {re.match(r"[A-Z]+", rule).group() for rule in rule_catalog()}
-        assert prefixes == {"IR", "TAB", "ARCH", "UNIT", "RACE", "KEY", "ALIAS"}
+        assert prefixes == {"IR", "SHAPE", "TAB", "ARCH", "UNIT", "RACE",
+                            "KEY", "ALIAS"}
 
 
 class TestListRulesVerb:

@@ -479,3 +479,48 @@ class TestCustomRoots:
         findings = check(snippet, path=path,
                          roots=("harness/custom.py:my_entry",))
         assert rules_of(findings) == {"RACE002"}
+
+
+class TestRegistryDispatchReachability:
+    """PR 9 blind spot, closed: functions reached only through
+    ``Registry.create``'s ``self._factories[key]()`` subscript dispatch are
+    on the parallel paths and their races report."""
+
+    SNIPPET = """
+    _HITS = 0
+
+    class Registry:
+        def __init__(self):
+            self._factories = {}
+
+        def register(self, name, factory):
+            self._factories[name] = factory
+
+        def create(self, name):
+            return self._factories[name]()
+
+    def build_alexnet():
+        global _HITS
+        _HITS += 1
+        return "graph"
+
+    REGISTRY = Registry()
+    REGISTRY.register("alexnet", build_alexnet)
+
+    class Runner:
+        def run_cells(self, cells):
+            for cell in cells:
+                REGISTRY.create(cell)
+    """
+
+    def test_race_in_registered_factory_is_reachable(self):
+        findings = check(self.SNIPPET)
+        assert rules_of(findings) == {"RACE001"}
+        assert "_HITS" in findings[0].message
+
+    def test_lambda_factory_stays_invisible(self):
+        snippet = self.SNIPPET.replace(
+            'REGISTRY.register("alexnet", build_alexnet)',
+            'REGISTRY.register("alexnet", lambda: build_other())')
+        findings = check(snippet)
+        assert findings == []

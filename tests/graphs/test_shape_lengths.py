@@ -1,0 +1,106 @@
+"""Conv/pool length helpers: edge-case audit pins + hypothesis properties.
+
+Two laws every helper must satisfy for all inputs:
+
+* a derived length is strictly positive (collapse raises instead of
+  returning garbage);
+* the concrete path and the symbolic path agree — building the length
+  symbolically and evaluating at the concrete binding gives the same
+  number the concrete path returns, for every padding spec and mode.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.symbolic import dim, evaluate_dim
+from repro.graphs.tensor import conv_output_length, pool_output_length
+
+paddings = st.one_of(st.sampled_from(["same", "valid"]), st.integers(0, 3))
+
+
+class TestEdgeCaseAudit:
+    def test_negative_padding_rejected_by_conv(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            conv_output_length(32, 3, 1, -1)
+
+    def test_negative_padding_rejected_by_pool(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            pool_output_length(32, 2, 2, -1)
+
+    def test_unsupported_padding_spec_rejected(self):
+        with pytest.raises(ValueError, match="unsupported padding"):
+            conv_output_length(32, 3, 1, "full")
+        with pytest.raises(ValueError, match="unsupported padding"):
+            pool_output_length(32, 2, 2, "full")
+
+    def test_collapsed_conv_raises(self):
+        with pytest.raises(ValueError, match="collapsed"):
+            conv_output_length(2, 7, 1, "valid")
+
+    def test_collapsed_pool_raises(self):
+        with pytest.raises(ValueError, match="collapsed"):
+            pool_output_length(1, 3, 1, "valid")
+
+    def test_ceil_mode_rounds_window_count_up(self):
+        # C3D's temporal pool: 16 frames, kernel 2, stride 2 -> 8 either way;
+        # an odd length picks up the partial window only under ceil_mode.
+        assert pool_output_length(7, 2, 2, "valid", ceil_mode=False) == 3
+        assert pool_output_length(7, 2, 2, "valid", ceil_mode=True) == 4
+
+    def test_dilation_grows_effective_kernel(self):
+        assert conv_output_length(32, 3, 1, "valid", dilation=2) == 28
+
+
+class TestDerivedLengthPositive:
+    @given(length=st.integers(1, 512), kernel=st.integers(1, 11),
+           stride=st.integers(1, 4), padding=paddings,
+           dilation=st.integers(1, 3))
+    def test_conv_length_positive_or_collapse(self, length, kernel, stride,
+                                              padding, dilation):
+        try:
+            out = conv_output_length(length, kernel, stride, padding, dilation)
+        except ValueError:
+            return  # collapse is reported, never returned
+        assert out >= 1
+
+    @given(length=st.integers(1, 512), kernel=st.integers(1, 11),
+           stride=st.integers(1, 4), padding=paddings,
+           ceil_mode=st.booleans())
+    def test_pool_length_positive_or_collapse(self, length, kernel, stride,
+                                              padding, ceil_mode):
+        try:
+            out = pool_output_length(length, kernel, stride, padding, ceil_mode)
+        except ValueError:
+            return
+        assert out >= 1
+
+
+class TestConcreteMatchesSymbolic:
+    @given(length=st.integers(1, 512), kernel=st.integers(1, 11),
+           stride=st.integers(1, 4), padding=paddings,
+           dilation=st.integers(1, 3))
+    def test_conv_symbolic_evaluates_to_concrete(self, length, kernel, stride,
+                                                 padding, dilation):
+        try:
+            concrete = conv_output_length(length, kernel, stride, padding,
+                                          dilation)
+        except ValueError:
+            return
+        symbolic = conv_output_length(dim("L"), kernel, stride, padding,
+                                      dilation)
+        assert evaluate_dim(symbolic, {"L": length}) == concrete
+
+    @given(length=st.integers(1, 512), kernel=st.integers(1, 11),
+           stride=st.integers(1, 4), padding=paddings,
+           ceil_mode=st.booleans())
+    def test_pool_symbolic_evaluates_to_concrete(self, length, kernel, stride,
+                                                 padding, ceil_mode):
+        try:
+            concrete = pool_output_length(length, kernel, stride, padding,
+                                          ceil_mode)
+        except ValueError:
+            return
+        symbolic = pool_output_length(dim("L"), kernel, stride, padding,
+                                      ceil_mode)
+        assert evaluate_dim(symbolic, {"L": length}) == concrete

@@ -1,0 +1,142 @@
+"""Symbolic dimension algebra: normal form, folding, evaluation, rendering."""
+
+import pytest
+
+from repro.graphs.symbolic import (
+    SymDim,
+    UnboundDimensionError,
+    ceil_div,
+    dim,
+    evaluate_dim,
+    floor_div,
+    free_symbols,
+    is_concrete,
+    prod_dims,
+)
+
+
+class TestNormalForm:
+    def test_like_terms_collapse(self):
+        n = dim("N")
+        assert n * 2 + n == 3 * n
+        assert hash(n * 2 + n) == hash(3 * n)
+
+    def test_constants_fold_to_plain_int(self):
+        n = dim("N")
+        assert n - n == 0
+        assert isinstance(n - n, int)
+        assert (n + 5) - n == 5
+        assert 0 * n == 0
+
+    def test_pure_constant_symdim_is_rejected(self):
+        with pytest.raises(ValueError):
+            SymDim(7, ())
+
+    def test_commutative_products_are_equal(self):
+        h, w = dim("H"), dim("W")
+        assert h * w == w * h
+        assert hash(h * w) == hash(w * h)
+
+    def test_distribution_over_sums(self):
+        n, m = dim("N"), dim("M")
+        assert (n + 2) * (m + 3) == n * m + 3 * n + 2 * m + 6
+
+    def test_dim_name_must_be_identifier(self):
+        with pytest.raises(ValueError):
+            dim("2bad")
+        with pytest.raises(ValueError):
+            dim("")
+
+
+class TestFloorDivision:
+    def test_exact_division_folds(self):
+        n = dim("N")
+        assert (4 * n) // 2 == 2 * n
+        assert (4 * n + 6) // 2 == 2 * n + 3
+
+    def test_inexact_division_becomes_opaque_atom(self):
+        n = dim("N")
+        out = (n + 1) // 2
+        assert isinstance(out, SymDim)
+        assert out.evaluate({"N": 5}) == 3
+        assert out.evaluate({"N": 4}) == 2
+
+    def test_ceil_div_normalizes_to_floor_form(self):
+        h = dim("H")
+        assert ceil_div(h, 2) == (h + 1) // 2
+        assert ceil_div(h, 1) == h
+        for value in range(1, 20):
+            assert evaluate_dim(ceil_div(h, 3), {"H": value}) == -(-value // 3)
+
+    def test_division_by_one_is_identity(self):
+        n = dim("N")
+        assert n // 1 is n
+
+    def test_non_positive_denominator_raises(self):
+        n = dim("N")
+        with pytest.raises(ValueError):
+            n // 0
+        with pytest.raises(ValueError):
+            floor_div(n, -2)
+        with pytest.raises(ValueError):
+            floor_div(10, 0)
+
+
+class TestEvaluation:
+    def test_affine_evaluation(self):
+        n = dim("N")
+        assert (3 * n + 7).evaluate({"N": 5}) == 22
+
+    def test_nested_floordiv_evaluation(self):
+        h = dim("H")
+        # Two stride-2 "same" convs: ceil(ceil(H/2)/2).
+        out = ceil_div(ceil_div(h, 2), 2)
+        assert out.evaluate({"H": 224}) == 56
+        assert out.evaluate({"H": 15}) == 4
+
+    def test_missing_binding_raises_unbound(self):
+        n = dim("N")
+        with pytest.raises(UnboundDimensionError):
+            (n + 1).evaluate({})
+
+    def test_evaluate_dim_passes_ints_through(self):
+        assert evaluate_dim(13, {}) == 13
+        assert evaluate_dim(dim("N"), {"N": 2}) == 2
+
+
+class TestHelpers:
+    def test_free_symbols(self):
+        n, seq = dim("N"), dim("SEQ")
+        assert free_symbols(n * seq + 1) == {"N", "SEQ"}
+        assert free_symbols(ceil_div(seq, 2)) == {"SEQ"}
+        assert free_symbols(42) == frozenset()
+
+    def test_is_concrete(self):
+        assert is_concrete(3)
+        assert not is_concrete(dim("N"))
+
+    def test_prod_dims_stays_int_when_concrete(self):
+        assert prod_dims((2, 3, 4)) == 24
+        assert isinstance(prod_dims((2, 3, 4)), int)
+        n = dim("N")
+        assert prod_dims((n, 3, 4)) == 12 * n
+
+    def test_symdim_is_truthy(self):
+        assert bool(dim("N"))
+
+
+class TestRendering:
+    def test_repr_is_deterministic(self):
+        n = dim("N")
+        assert repr(3 * n) == "3*N"
+        assert repr(2 * n + 3) == "2*N + 3"
+        assert repr(n - 1) == "N - 1"
+        assert repr(-n) == "-N"
+
+    def test_floordiv_renders_parenthesized(self):
+        h = dim("H")
+        assert repr((h + 2) // 2) == "(H + 2)//2"
+
+    def test_product_renders_sorted(self):
+        h, w = dim("H"), dim("W")
+        assert repr(h * w) == repr(w * h) == "H*W"

@@ -30,6 +30,12 @@ Placement checks:
 * ``pipeline_simulate_s`` <  ``max_pipeline_simulate_s``
 * ``pipeline_requests``   at the million-request scale with conservation
 * ``search_deterministic`` and ``serving_deterministic`` are true
+
+Check checks (the six-pass static verification run):
+
+* ``total_s``       <  ``max_total_s`` (pre-commit cheap, all six passes)
+* ``findings``      == 0 and ``strict_clean`` is true (zero-findings gate)
+* ``per_pass_s``    covers every pass named in ``passes``
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ from pathlib import Path
 
 _ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_PATHS = (_ROOT / "BENCH_sweep.json", _ROOT / "BENCH_fleet.json",
-                 _ROOT / "BENCH_placement.json")
+                 _ROOT / "BENCH_placement.json", _ROOT / "BENCH_check.json")
 
 
 def _require(bench: dict, failures: list[str], name: str, hint: str):
@@ -145,6 +151,32 @@ def check_placement(bench: dict) -> list[str]:
     return failures
 
 
+def check_check(bench: dict) -> list[str]:
+    """Every broken static-check budget as a human-readable failure line."""
+    failures: list[str] = []
+    hint = "benchmarks/test_perf_check.py"
+
+    total_s = _require(bench, failures, "total_s", hint)
+    budget_s = _require(bench, failures, "max_total_s", hint)
+    if total_s is not None and budget_s is not None and total_s >= budget_s:
+        failures.append(f"total_s {total_s}s >= budget {budget_s}s - "
+                        "the six-pass run is no longer pre-commit cheap")
+
+    findings = _require(bench, failures, "findings", hint)
+    if findings:
+        failures.append(f"{findings} findings - the strict run must be clean")
+    if bench.get("strict_clean") is not True:
+        failures.append("strict_clean is not true")
+
+    passes = _require(bench, failures, "passes", hint)
+    per_pass = _require(bench, failures, "per_pass_s", hint)
+    if passes is not None and per_pass is not None:
+        missing = sorted(set(passes) - set(per_pass))
+        if missing:
+            failures.append(f"per_pass_s missing timings for {missing}")
+    return failures
+
+
 def check(bench: dict) -> list[str]:
     """Dispatch on the benchmark kind recorded in the file."""
     kind = str(bench.get("benchmark", ""))
@@ -152,6 +184,8 @@ def check(bench: dict) -> list[str]:
         return check_fleet(bench)
     if kind.startswith("placement"):
         return check_placement(bench)
+    if kind.startswith("check"):
+        return check_check(bench)
     return check_sweep(bench)
 
 
@@ -165,6 +199,9 @@ def _summary(bench: dict) -> str:
                 f"{bench['search_s']}s ({bench['frontier_size']} frontier "
                 f"points), {bench['pipeline_requests']} pipelined requests "
                 f"in {bench['pipeline_simulate_s']}s")
+    if kind.startswith("check"):
+        return (f"{len(bench['passes'])} passes in {bench['total_s']}s, "
+                f"{bench['findings']} findings")
     return (f"warm {bench['compiled_warm_s']}s, "
             f"uncached {bench['compiled_uncached_s']}s, "
             f"{bench['speedup_warm']}x warm speedup, "
